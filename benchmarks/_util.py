@@ -1,0 +1,61 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one paper table/figure: it computes the rows once
+(under ``benchmark.pedantic``), prints them in the paper's layout, and
+writes them to ``benchmarks/results/`` so EXPERIMENTS.md can cite stable
+artefacts.  Absolute numbers differ from the 2004 testbed; the assertions
+at the end of each bench check the *shape* claims instead.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+
+def bench_explored_limit(default: int) -> int:
+    """Exploration budget, overridable via REPRO_BENCH_EXPLORED."""
+    return int(os.environ.get("REPRO_BENCH_EXPLORED", default))
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Plain-text table in the paper's row layout."""
+    str_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def publish(name: str, text: str) -> None:
+    """Print a table and persist it under benchmarks/results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / name).write_text(text + "\n")
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    product = 1.0
+    count = 0
+    for value in values:
+        if value > 0:
+            product *= value
+            count += 1
+    if count == 0:
+        return 1.0
+    return product ** (1.0 / count)

@@ -1,0 +1,98 @@
+"""Substrate micro-benchmarks: the BDD engine under solver-like load.
+
+Not a paper table; sanity numbers for the CUDD stand-in so that regressions
+in the engine are visible independently of solver behaviour.
+"""
+
+import pytest
+
+from repro.bdd import BddManager, isop, shortest_path_cube
+from repro.benchdata import build_suite
+
+
+def build_queens(n: int = 5):
+    """The n-queens constraint function (a classic BDD stress test)."""
+    mgr = BddManager(["q%d_%d" % (row, col)
+                      for row in range(n) for col in range(n)])
+
+    def var(row, col):
+        return mgr.var(row * n + col)
+
+    from repro.bdd import TRUE, FALSE
+    constraint = TRUE
+    # One queen per row.
+    for row in range(n):
+        row_or = FALSE
+        for col in range(n):
+            row_or = mgr.or_(row_or, var(row, col))
+        constraint = mgr.and_(constraint, row_or)
+    # Attacks.
+    for row in range(n):
+        for col in range(n):
+            q = var(row, col)
+            for row2 in range(n):
+                if row2 == row:
+                    continue
+                for col2 in range(n):
+                    same_col = col2 == col
+                    same_diag = abs(row2 - row) == abs(col2 - col)
+                    if same_col or same_diag:
+                        constraint = mgr.and_(
+                            constraint,
+                            mgr.or_(mgr.not_(q),
+                                    mgr.not_(var(row2, col2))))
+    return mgr, constraint
+
+
+@pytest.mark.benchmark(group="bdd")
+def test_bdd_queens_construction(benchmark):
+    mgr, constraint = benchmark.pedantic(build_queens, rounds=1,
+                                         iterations=1)
+    count = mgr.sat_count(constraint, list(range(mgr.num_vars)))
+    assert count == 10  # 5-queens has 10 solutions
+
+
+@pytest.mark.benchmark(group="bdd")
+def test_bdd_relation_projection_throughput(benchmark):
+    relations = build_suite(("int9", "int10", "gr"))
+
+    def project_all():
+        total = 0
+        for relation in relations.values():
+            for position in range(len(relation.outputs)):
+                isf = relation.project(position)
+                total += relation.mgr.size(isf.on)
+        return total
+
+    total = benchmark(project_all)
+    assert total > 0
+
+
+@pytest.mark.benchmark(group="bdd")
+def test_bdd_isop_throughput(benchmark):
+    relations = build_suite(("int9", "gr"))
+
+    def isop_all():
+        cubes = 0
+        for relation in relations.values():
+            for position in range(len(relation.outputs)):
+                isf = relation.project(position)
+                cover, _ = isop(relation.mgr, isf.on, isf.upper)
+                cubes += len(cover)
+        return cubes
+
+    cubes = benchmark(isop_all)
+    assert cubes > 0
+
+
+@pytest.mark.benchmark(group="bdd")
+def test_bdd_shortest_path_throughput(benchmark):
+    mgr, constraint = build_queens(5)
+
+    def run():
+        return shortest_path_cube(mgr, constraint)
+
+    cube = benchmark(run)
+    assert cube is not None
+    # A satisfying cube of the queens function binds at least n queens.
+    assert sum(1 for value in cube.values() if value) >= 5

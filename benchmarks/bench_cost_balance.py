@@ -1,0 +1,71 @@
+"""Section 7.3 ablation — what the squared-size cost actually buys.
+
+The paper's claim: the sum-of-squares cost "biases the exploration toward
+solutions in which the complexity of the functions is balanced", which the
+delay flow exploits.  This bench solves the BR suite under both costs and
+compares (a) the imbalance of per-output BDD sizes and (b) the total size,
+confirming the trade: squares reduce imbalance at a small total-size
+premium.
+"""
+
+import pytest
+
+from repro.benchdata import build_suite
+from repro.core import (BrelOptions, BrelSolver, bdd_size_cost,
+                        bdd_size_squared_cost)
+
+from ._util import bench_explored_limit, format_table, publish
+
+INSTANCES = ("int2", "int4", "int6", "int8", "she1", "she2", "b9",
+             "vtx", "gr")
+
+
+def run_costs():
+    relations = build_suite(INSTANCES)
+    rows = []
+    for name, relation in relations.items():
+        entry = {"name": name}
+        for label, cost in (("sum", bdd_size_cost),
+                            ("squares", bdd_size_squared_cost)):
+            result = BrelSolver(BrelOptions(
+                cost_function=cost,
+                max_explored=bench_explored_limit(10))).solve(relation)
+            sizes = result.solution.bdd_sizes()
+            entry[label] = {
+                "total": sum(sizes),
+                "imbalance": max(sizes) - min(sizes),
+                "sizes": sizes,
+            }
+        rows.append(entry)
+    return rows
+
+
+@pytest.mark.benchmark(group="cost-balance")
+def test_squared_cost_balances_solutions(benchmark):
+    rows = benchmark.pedantic(run_costs, rounds=1, iterations=1)
+    table_rows = []
+    for row in rows:
+        table_rows.append([
+            row["name"],
+            row["sum"]["total"], row["sum"]["imbalance"],
+            str(row["sum"]["sizes"]),
+            row["squares"]["total"], row["squares"]["imbalance"],
+            str(row["squares"]["sizes"]),
+        ])
+    text = format_table(
+        ["name", "Σ total", "Σ imbal", "Σ sizes",
+         "Σ² total", "Σ² imbal", "Σ² sizes"],
+        table_rows,
+        title="Section 7.3: sum vs sum-of-squares BDD-size costs")
+    total_sum = sum(row["sum"]["imbalance"] for row in rows)
+    total_squares = sum(row["squares"]["imbalance"] for row in rows)
+    text += ("\nTotal imbalance: sum-cost=%d squares-cost=%d"
+             % (total_sum, total_squares))
+    publish("cost_balance.txt", text)
+
+    # The squared cost never yields a *more* imbalanced suite overall.
+    assert total_squares <= total_sum
+    # The plain-sum cost optimises total size; allow heuristic noise of a
+    # few nodes across the whole suite.
+    assert (sum(row["sum"]["total"] for row in rows)
+            <= sum(row["squares"]["total"] for row in rows) * 1.02 + 2)

@@ -1,0 +1,68 @@
+"""Section 7.2 / 9.2 ablation — the exploration budget.
+
+The paper limits Table 2 runs to 10 explored BRs and notes that "exploring
+more solutions did not significantly contribute to improving the results";
+Table 3 uses 200.  This bench sweeps the budget and reports the best cost
+found per instance, which should improve sharply from 1 to ~10 and then
+flatten.
+"""
+
+import time
+
+import pytest
+
+from repro.benchdata import build_suite
+from repro.core import BrelOptions, BrelSolver, bdd_size_cost
+
+from ._util import format_table, geometric_mean, publish
+
+BUDGETS = [1, 2, 5, 10, 50, 200]
+INSTANCES = ("int2", "int4", "int6", "she1", "she2", "b9", "vtx", "c17i")
+
+
+def run_sweep():
+    relations = build_suite(INSTANCES)
+    results = {}
+    for name, relation in relations.items():
+        per_budget = []
+        for budget in BUDGETS:
+            options = BrelOptions(cost_function=bdd_size_cost,
+                                  max_explored=budget,
+                                  fifo_capacity=256)
+            started = time.perf_counter()
+            result = BrelSolver(options).solve(relation)
+            per_budget.append((result.solution.cost,
+                               time.perf_counter() - started))
+        results[name] = per_budget
+    return results
+
+
+@pytest.mark.benchmark(group="width")
+def test_exploration_width_sweep(benchmark):
+    results = benchmark.pedantic(run_sweep, rounds=1, iterations=1)
+    table_rows = []
+    for name, per_budget in sorted(results.items()):
+        row = [name]
+        for cost, _cpu in per_budget:
+            row.append("%.0f" % cost)
+        table_rows.append(row)
+    text = format_table(
+        ["name"] + ["w=%d" % budget for budget in BUDGETS],
+        table_rows,
+        title="Exploration-budget sweep: best cost (sum of BDD sizes) "
+              "per explored-BR budget")
+    # Relative improvement of the largest budget over budget=10.
+    gain = geometric_mean([
+        per_budget[-1][0] / per_budget[3][0]
+        for per_budget in results.values() if per_budget[3][0] > 0])
+    text += ("\nGeomean cost(w=200)/cost(w=10) = %.3f "
+             "(paper: exploring more than 10 contributed little)" % gain)
+    publish("exploration_width.txt", text)
+
+    for name, per_budget in results.items():
+        costs = [cost for cost, _ in per_budget]
+        # More budget never hurts (monotone non-increasing best cost).
+        assert all(costs[i + 1] <= costs[i] + 1e-9
+                   for i in range(len(costs) - 1)), name
+    # Diminishing returns beyond 10 (within 5 %), the paper's observation.
+    assert gain >= 0.90

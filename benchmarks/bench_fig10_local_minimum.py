@@ -1,0 +1,70 @@
+"""Fig. 10 / Section 9.1 — escaping the expand-reduce-irredundant trap.
+
+The relation (reconstructed in ``tests/core/test_paper_examples.py``) has
+exactly eight compatible functions.  QuickSolver lands on
+``(x ⇔ 1, y ⇔ ab + a'b')`` (3 product terms); no gyocro/Herb local move
+improves it; BREL's split exploration reaches the optimum
+``(x ⇔ b, y ⇔ a)`` (2 terms, 2 literals).
+"""
+
+import pytest
+
+from repro.baselines import MvCover, gyocro_solve, herb_solve
+from repro.core import BooleanRelation, quick_solve, solve_relation
+
+from ._util import format_table, publish
+
+
+def fig10_relation() -> BooleanRelation:
+    # The exact table pinned by tests/core/test_paper_examples.py.
+    table = {
+        "00": {"00", "11"},
+        "01": {"00", "10"},
+        "10": {"01", "10"},
+        "11": {"11"},
+    }
+
+    def enc(bits):
+        value = 0
+        for index, char in enumerate(bits):
+            if char == "1":
+                value |= 1 << index
+        return value
+
+    encoded = [set() for _ in range(4)]
+    for vertex, outputs in table.items():
+        encoded[enc(vertex)] = {enc(o) for o in outputs}
+    return BooleanRelation.from_output_sets(encoded, 2, 2)
+
+
+def run_all():
+    relation = fig10_relation()
+    quick = quick_solve(relation)
+    gyocro = gyocro_solve(relation)
+    herb = herb_solve(relation)
+    brel = solve_relation(relation)
+    quick_cover = MvCover.from_functions(relation, quick.functions)
+    brel_cover = MvCover.from_functions(relation, brel.solution.functions)
+    return {
+        "quick": quick_cover.cost(),
+        "gyocro": gyocro.cover.cost(),
+        "herb": herb.cover.cost(),
+        "brel": brel_cover.cost(),
+    }
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_local_minimum_escape(benchmark):
+    costs = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = [[name, cubes, literals]
+            for name, (cubes, literals) in costs.items()]
+    text = format_table(["solver", "cubes", "literals"], rows,
+                        title="Fig. 10: the expand-reduce-irredundant "
+                              "local minimum (optimum = 2 cubes / "
+                              "2 literals)")
+    publish("fig10_local_minimum.txt", text)
+
+    assert costs["quick"] == (3, 4)     # the documented initial solution
+    assert costs["gyocro"] == (3, 4)    # trapped (Section 9.1)
+    assert costs["herb"] == (3, 4)      # trapped as well
+    assert costs["brel"] == (2, 2)      # BREL escapes to (x=b, y=a)

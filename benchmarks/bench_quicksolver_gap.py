@@ -1,0 +1,86 @@
+"""Fig. 4 / Example 6.1 at scale — how much the recursion buys over
+QuickSolver, and how order-dependent QuickSolver is.
+
+The paper motivates the recursive paradigm with two QuickSolver
+weaknesses: the result depends on the output order, and early outputs
+consume the flexibility (unbalanced solutions).  This bench quantifies
+both on the BR suite: cost of QuickSolver under several output orders
+versus BREL's cost, plus the per-output size imbalance.
+"""
+
+import itertools
+
+import pytest
+
+from repro.benchdata import SUITE, build_suite
+from repro.core import (BrelOptions, BrelSolver, bdd_size_cost, quick_solve)
+
+from ._util import bench_explored_limit, format_table, geometric_mean, publish
+
+INSTANCES = ("int2", "int4", "int6", "she1", "she2", "b9", "vtx", "gr")
+
+
+def run_gap():
+    relations = build_suite(INSTANCES)
+    rows = []
+    for name, relation in relations.items():
+        num_outputs = len(relation.outputs)
+        orders = list(itertools.permutations(range(num_outputs)))[:6]
+        quick_costs = []
+        imbalances = []
+        for order in orders:
+            solution = quick_solve(relation, output_order=list(order))
+            quick_costs.append(solution.cost)
+            sizes = solution.bdd_sizes()
+            imbalances.append(max(sizes) - min(sizes))
+        quick_default = quick_costs[0]  # identity order = BREL's seed
+        brel = BrelSolver(BrelOptions(
+            cost_function=bdd_size_cost,
+            max_explored=bench_explored_limit(10))).solve(relation)
+        brel_sizes = brel.solution.bdd_sizes()
+        rows.append({
+            "name": name,
+            "quick_default": quick_default,
+            "quick_best": min(quick_costs),
+            "quick_worst": max(quick_costs),
+            "quick_imbalance": max(imbalances),
+            "brel": brel.solution.cost,
+            "brel_imbalance": max(brel_sizes) - min(brel_sizes),
+        })
+    return rows
+
+
+@pytest.mark.benchmark(group="quick-gap")
+def test_quicksolver_gap(benchmark):
+    rows = benchmark.pedantic(run_gap, rounds=1, iterations=1)
+    table_rows = [[row["name"],
+                   "%.0f" % row["quick_best"],
+                   "%.0f" % row["quick_worst"],
+                   row["quick_imbalance"],
+                   "%.0f" % row["brel"],
+                   row["brel_imbalance"]] for row in rows]
+    text = format_table(
+        ["name", "quick best", "quick worst", "quick imbal",
+         "BREL", "BREL imbal"],
+        table_rows,
+        title="QuickSolver order-dependence vs BREL "
+              "(cost = sum of BDD sizes)")
+    ratio = geometric_mean([row["brel"] / row["quick_default"]
+                            for row in rows if row["quick_default"] > 0])
+    text += "\nGeomean BREL/default-order-quick cost = %.3f" % ratio
+    publish("quicksolver_gap.txt", text)
+
+    for row in rows:
+        # BREL starts from QuickSolver's default order, so it is never
+        # worse than that seed (a lucky alternative order may still win
+        # against a w=10 budget on individual instances).
+        assert row["brel"] <= row["quick_default"] + 1e-9
+    assert ratio <= 1.0
+
+
+@pytest.mark.benchmark(group="quick-gap")
+def test_order_dependence_exists(benchmark):
+    """At least some instances show different costs across orders."""
+    rows = benchmark.pedantic(run_gap, rounds=1, iterations=1)
+    spread = [row["quick_worst"] - row["quick_best"] for row in rows]
+    assert any(value > 0 for value in spread)

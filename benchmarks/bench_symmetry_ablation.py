@@ -1,0 +1,86 @@
+"""Section 7.7 — impact of output-symmetry detection.
+
+The paper reports that symmetry pruning costs ~10 % runtime but lets the
+solver cover more *distinct* equivalence classes within the same explored-
+relation budget, improving mapped results by ~1-2 % on average (much more
+on symmetric circuits such as s208/s641).
+
+This bench solves decomposition-style relations — the mux-latch BR is
+output-symmetric in A and B whenever C can be constant — with pruning off
+and on, and compares solution cost at a fixed exploration budget, plus the
+pruning statistics.
+"""
+
+import time
+
+import pytest
+
+from repro.benchdata import build_suite
+from repro.core import (BooleanRelation, BrelOptions, BrelSolver,
+                        bdd_size_cost, output_symmetries)
+
+from ._util import bench_explored_limit, format_table, publish
+
+
+def symmetric_instances():
+    """Suite relations plus handmade output-symmetric relations."""
+    instances = {}
+    # Symmetric relations: output sets invariant under bit swap.
+    symmetric_rows = [
+        [{0b01, 0b10}, {0b01, 0b10, 0b11}, {0b01, 0b10, 0b11}, {0b11}],
+        [{0b00, 0b11}, {0b01, 0b10}, {0b01, 0b10}, {0b00, 0b11}],
+    ]
+    for index, rows in enumerate(symmetric_rows):
+        instances["sym%d" % index] = BooleanRelation.from_output_sets(
+            rows, 2, 2)
+    for name, relation in build_suite(("int2", "int4", "she2", "b9",
+                                       "vtx")).items():
+        instances[name] = relation
+    return instances
+
+
+def run_ablation():
+    rows = []
+    for name, relation in symmetric_instances().items():
+        pairs = output_symmetries(relation)
+        results = {}
+        for pruning in (False, True):
+            options = BrelOptions(
+                cost_function=bdd_size_cost,
+                max_explored=bench_explored_limit(10),
+                symmetry_pruning=pruning, symmetry_max_depth=3)
+            started = time.perf_counter()
+            result = BrelSolver(options).solve(relation)
+            results[pruning] = (result.solution.cost,
+                                result.stats.symmetry_prunes,
+                                result.stats.relations_explored,
+                                time.perf_counter() - started)
+        rows.append((name, len(pairs), results))
+    return rows
+
+
+@pytest.mark.benchmark(group="symmetry")
+def test_symmetry_ablation(benchmark):
+    rows = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    table_rows = []
+    for name, num_pairs, results in rows:
+        off_cost, _, off_explored, off_cpu = results[False]
+        on_cost, prunes, on_explored, on_cpu = results[True]
+        table_rows.append([
+            name, num_pairs,
+            "%.0f" % off_cost, off_explored, "%.3f" % off_cpu,
+            "%.0f" % on_cost, on_explored, prunes, "%.3f" % on_cpu,
+        ])
+    text = format_table(
+        ["name", "sym pairs", "cost(off)", "expl(off)", "cpu(off)",
+         "cost(on)", "expl(on)", "prunes", "cpu(on)"],
+        table_rows,
+        title="Section 7.7 ablation: symmetry pruning off vs on "
+              "(equal exploration budget)")
+    publish("symmetry_ablation.txt", text)
+
+    # Shape claims: pruning never worsens the solution at equal budget,
+    # and it actually fires on the symmetric instances.
+    for name, num_pairs, results in rows:
+        assert results[True][0] <= results[False][0] + 1e-9, name
+    assert any(results[True][1] > 0 for _, pairs, results in rows if pairs)

@@ -1,0 +1,80 @@
+"""Table 1 — normalised comparison of ISF minimisation back-ends.
+
+The paper runs the full BR solver over its benchmark suite once per ISF
+minimisation technique and reports literal count (LIT) and CPU time,
+normalised to the selected pipeline (non-essential-variable elimination +
+Minato-Morreale ISOP).  Paper's finding: the ISOP pipeline gives the best
+literals at the best runtime; Constrain and LICompact trail on literals.
+"""
+
+import time
+
+import pytest
+
+from repro.benchdata import build_suite
+from repro.core import (BrelOptions, BrelSolver, bdd_size_cost,
+                        get_minimizer, literal_count_cost)
+
+from ._util import bench_explored_limit, format_table, publish
+
+#: The Table 1 columns (registry names -> display names).
+METHODS = [
+    ("isop", "ISOP+elim"),
+    ("isop-noelim", "ISOP"),
+    ("constrain", "Constrain"),
+    ("restrict", "Restrict"),
+    ("licompact", "LICompact"),
+]
+
+#: A representative slice of the Table 2 suite (all of it is slow for the
+#: generalized-cofactor back-ends, which is itself a paper finding).
+INSTANCES = ("int1", "int2", "int3", "int4", "she1", "b9", "vtx", "c17b")
+
+
+def run_all_methods():
+    relations = build_suite(INSTANCES)
+    rows = {}
+    for method, _label in METHODS:
+        minimizer = get_minimizer(method)
+        total_literals = 0
+        started = time.perf_counter()
+        for name, relation in relations.items():
+            options = BrelOptions(
+                cost_function=bdd_size_cost, minimizer=minimizer,
+                max_explored=bench_explored_limit(10))
+            result = BrelSolver(options).solve(relation)
+            total_literals += int(literal_count_cost(
+                relation.mgr, result.solution.functions))
+        rows[method] = (total_literals, time.perf_counter() - started)
+    return rows
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_isf_minimizer_comparison(benchmark):
+    rows = benchmark.pedantic(run_all_methods, rounds=1, iterations=1)
+    base_lit, base_cpu = rows["isop"]
+    table_rows = []
+    for method, label in METHODS:
+        literals, cpu = rows[method]
+        table_rows.append([
+            label,
+            "%.3f" % (literals / base_lit),
+            "%.3f" % (cpu / base_cpu),
+            literals,
+            "%.2fs" % cpu,
+        ])
+    text = format_table(
+        ["method", "LIT (norm)", "CPU (norm)", "LIT", "CPU"],
+        table_rows,
+        title="Table 1: ISF minimisation back-ends inside BREL "
+              "(normalised to ISOP+elim)")
+    publish("table1_isf_minimizers.txt", text)
+
+    # Shape claims: every method solves the suite; the selected ISOP
+    # pipeline is never beaten on literals by the generalized-cofactor or
+    # safe-minimisation back-ends (the paper's selection rationale).
+    for method, _ in METHODS:
+        assert rows[method][0] > 0
+    assert rows["constrain"][0] >= base_lit
+    assert rows["restrict"][0] >= base_lit
+    assert rows["licompact"][0] >= base_lit

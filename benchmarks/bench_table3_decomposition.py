@@ -1,0 +1,98 @@
+"""Table 3 — mux-latch decomposition on the ISCAS'89-style circuit suite.
+
+Two halves like the paper: delay-oriented (BREL cost = sum of squared BDD
+sizes; delay-mode mapping) and area-oriented (sum of BDD sizes; area-mode
+mapping).  Each half compares the baseline flow (algebraic + map) against
+the decomposed flow (mux-latch BR + algebraic + map, mux absorbed into the
+flip-flop).
+
+Shape claims from the paper:
+* delay mode: delay usually drops, sometimes significantly; area may grow
+  (the balancing tendency of the squared cost);
+* area mode: area drops on many circuits, with a few regressions
+  (the paper names s27/s349/s641/s1196);
+* CPU stays affordable.
+"""
+
+import pytest
+
+from repro.benchdata import CIRCUITS
+from repro.decompose import compare_flows
+
+from ._util import (bench_explored_limit, format_table, geometric_mean,
+                    publish)
+
+#: Full suite; trimmed via REPRO_BENCH_CIRCUITS=n if needed.
+import os
+
+_COUNT = int(os.environ.get("REPRO_BENCH_CIRCUITS", len(CIRCUITS)))
+SPECS = CIRCUITS[:_COUNT]
+
+
+def run_mode(mode: str):
+    rows = []
+    for spec in SPECS:
+        network = spec.build()
+        row = compare_flows(spec.name, network, mode=mode,
+                            max_explored=bench_explored_limit(50),
+                            max_support=10)
+        rows.append(row)
+    return rows
+
+
+def render(rows, mode):
+    table_rows = []
+    for row in rows:
+        table_rows.append([
+            row.name, row.num_inputs, row.num_outputs, row.num_latches,
+            "%.0f" % row.baseline.area, "%.2f" % row.baseline.delay,
+            "%.0f" % row.decomposed.area, "%.2f" % row.decomposed.delay,
+            "%.2f" % row.area_ratio, "%.2f" % row.delay_ratio,
+            "%d/%d" % (row.latches_decomposed, row.num_latches),
+            "%.2f" % row.decomposed.cpu_seconds,
+        ])
+    area_geo = geometric_mean([row.area_ratio for row in rows])
+    delay_geo = geometric_mean([row.delay_ratio for row in rows])
+    text = format_table(
+        ["name", "PI", "PO", "FF", "base A", "base D", "dec A", "dec D",
+         "A ratio", "D ratio", "dec FF", "CPU"],
+        table_rows,
+        title="Table 3 (%s cost): mux-latch decomposition, "
+              "BREL limited to %d BRs per next-state function"
+              % (mode, bench_explored_limit(50)))
+    text += ("\nGeomean ratios: area=%.3f delay=%.3f"
+             % (area_geo, delay_geo))
+    return text, area_geo, delay_geo
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_delay_cost(benchmark):
+    rows = benchmark.pedantic(run_mode, args=("delay",), rounds=1,
+                              iterations=1)
+    text, area_geo, delay_geo = render(rows, "delay")
+    publish("table3_delay.txt", text)
+    # Paper shape: the delay-oriented flow reduces delay on average, and
+    # on a clear majority of circuits.
+    assert delay_geo < 1.0
+    improved = sum(1 for row in rows if row.delay_ratio <= 1.0)
+    assert improved >= len(rows) * 0.6
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_area_cost(benchmark):
+    rows = benchmark.pedantic(run_mode, args=("area",), rounds=1,
+                              iterations=1)
+    text, area_geo, delay_geo = render(rows, "area")
+    publish("table3_area.txt", text)
+    # Paper shape: area improves on a set of circuits with regressions on
+    # others (the paper names s27/s349/s641/s1196 as regressions).  Our
+    # substrate rebuilds each cone from its collapsed two-level form,
+    # which weakens the average (see EXPERIMENTS.md): we check that a
+    # meaningful set of circuits still wins and the overall cost stays
+    # close to neutral.
+    improved = sum(1 for row in rows if row.area_ratio <= 1.0)
+    assert improved >= 5
+    assert area_geo <= 1.15
+    # Decomposition must touch most latches (supports are bounded).
+    assert sum(row.latches_decomposed for row in rows) >= \
+        0.7 * sum(row.num_latches for row in rows)

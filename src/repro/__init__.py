@@ -1,0 +1,62 @@
+"""repro — a reproduction of the BREL Boolean-relation solver.
+
+Baneres, Cortadella, Kishinevsky: *A Recursive Paradigm to Solve Boolean
+Relations* (DAC 2004; extended in IEEE Trans. Computers 58(4), 2009).
+
+The package is organised as layered subsystems (see DESIGN.md):
+
+* :mod:`repro.bdd` — hash-consed BDD engine (CUDD stand-in);
+* :mod:`repro.sop` — two-level cube/cover machinery;
+* :mod:`repro.core` — Boolean relations and the BREL solver;
+* :mod:`repro.baselines` — gyocro / Herb heuristic re-creations;
+* :mod:`repro.equations` — Boolean equation systems (paper §8);
+* :mod:`repro.network` — SIS-like logic networks, algebraic script,
+  technology mapping;
+* :mod:`repro.decompose` — the §10 logic-decomposition application;
+* :mod:`repro.benchdata` — seeded benchmark instances.
+
+Quickstart::
+
+    from repro import BooleanRelation, solve_relation
+
+    rows = [{0b01}, {0b01}, {0b00, 0b11}, {0b10, 0b11}]  # paper Fig. 1
+    relation = BooleanRelation.from_output_sets(rows, 2, 2)
+    result = solve_relation(relation)
+    print(result.solution.describe())
+"""
+
+from .bdd import Bdd, BddManager
+from .core import (BooleanRelation, BrelOptions, BrelResult, BrelSolver,
+                   Isf, Misf, NotWellDefinedError, Solution, SolverStats,
+                   bdd_size_cost, bdd_size_squared_cost, cube_count_cost,
+                   exact_solve, literal_count_cost, quick_solve,
+                   solve_exactly, solve_relation, weighted_cost)
+from .equations import BooleanEquation, BooleanSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Bdd",
+    "BddManager",
+    "BooleanEquation",
+    "BooleanRelation",
+    "BooleanSystem",
+    "BrelOptions",
+    "BrelResult",
+    "BrelSolver",
+    "Isf",
+    "Misf",
+    "NotWellDefinedError",
+    "Solution",
+    "SolverStats",
+    "bdd_size_cost",
+    "bdd_size_squared_cost",
+    "cube_count_cost",
+    "exact_solve",
+    "literal_count_cost",
+    "quick_solve",
+    "solve_exactly",
+    "solve_relation",
+    "weighted_cost",
+    "__version__",
+]

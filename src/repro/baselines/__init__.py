@@ -1,0 +1,15 @@
+"""Heuristic two-level baselines: gyocro [33] and Herb [18] re-creations."""
+
+from .gyocro import GyocroOptions, GyocroResult, GyocroStats, gyocro_solve
+from .herb import herb_solve
+from .mvcover import MvCover, MvCube
+
+__all__ = [
+    "GyocroOptions",
+    "GyocroResult",
+    "GyocroStats",
+    "MvCover",
+    "MvCube",
+    "gyocro_solve",
+    "herb_solve",
+]

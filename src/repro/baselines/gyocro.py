@@ -1,0 +1,202 @@
+"""A gyocro-style heuristic BR minimiser (reference [33] of the paper).
+
+gyocro seeds a multiple-output cover with the QuickSolver solution, then
+repeats the espresso loop — *reduce*, *expand*, *irredundant* — as long as
+the cost (number of product terms, then literals) decreases, checking each
+move against the relation instead of against a fixed ON/OFF pair.
+
+Every move here is generate-and-test: a candidate cover is accepted only
+if it still denotes a function compatible with the relation (checked
+exactly through the BDD characteristic function).  That keeps each local
+move sound while reproducing the structural weakness the paper's
+Section 9.1 demonstrates: cube-wise local search cannot leave certain
+basins (Fig. 10), because the output sets that need changing are not
+reachable through any single cube expansion or reduction.
+
+The Herb variant [18] (``single_literal_expand=True``, used by
+:mod:`repro.baselines.herb`) may raise at most one literal per cube per
+pass, the restriction the paper blames for Herb's longer runtimes and
+narrower search.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..core.quick import quick_solve
+from ..core.relation import BooleanRelation
+from ..core.solution import Solution
+from ..sop.cube import DASH, Cube
+from .mvcover import MvCover, MvCube
+
+
+@dataclass
+class GyocroOptions:
+    """Tuning of the reduce/expand/irredundant loop."""
+
+    max_iterations: int = 20
+    single_literal_expand: bool = False
+    expand_outputs: bool = True
+    initial: Optional[MvCover] = None
+
+
+@dataclass
+class GyocroStats:
+    iterations: int = 0
+    expansions: int = 0
+    reductions: int = 0
+    removals: int = 0
+    compatibility_checks: int = 0
+    runtime_seconds: float = 0.0
+
+
+@dataclass
+class GyocroResult:
+    solution: Solution
+    cover: MvCover
+    stats: GyocroStats
+
+
+class _Search:
+    """Mutable state of one gyocro run."""
+
+    def __init__(self, relation: BooleanRelation,
+                 options: GyocroOptions) -> None:
+        self.relation = relation
+        self.options = options
+        self.stats = GyocroStats()
+
+    def compatible(self, cover: MvCover) -> bool:
+        self.stats.compatibility_checks += 1
+        return cover.is_compatible(self.relation)
+
+    # -- moves ------------------------------------------------------------
+    def expand(self, cover: MvCover) -> MvCover:
+        """Raise input literals (and optionally output tags) greedily."""
+        current = cover.copy()
+        for index in range(len(current.cubes)):
+            cube = current.cubes[index]
+            raised_any = False
+            for position in range(current.num_inputs):
+                if cube.input_cube[position] == DASH:
+                    continue
+                candidate = MvCube(cube.input_cube.raise_var(position),
+                                   cube.outputs)
+                trial = current.copy()
+                trial.cubes[index] = candidate
+                if self.compatible(trial):
+                    current = trial
+                    cube = candidate
+                    self.stats.expansions += 1
+                    raised_any = True
+                    if self.options.single_literal_expand:
+                        break
+            if self.options.expand_outputs and not (
+                    self.options.single_literal_expand and raised_any):
+                for j in range(current.num_outputs):
+                    if j in cube.outputs:
+                        continue
+                    candidate = MvCube(cube.input_cube,
+                                       cube.outputs | {j})
+                    trial = current.copy()
+                    trial.cubes[index] = candidate
+                    if self.compatible(trial):
+                        current = trial
+                        cube = candidate
+                        self.stats.expansions += 1
+        return self._drop_contained(current)
+
+    def _drop_contained(self, cover: MvCover) -> MvCover:
+        """Single-cube containment on (input cube, output tags)."""
+        kept: List[MvCube] = []
+        order = sorted(cover.cubes,
+                       key=lambda c: (-c.input_cube.size(), -len(c.outputs)))
+        for cube in order:
+            contained = any(
+                other.input_cube.contains(cube.input_cube)
+                and cube.outputs <= other.outputs
+                for other in kept)
+            if not contained:
+                kept.append(cube)
+        return MvCover(cover.num_inputs, cover.num_outputs, kept)
+
+    def reduce(self, cover: MvCover) -> MvCover:
+        """Shrink each cube as far as compatibility allows (prep for expand)."""
+        current = cover.copy()
+        for index in range(len(current.cubes)):
+            changed = True
+            while changed:
+                changed = False
+                cube = current.cubes[index]
+                for position in range(current.num_inputs):
+                    if cube.input_cube[position] != DASH:
+                        continue
+                    for value in (0, 1):
+                        candidate = MvCube(
+                            cube.input_cube.set_var(position, value),
+                            cube.outputs)
+                        trial = current.copy()
+                        trial.cubes[index] = candidate
+                        if self.compatible(trial):
+                            current = trial
+                            self.stats.reductions += 1
+                            changed = True
+                            break
+                    if changed:
+                        break
+        return current
+
+    def irredundant(self, cover: MvCover) -> MvCover:
+        """Drop cubes whose removal keeps the cover compatible."""
+        current = cover.copy()
+        index = 0
+        while index < len(current.cubes):
+            trial = MvCover(current.num_inputs, current.num_outputs,
+                            [c for i, c in enumerate(current.cubes)
+                             if i != index])
+            if self.compatible(trial):
+                current = trial
+                self.stats.removals += 1
+            else:
+                index += 1
+        return current
+
+
+def gyocro_solve(relation: BooleanRelation,
+                 options: Optional[GyocroOptions] = None) -> GyocroResult:
+    """Minimise a well-defined BR with the gyocro-style heuristic."""
+    relation.require_well_defined()
+    options = options or GyocroOptions()
+    start = time.perf_counter()
+    search = _Search(relation, options)
+
+    if options.initial is not None:
+        cover = options.initial.copy()
+        if not search.compatible(cover):
+            raise ValueError("initial cover is not compatible with the "
+                             "relation")
+    else:
+        seed = quick_solve(relation)
+        cover = MvCover.from_functions(relation, seed.functions)
+
+    cover = search.irredundant(search.expand(cover))
+    best = cover
+    best_cost = best.cost()
+
+    for _ in range(options.max_iterations):
+        search.stats.iterations += 1
+        trial = search.reduce(best.copy())
+        trial = search.expand(trial)
+        trial = search.irredundant(trial)
+        cost = trial.cost()
+        if cost < best_cost:
+            best, best_cost = trial, cost
+        else:
+            break
+
+    search.stats.runtime_seconds = time.perf_counter() - start
+    cubes, literals = best_cost
+    solution = best.to_solution(relation, float(cubes * 1000 + literals))
+    return GyocroResult(solution, best, search.stats)

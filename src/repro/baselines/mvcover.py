@@ -1,0 +1,122 @@
+"""Multiple-output cube covers for the two-level relation heuristics.
+
+gyocro [33] and Herb [18] search over multiple-output SOP covers: each cube
+has an input part (a :class:`repro.sop.Cube`) and an output part (the set of
+outputs the cube feeds).  Output ``j`` of the cover is the disjunction of
+the input parts of the cubes whose output part contains ``j``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
+
+from ..bdd.isop import isop
+from ..bdd.manager import FALSE, BddManager
+from ..core.relation import BooleanRelation
+from ..core.solution import Solution
+from ..sop.cube import Cube
+
+
+@dataclass(frozen=True)
+class MvCube:
+    """One multiple-output product term."""
+
+    input_cube: Cube
+    outputs: FrozenSet[int]
+
+    def literal_count(self) -> int:
+        """Input literals (the conventional multiple-output SOP count)."""
+        return self.input_cube.literal_count()
+
+    def __str__(self) -> str:
+        tags = "".join("1" if j in self.outputs else "0"
+                       for j in range(max(self.outputs, default=-1) + 1))
+        return "%s |%s" % (self.input_cube, tags)
+
+
+class MvCover:
+    """A multiple-output cover over ``num_inputs`` / ``num_outputs``."""
+
+    def __init__(self, num_inputs: int, num_outputs: int,
+                 cubes: Iterable[MvCube] = ()) -> None:
+        self.num_inputs = num_inputs
+        self.num_outputs = num_outputs
+        self.cubes: List[MvCube] = []
+        for cube in cubes:
+            self.append(cube)
+
+    def append(self, cube: MvCube) -> None:
+        if cube.input_cube.width != self.num_inputs:
+            raise ValueError("input cube width mismatch")
+        if any(j < 0 or j >= self.num_outputs for j in cube.outputs):
+            raise ValueError("output tag out of range")
+        if cube.outputs:
+            self.cubes.append(cube)
+
+    def copy(self) -> "MvCover":
+        return MvCover(self.num_inputs, self.num_outputs, list(self.cubes))
+
+    def __len__(self) -> int:
+        return len(self.cubes)
+
+    def __iter__(self):
+        return iter(self.cubes)
+
+    def __str__(self) -> str:
+        return "\n".join(str(cube) for cube in self.cubes)
+
+    # -- metrics -----------------------------------------------------------
+    def cube_count(self) -> int:
+        return len(self.cubes)
+
+    def literal_count(self) -> int:
+        return sum(cube.literal_count() for cube in self.cubes)
+
+    def cost(self) -> Tuple[int, int]:
+        """The gyocro objective: cubes first, then literals."""
+        return (self.cube_count(), self.literal_count())
+
+    # -- semantics -----------------------------------------------------------
+    def function_nodes(self, relation: BooleanRelation) -> List[int]:
+        """Per-output BDD nodes of the cover over the relation's inputs."""
+        mgr = relation.mgr
+        nodes = [FALSE] * self.num_outputs
+        for cube in self.cubes:
+            literals = {relation.inputs[index]: polarity
+                        for index, polarity in
+                        cube.input_cube.literals().items()}
+            node = mgr.cube(literals)
+            for j in cube.outputs:
+                nodes[j] = mgr.or_(nodes[j], node)
+        return nodes
+
+    def is_compatible(self, relation: BooleanRelation) -> bool:
+        """Does the cover denote a solution of the relation?"""
+        return relation.is_compatible(self.function_nodes(relation))
+
+    def to_solution(self, relation: BooleanRelation, cost: float) -> Solution:
+        return Solution(relation.mgr,
+                        tuple(self.function_nodes(relation)), cost)
+
+    # -- construction from solutions -------------------------------------------
+    @staticmethod
+    def from_functions(relation: BooleanRelation,
+                       functions: Sequence[int]) -> "MvCover":
+        """ISOP each output and merge cubes with identical input parts."""
+        mgr = relation.mgr
+        position_of = {var: index
+                       for index, var in enumerate(relation.inputs)}
+        merged = {}
+        for j, func in enumerate(functions):
+            cover, _ = isop(mgr, func, func)
+            for cube in cover:
+                values = [2] * len(relation.inputs)
+                for var, polarity in cube.items():
+                    values[position_of[var]] = 1 if polarity else 0
+                key = tuple(values)
+                merged.setdefault(key, set()).add(j)
+        result = MvCover(len(relation.inputs), len(relation.outputs))
+        for values, outputs in sorted(merged.items()):
+            result.append(MvCube(Cube(list(values)), frozenset(outputs)))
+        return result

@@ -1,0 +1,41 @@
+"""Graphviz DOT export for BDDs (debugging / documentation aid)."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .manager import FALSE, TRUE, BddManager
+
+
+def to_dot(mgr: BddManager, roots: Sequence[int],
+           labels: Sequence[str] = ()) -> str:
+    """Render one or more BDD roots as a Graphviz digraph.
+
+    Dashed edges are 0-branches, solid edges 1-branches, following the
+    conventional BDD drawing style.
+    """
+    lines: List[str] = ["digraph bdd {", '  rankdir=TB;']
+    lines.append('  node0 [label="0", shape=box];')
+    lines.append('  node1 [label="1", shape=box];')
+    seen = set()
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        if node <= TRUE or node in seen:
+            continue
+        seen.add(node)
+        var = mgr.level(node)
+        lines.append('  node%d [label="%s", shape=circle];'
+                     % (node, mgr.var_name(var)))
+        lines.append('  node%d -> node%d [style=dashed];'
+                     % (node, mgr.low(node)))
+        lines.append('  node%d -> node%d;' % (node, mgr.high(node)))
+        stack.append(mgr.low(node))
+        stack.append(mgr.high(node))
+    for index, root in enumerate(roots):
+        label = labels[index] if index < len(labels) else "f%d" % index
+        lines.append('  root%d [label="%s", shape=plaintext];'
+                     % (index, label))
+        lines.append('  root%d -> node%d;' % (index, root))
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,204 @@
+"""Operator-overloaded handle over a BDD node.
+
+:class:`Bdd` pairs a node index with its owning :class:`BddManager` so that
+user code can write ``f & ~g | h`` instead of manager calls.  Handles are
+immutable and hashable; two handles compare equal iff they denote the same
+function in the same manager (hash-consing makes this an integer check).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from . import traversal
+from .manager import FALSE, TRUE, BddManager
+
+
+class Bdd:
+    """An immutable handle on a Boolean function stored in a manager."""
+
+    __slots__ = ("manager", "node")
+
+    def __init__(self, manager: BddManager, node: int) -> None:
+        self.manager = manager
+        self.node = node
+
+    # -- construction -------------------------------------------------
+    @staticmethod
+    def true(manager: BddManager) -> "Bdd":
+        """The constant TRUE function."""
+        return Bdd(manager, TRUE)
+
+    @staticmethod
+    def false(manager: BddManager) -> "Bdd":
+        """The constant FALSE function."""
+        return Bdd(manager, FALSE)
+
+    @staticmethod
+    def variable(manager: BddManager, index: int) -> "Bdd":
+        """The positive literal of variable ``index``."""
+        return Bdd(manager, manager.var(index))
+
+    # -- identity ------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Bdd):
+            return NotImplemented
+        return self.manager is other.manager and self.node == other.node
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash((id(self.manager), self.node))
+
+    def __bool__(self) -> bool:
+        raise TypeError(
+            "Bdd truthiness is ambiguous; use .is_true / .is_false or "
+            "compare against another Bdd")
+
+    def __repr__(self) -> str:
+        if self.node == TRUE:
+            return "Bdd(TRUE)"
+        if self.node == FALSE:
+            return "Bdd(FALSE)"
+        return "Bdd(node=%d, size=%d)" % (self.node, self.size())
+
+    # -- predicates ----------------------------------------------------
+    @property
+    def is_true(self) -> bool:
+        """True iff this is the constant TRUE function."""
+        return self.node == TRUE
+
+    @property
+    def is_false(self) -> bool:
+        """True iff this is the constant FALSE function."""
+        return self.node == FALSE
+
+    @property
+    def is_constant(self) -> bool:
+        """True for either constant function."""
+        return self.node <= TRUE
+
+    # -- connectives ----------------------------------------------------
+    def _wrap(self, node: int) -> "Bdd":
+        return Bdd(self.manager, node)
+
+    def _check(self, other: "Bdd") -> None:
+        if self.manager is not other.manager:
+            raise ValueError("cannot combine Bdds from different managers")
+
+    def __and__(self, other: "Bdd") -> "Bdd":
+        self._check(other)
+        return self._wrap(self.manager.and_(self.node, other.node))
+
+    def __or__(self, other: "Bdd") -> "Bdd":
+        self._check(other)
+        return self._wrap(self.manager.or_(self.node, other.node))
+
+    def __xor__(self, other: "Bdd") -> "Bdd":
+        self._check(other)
+        return self._wrap(self.manager.xor_(self.node, other.node))
+
+    def __invert__(self) -> "Bdd":
+        return self._wrap(self.manager.not_(self.node))
+
+    def __sub__(self, other: "Bdd") -> "Bdd":
+        """Set difference: ``self & ~other``."""
+        self._check(other)
+        return self._wrap(self.manager.diff(self.node, other.node))
+
+    def iff(self, other: "Bdd") -> "Bdd":
+        """Equivalence (XNOR)."""
+        self._check(other)
+        return self._wrap(self.manager.xnor_(self.node, other.node))
+
+    def ite(self, then_f: "Bdd", else_f: "Bdd") -> "Bdd":
+        """``self ? then_f : else_f``."""
+        self._check(then_f)
+        self._check(else_f)
+        return self._wrap(self.manager.ite(self.node, then_f.node,
+                                           else_f.node))
+
+    def implies(self, other: "Bdd") -> bool:
+        """Decide containment ``self <= other``."""
+        self._check(other)
+        return self.manager.implies(self.node, other.node)
+
+    def __le__(self, other: "Bdd") -> bool:
+        return self.implies(other)
+
+    def __ge__(self, other: "Bdd") -> bool:
+        return other.implies(self)
+
+    def __lt__(self, other: "Bdd") -> bool:
+        return self.implies(other) and self != other
+
+    def __gt__(self, other: "Bdd") -> bool:
+        return other.implies(self) and self != other
+
+    # -- cofactors / quantifiers -----------------------------------------
+    def cofactor(self, var: int, value: bool) -> "Bdd":
+        """Restrict one variable to a constant."""
+        return self._wrap(self.manager.cofactor(self.node, var, value))
+
+    def restrict_cube(self, assignment: Dict[int, bool]) -> "Bdd":
+        """Restrict several variables to constants."""
+        return self._wrap(self.manager.restrict_cube(self.node, assignment))
+
+    def exists(self, variables: Sequence[int]) -> "Bdd":
+        """Existential quantification."""
+        return self._wrap(self.manager.exists(self.node, variables))
+
+    def forall(self, variables: Sequence[int]) -> "Bdd":
+        """Universal quantification."""
+        return self._wrap(self.manager.forall(self.node, variables))
+
+    def compose(self, var: int, g: "Bdd") -> "Bdd":
+        """Substitute ``g`` for variable ``var``."""
+        self._check(g)
+        return self._wrap(self.manager.compose(self.node, var, g.node))
+
+    def vector_compose(self, substitution: Dict[int, "Bdd"]) -> "Bdd":
+        """Simultaneously substitute several variables."""
+        raw = {var: g.node for var, g in substitution.items()}
+        return self._wrap(self.manager.vector_compose(self.node, raw))
+
+    def permute(self, mapping: Dict[int, int]) -> "Bdd":
+        """Rename variables."""
+        return self._wrap(self.manager.permute(self.node, mapping))
+
+    # -- queries ---------------------------------------------------------
+    def support(self) -> Tuple[int, ...]:
+        """Variables this function depends on."""
+        return self.manager.support(self.node)
+
+    def size(self) -> int:
+        """Internal DAG node count (the paper's cost metric)."""
+        return self.manager.size(self.node)
+
+    def sat_count(self, variables: Sequence[int]) -> int:
+        """Number of satisfying assignments over ``variables``."""
+        return self.manager.sat_count(self.node, variables)
+
+    def eval(self, assignment: Dict[int, bool]) -> bool:
+        """Evaluate under an assignment covering the support."""
+        return self.manager.eval(self.node, assignment)
+
+    def shortest_cube(self) -> Optional[Dict[int, bool]]:
+        """Largest cube inside the function (fewest-literal BDD path)."""
+        return traversal.shortest_path_cube(self.manager, self.node)
+
+    def cubes(self) -> Iterator[Dict[int, bool]]:
+        """Iterate the disjoint path-cubes of the function."""
+        return traversal.iter_cubes(self.manager, self.node)
+
+    def minterms(self, variables: Sequence[int]) -> Iterator[int]:
+        """Iterate integer-encoded minterms over ``variables``."""
+        return self.manager.minterms(self.node, variables)
+
+    def truth_table(self, variables: Sequence[int]) -> List[bool]:
+        """Explicit truth table over ``variables`` (small inputs only)."""
+        return traversal.truth_table(self.manager, self.node, variables)

@@ -1,0 +1,596 @@
+"""Hash-consed Binary Decision Diagram manager.
+
+This module is the reproduction's stand-in for CUDD [5]: a reduced ordered
+BDD package with a unique table, a computed-table cache, and the operation
+set that the BREL solver needs (ITE-based Boolean connectives, cofactors,
+quantifiers, composition, permutation, SAT counting and structural metrics).
+
+Design notes
+------------
+* Nodes are identified by non-negative integers.  ``0`` and ``1`` are the
+  constant nodes FALSE and TRUE.  Because nodes are hash-consed (the unique
+  table guarantees one index per ``(var, low, high)`` triple), *semantic
+  equality of functions is integer equality of node indices*.
+* Variables are identified by their integer *level*; the variable order is
+  the creation order and is never changed at runtime (no sifting).  Callers
+  that care about the order — for example, the split-selection heuristic of
+  the paper's Section 7.4 picks "the first output in the BDD variable
+  order" — can rely on ``var index == level``.
+* There are no complement edges.  This costs a small constant factor but
+  keeps every algorithm directly comparable to its textbook statement.
+
+Only the manager lives here; the ergonomic operator-overloaded wrapper is
+:class:`repro.bdd.function.Bdd`.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: Node index of the constant FALSE function.
+FALSE = 0
+#: Node index of the constant TRUE function.
+TRUE = 1
+
+#: Sentinel level for the two terminal nodes; greater than any variable level.
+TERMINAL_LEVEL = 1 << 30
+
+# Operation tags for computed-table keys.  Plain ints keep tuple keys small.
+_OP_AND = 0
+_OP_XOR = 1
+_OP_NOT = 2
+_OP_ITE = 3
+_OP_EXISTS = 4
+_OP_FORALL = 5
+_OP_COMPOSE = 6
+_OP_PERMUTE = 7
+_OP_OR = 8
+_OP_COFACTOR = 9
+
+
+class BddManager:
+    """A reduced ordered BDD manager with hash-consing.
+
+    Parameters
+    ----------
+    var_names:
+        Optional initial variable names; further variables can be added with
+        :meth:`add_var`.
+
+    Examples
+    --------
+    >>> mgr = BddManager(["a", "b"])
+    >>> a, b = mgr.var(0), mgr.var(1)
+    >>> f = mgr.and_(a, mgr.not_(b))
+    >>> mgr.eval(f, {0: True, 1: False})
+    True
+    """
+
+    def __init__(self, var_names: Optional[Iterable[str]] = None) -> None:
+        # Parallel arrays for node fields; index == node id.
+        self._level: List[int] = [TERMINAL_LEVEL, TERMINAL_LEVEL]
+        self._low: List[int] = [FALSE, TRUE]
+        self._high: List[int] = [FALSE, TRUE]
+        self._unique: Dict[Tuple[int, int, int], int] = {}
+        self._cache: Dict[Tuple, int] = {}
+        self._var_nodes: List[int] = []
+        self._names: List[str] = []
+        if var_names is not None:
+            for name in var_names:
+                self.add_var(name)
+        # BDD recursion depth is bounded by the variable count, but ISOP /
+        # traversal helpers recurse through several managers' worth of
+        # frames; raise the interpreter limit once, defensively.
+        if sys.getrecursionlimit() < 100000:
+            sys.setrecursionlimit(100000)
+
+    # ------------------------------------------------------------------
+    # Variable handling
+    # ------------------------------------------------------------------
+    def add_var(self, name: Optional[str] = None) -> int:
+        """Create a fresh variable at the bottom of the order.
+
+        Returns the variable index (== its level in the fixed order).
+        """
+        index = len(self._var_nodes)
+        if name is None:
+            name = "v%d" % index
+        node = self._mk(index, FALSE, TRUE)
+        self._var_nodes.append(node)
+        self._names.append(name)
+        return index
+
+    def add_vars(self, count: int, prefix: str = "v") -> List[int]:
+        """Create ``count`` fresh variables named ``prefix0 .. prefixN``."""
+        return [self.add_var("%s%d" % (prefix, len(self._var_nodes)))
+                for _ in range(count)]
+
+    @property
+    def num_vars(self) -> int:
+        """Number of variables declared in this manager."""
+        return len(self._var_nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        """Total number of nodes ever created (terminals included)."""
+        return len(self._level)
+
+    def var(self, index: int) -> int:
+        """Return the node for the positive literal of variable ``index``."""
+        return self._var_nodes[index]
+
+    def nvar(self, index: int) -> int:
+        """Return the node for the negative literal of variable ``index``."""
+        return self.not_(self._var_nodes[index])
+
+    def var_name(self, index: int) -> str:
+        """Return the declared name of variable ``index``."""
+        return self._names[index]
+
+    def var_index_of_node(self, node: int) -> int:
+        """Return the variable labelling ``node`` (undefined for terminals)."""
+        return self._level[node]
+
+    def level(self, node: int) -> int:
+        """Return the level of ``node`` (``TERMINAL_LEVEL`` for constants)."""
+        return self._level[node]
+
+    def low(self, node: int) -> int:
+        """Return the 0-cofactor child of ``node``."""
+        return self._low[node]
+
+    def high(self, node: int) -> int:
+        """Return the 1-cofactor child of ``node``."""
+        return self._high[node]
+
+    def is_terminal(self, node: int) -> bool:
+        """True for the constant nodes FALSE and TRUE."""
+        return node <= TRUE
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+    def _mk(self, var: int, low: int, high: int) -> int:
+        """Find-or-create the node ``(var, low, high)`` (reduction applied)."""
+        if low == high:
+            return low
+        key = (var, low, high)
+        node = self._unique.get(key)
+        if node is None:
+            node = len(self._level)
+            self._level.append(var)
+            self._low.append(low)
+            self._high.append(high)
+            self._unique[key] = node
+        return node
+
+    def clear_caches(self) -> None:
+        """Drop the computed table (unique table is preserved)."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    # Core Boolean connectives
+    # ------------------------------------------------------------------
+    def not_(self, f: int) -> int:
+        """Complement of ``f``."""
+        if f == FALSE:
+            return TRUE
+        if f == TRUE:
+            return FALSE
+        key = (_OP_NOT, f)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._mk(self._level[f],
+                          self.not_(self._low[f]),
+                          self.not_(self._high[f]))
+        self._cache[key] = result
+        return result
+
+    def and_(self, f: int, g: int) -> int:
+        """Conjunction of ``f`` and ``g``."""
+        if f == g:
+            return f
+        if f == FALSE or g == FALSE:
+            return FALSE
+        if f == TRUE:
+            return g
+        if g == TRUE:
+            return f
+        if f > g:
+            f, g = g, f
+        key = (_OP_AND, f, g)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        level_f, level_g = self._level[f], self._level[g]
+        top = level_f if level_f < level_g else level_g
+        f0, f1 = (self._low[f], self._high[f]) if level_f == top else (f, f)
+        g0, g1 = (self._low[g], self._high[g]) if level_g == top else (g, g)
+        result = self._mk(top, self.and_(f0, g0), self.and_(f1, g1))
+        self._cache[key] = result
+        return result
+
+    def or_(self, f: int, g: int) -> int:
+        """Disjunction of ``f`` and ``g``."""
+        if f == g:
+            return f
+        if f == TRUE or g == TRUE:
+            return TRUE
+        if f == FALSE:
+            return g
+        if g == FALSE:
+            return f
+        if f > g:
+            f, g = g, f
+        key = (_OP_OR, f, g)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        level_f, level_g = self._level[f], self._level[g]
+        top = level_f if level_f < level_g else level_g
+        f0, f1 = (self._low[f], self._high[f]) if level_f == top else (f, f)
+        g0, g1 = (self._low[g], self._high[g]) if level_g == top else (g, g)
+        result = self._mk(top, self.or_(f0, g0), self.or_(f1, g1))
+        self._cache[key] = result
+        return result
+
+    def xor_(self, f: int, g: int) -> int:
+        """Exclusive-or of ``f`` and ``g``."""
+        if f == g:
+            return FALSE
+        if f == FALSE:
+            return g
+        if g == FALSE:
+            return f
+        if f == TRUE:
+            return self.not_(g)
+        if g == TRUE:
+            return self.not_(f)
+        if f > g:
+            f, g = g, f
+        key = (_OP_XOR, f, g)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        level_f, level_g = self._level[f], self._level[g]
+        top = level_f if level_f < level_g else level_g
+        f0, f1 = (self._low[f], self._high[f]) if level_f == top else (f, f)
+        g0, g1 = (self._low[g], self._high[g]) if level_g == top else (g, g)
+        result = self._mk(top, self.xor_(f0, g0), self.xor_(f1, g1))
+        self._cache[key] = result
+        return result
+
+    def xnor_(self, f: int, g: int) -> int:
+        """Equivalence (XNOR) of ``f`` and ``g``."""
+        return self.not_(self.xor_(f, g))
+
+    def implies(self, f: int, g: int) -> bool:
+        """Decide the inclusion ``f <= g`` (i.e. ``f & ~g == 0``)."""
+        return self.and_(f, self.not_(g)) == FALSE
+
+    def diff(self, f: int, g: int) -> int:
+        """Set difference ``f & ~g``."""
+        return self.and_(f, self.not_(g))
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else: ``(f & g) | (~f & h)``."""
+        if f == TRUE:
+            return g
+        if f == FALSE:
+            return h
+        if g == h:
+            return g
+        if g == TRUE and h == FALSE:
+            return f
+        if g == FALSE and h == TRUE:
+            return self.not_(f)
+        key = (_OP_ITE, f, g, h)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        level_f, level_g, level_h = (self._level[f], self._level[g],
+                                     self._level[h])
+        top = min(level_f, level_g, level_h)
+        f0, f1 = (self._low[f], self._high[f]) if level_f == top else (f, f)
+        g0, g1 = (self._low[g], self._high[g]) if level_g == top else (g, g)
+        h0, h1 = (self._low[h], self._high[h]) if level_h == top else (h, h)
+        result = self._mk(top, self.ite(f0, g0, h0), self.ite(f1, g1, h1))
+        self._cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Cofactors and quantification
+    # ------------------------------------------------------------------
+    def cofactor(self, f: int, var: int, value: bool) -> int:
+        """Restrict variable ``var`` of ``f`` to ``value`` (Definition 6.2)."""
+        if self._level[f] > var:
+            return f
+        key = (_OP_COFACTOR, f, var, value)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        level = self._level[f]
+        if level == var:
+            result = self._high[f] if value else self._low[f]
+        else:
+            result = self._mk(level,
+                              self.cofactor(self._low[f], var, value),
+                              self.cofactor(self._high[f], var, value))
+        self._cache[key] = result
+        return result
+
+    def restrict_cube(self, f: int, assignment: Dict[int, bool]) -> int:
+        """Restrict several variables at once; ``assignment`` maps var->value."""
+        result = f
+        for var, value in sorted(assignment.items()):
+            result = self.cofactor(result, var, value)
+        return result
+
+    def exists(self, f: int, variables: Iterable[int]) -> int:
+        """Existential abstraction of ``variables`` from ``f``."""
+        var_key = self._quant_key(variables)
+        if not var_key:
+            return f
+        return self._exists_rec(f, var_key, max(var_key))
+
+    def forall(self, f: int, variables: Iterable[int]) -> int:
+        """Universal abstraction of ``variables`` from ``f``."""
+        var_key = self._quant_key(variables)
+        if not var_key:
+            return f
+        return self.not_(self._exists_rec(self.not_(f), var_key,
+                                          max(var_key)))
+
+    @staticmethod
+    def _quant_key(variables: Iterable[int]) -> Tuple[int, ...]:
+        return tuple(sorted(set(variables)))
+
+    def _exists_rec(self, f: int, variables: Tuple[int, ...],
+                    max_var: int) -> int:
+        if f <= TRUE or self._level[f] > max_var:
+            return f
+        key = (_OP_EXISTS, f, variables)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        level = self._level[f]
+        low = self._exists_rec(self._low[f], variables, max_var)
+        high = self._exists_rec(self._high[f], variables, max_var)
+        if level in variables:
+            result = self.or_(low, high)
+        else:
+            result = self._mk(level, low, high)
+        self._cache[key] = result
+        return result
+
+    # ------------------------------------------------------------------
+    # Composition and permutation
+    # ------------------------------------------------------------------
+    def compose(self, f: int, var: int, g: int) -> int:
+        """Substitute function ``g`` for variable ``var`` inside ``f``."""
+        if self._level[f] > var:
+            return f
+        return self.ite(g, self.cofactor(f, var, True),
+                        self.cofactor(f, var, False))
+
+    def vector_compose(self, f: int, substitution: Dict[int, int]) -> int:
+        """Substitute several variables simultaneously.
+
+        ``substitution`` maps variable index to replacement node.  The
+        substitution is simultaneous: replacement functions are *not*
+        re-substituted.  This is implemented by a single bottom-up rebuild.
+        """
+        if not substitution:
+            return f
+        sub_key = tuple(sorted(substitution.items()))
+        memo: Dict[int, int] = {}
+
+        def rebuild(node: int) -> int:
+            if node <= TRUE:
+                return node
+            hit = memo.get(node)
+            if hit is not None:
+                return hit
+            level = self._level[node]
+            low = rebuild(self._low[node])
+            high = rebuild(self._high[node])
+            guard = substitution.get(level)
+            if guard is None:
+                guard = self._var_nodes[level]
+            result = self.ite(guard, high, low)
+            memo[node] = result
+            return result
+
+        key = (_OP_COMPOSE, f, sub_key)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        result = rebuild(f)
+        self._cache[key] = result
+        return result
+
+    def permute(self, f: int, mapping: Dict[int, int]) -> int:
+        """Rename variables of ``f`` according to ``mapping`` (var -> var).
+
+        The mapping must be injective on the support of ``f``; variables not
+        mentioned are left in place.
+        """
+        if not mapping:
+            return f
+        map_key = tuple(sorted(mapping.items()))
+        key = (_OP_PERMUTE, f, map_key)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        memo: Dict[int, int] = {}
+
+        def rebuild(node: int) -> int:
+            if node <= TRUE:
+                return node
+            hit = memo.get(node)
+            if hit is not None:
+                return hit
+            level = self._level[node]
+            target = mapping.get(level, level)
+            low = rebuild(self._low[node])
+            high = rebuild(self._high[node])
+            result = self.ite(self._var_nodes[target], high, low)
+            memo[node] = result
+            return result
+
+        result = rebuild(f)
+        self._cache[key] = result
+        return result
+
+    def swap_vars(self, f: int, var_a: int, var_b: int) -> int:
+        """Exchange two variables of ``f`` (used by symmetry detection)."""
+        return self.permute(f, {var_a: var_b, var_b: var_a})
+
+    # ------------------------------------------------------------------
+    # Structural queries
+    # ------------------------------------------------------------------
+    def support(self, f: int) -> Tuple[int, ...]:
+        """Return the sorted tuple of variables ``f`` depends on."""
+        seen = set()
+        variables = set()
+        stack = [f]
+        while stack:
+            node = stack.pop()
+            if node <= TRUE or node in seen:
+                continue
+            seen.add(node)
+            variables.add(self._level[node])
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return tuple(sorted(variables))
+
+    def size(self, f: int) -> int:
+        """Number of internal (non-terminal) DAG nodes of ``f``.
+
+        This is the paper's BDD-size cost metric (Section 7.3); the constant
+        functions have size 0.
+        """
+        seen = set()
+        stack = [f]
+        count = 0
+        while stack:
+            node = stack.pop()
+            if node <= TRUE or node in seen:
+                continue
+            seen.add(node)
+            count += 1
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return count
+
+    def shared_size(self, functions: Sequence[int]) -> int:
+        """DAG node count of a set of functions with sharing."""
+        seen = set()
+        stack = list(functions)
+        count = 0
+        while stack:
+            node = stack.pop()
+            if node <= TRUE or node in seen:
+                continue
+            seen.add(node)
+            count += 1
+            stack.append(self._low[node])
+            stack.append(self._high[node])
+        return count
+
+    def sat_count(self, f: int, variables: Sequence[int]) -> int:
+        """Number of satisfying assignments of ``f`` over ``variables``.
+
+        ``variables`` must be a superset of ``support(f)``.
+        """
+        total = len(set(variables))
+        memo: Dict[int, int] = {}
+
+        def count(node: int) -> int:
+            # With count(TRUE) = 2^total, halving once per internal node on a
+            # path leaves 2^(total - k) assignments for a path with k
+            # literals, which sums to the exact model count; skipped levels
+            # need no special handling.
+            if node == FALSE:
+                return 0
+            if node == TRUE:
+                return 1 << total
+            hit = memo.get(node)
+            if hit is None:
+                hit = (count(self._low[node]) + count(self._high[node])) >> 1
+                memo[node] = hit
+            return hit
+
+        return count(f)
+
+    def eval(self, f: int, assignment: Dict[int, bool]) -> bool:
+        """Evaluate ``f`` under a (complete-on-support) variable assignment."""
+        node = f
+        while node > TRUE:
+            if assignment[self._level[node]]:
+                node = self._high[node]
+            else:
+                node = self._low[node]
+        return node == TRUE
+
+    # ------------------------------------------------------------------
+    # Cube construction helpers
+    # ------------------------------------------------------------------
+    def cube(self, assignment: Dict[int, bool]) -> int:
+        """Build the conjunction of literals described by ``assignment``."""
+        result = TRUE
+        for var in sorted(assignment, reverse=True):
+            literal = (self._var_nodes[var] if assignment[var]
+                       else self.nvar(var))
+            result = self.and_(literal, result)
+        return result
+
+    def minterm(self, variables: Sequence[int], value: int) -> int:
+        """Build the minterm of ``variables`` encoded by integer ``value``.
+
+        Bit ``i`` of ``value`` gives the polarity of ``variables[i]``
+        (bit 0 == first variable in the sequence).
+        """
+        assignment = {var: bool((value >> i) & 1)
+                      for i, var in enumerate(variables)}
+        return self.cube(assignment)
+
+    def from_minterms(self, variables: Sequence[int],
+                      values: Iterable[int]) -> int:
+        """Disjunction of :meth:`minterm` over ``values``."""
+        result = FALSE
+        for value in values:
+            result = self.or_(result, self.minterm(variables, value))
+        return result
+
+    def minterms(self, f: int, variables: Sequence[int]) -> Iterator[int]:
+        """Yield the integer encodings of all minterms of ``f``.
+
+        ``variables`` must cover the support of ``f``; bit ``i`` of each
+        yielded value is the polarity of ``variables[i]``.
+        """
+        n = len(variables)
+        position = {var: i for i, var in enumerate(variables)}
+        var_levels = sorted(position)
+
+        def walk(node: int, index: int, acc: int) -> Iterator[int]:
+            if node == FALSE:
+                return
+            if index == len(var_levels):
+                yield acc
+                return
+            var = var_levels[index]
+            if node > TRUE and self._level[node] == var:
+                low, high = self._low[node], self._high[node]
+            else:
+                low = high = node
+            yield from walk(low, index + 1, acc)
+            yield from walk(high, index + 1, acc | (1 << position[var]))
+
+        if n == 0:
+            if f == TRUE:
+                yield 0
+            return
+        yield from walk(f, 0, 0)

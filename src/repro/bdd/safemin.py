@@ -1,0 +1,95 @@
+"""Safe BDD minimisation within a function interval.
+
+Stand-in for *LICompact* (Hong, Beerel, Burch, McMillan, "Safe BDD
+minimization using don't cares", DAC'97 — reference [19] of the paper).
+
+The published LICompact algorithm identifies compaction opportunities via
+"linear inequalities" over node reachability.  Re-deriving it exactly is out
+of scope; what Table 1 of the paper exercises is its *contract*:
+
+* the result stays inside the care interval ``[lower, upper]``;
+* minimisation is *safe* — the result is never larger than the input
+  representative.
+
+``squeeze`` below provides that contract through two local rules applied
+top-down, both classical safe-minimisation moves:
+
+1. **variable elimination** — if the interval ``[low_0 | low_1,
+   upp_0 & upp_1]`` is non-empty, the top variable is non-essential and is
+   dropped entirely;
+2. **sibling substitution** — if one branch's result also fits the other
+   branch's interval, reuse it for both, which merges the children.
+
+Both rules only ever merge nodes, hence the safety guarantee.  The
+substitution is documented in DESIGN.md (Section 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from .manager import FALSE, TRUE, BddManager
+
+
+def squeeze(mgr: BddManager, lower: int, upper: int) -> int:
+    """Return ``f`` with ``lower <= f <= upper`` and a small BDD.
+
+    Raises ``ValueError`` if the interval is empty (``lower`` not contained
+    in ``upper``).
+    """
+    if not mgr.implies(lower, upper):
+        raise ValueError("squeeze requires lower <= upper")
+    cache: Dict[Tuple[int, int], int] = {}
+
+    def rec(low: int, upp: int) -> int:
+        if low == upp:
+            return low
+        if low == FALSE and upp == TRUE:
+            # Unconstrained interval: pick the smaller constant, FALSE.
+            return FALSE
+        if upp == FALSE:
+            return FALSE
+        if low == TRUE:
+            return TRUE
+        key = (low, upp)
+        hit = cache.get(key)
+        if hit is not None:
+            return hit
+        var = min(mgr.level(low), mgr.level(upp))
+        low0 = mgr.cofactor(low, var, False)
+        low1 = mgr.cofactor(low, var, True)
+        upp0 = mgr.cofactor(upp, var, False)
+        upp1 = mgr.cofactor(upp, var, True)
+
+        merged_low = mgr.or_(low0, low1)
+        merged_upp = mgr.and_(upp0, upp1)
+        if mgr.implies(merged_low, merged_upp):
+            # Rule 1: the variable is non-essential over this interval.
+            result = rec(merged_low, merged_upp)
+        else:
+            r0 = rec(low0, upp0)
+            r1 = rec(low1, upp1)
+            # Rule 2: sibling substitution in both directions.
+            if r0 != r1:
+                if mgr.implies(low1, r0) and mgr.implies(r0, upp1):
+                    r1 = r0
+                elif mgr.implies(low0, r1) and mgr.implies(r1, upp0):
+                    r0 = r1
+            result = mgr.ite(mgr.var(var), r1, r0)
+        cache[key] = result
+        return result
+
+    result = rec(lower, upper)
+    # Enforce the safety guarantee: both interval endpoints are themselves
+    # valid implementations, so the returned function is never larger than
+    # the smaller of the two.
+    candidates = [(mgr.size(result), result),
+                  (mgr.size(lower), lower),
+                  (mgr.size(upper), upper)]
+    candidates.sort(key=lambda pair: pair[0])
+    return candidates[0][1]
+
+
+def minimize_with_squeeze(mgr: BddManager, on: int, dc: int) -> int:
+    """Pick an implementation of the ISF ``[on, on+dc]`` via :func:`squeeze`."""
+    return squeeze(mgr, on, mgr.or_(on, dc))

@@ -1,0 +1,132 @@
+"""Path- and cube-oriented BDD traversals.
+
+The BREL split heuristic (paper Section 7.4) extracts *the shortest path in
+the BDD* of the conflict set: the path with the fewest literals, i.e. the
+largest cube of adjacent conflicting vertices.  This module provides that
+extraction plus cube/minterm enumeration used by covers, printing, and the
+test oracles.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .manager import FALSE, TRUE, BddManager
+
+#: Cost placeholder for paths that cannot reach TRUE.
+_INFINITY = float("inf")
+
+
+def shortest_path_cube(mgr: BddManager, f: int) -> Optional[Dict[int, bool]]:
+    """Return the cube (var -> polarity) of the shortest root-to-TRUE path.
+
+    The *length* of a path is the number of variables it constrains, so the
+    returned cube is a largest cube contained in ``f``.  Returns ``None``
+    when ``f`` is unsatisfiable and the empty dict when ``f`` is TRUE.
+
+    Ties are broken deterministically: the 0-branch is preferred.
+    """
+    if f == FALSE:
+        return None
+    memo: Dict[int, Tuple[float, Optional[bool]]] = {}
+
+    def cost(node: int) -> float:
+        """Fewest literals needed from ``node`` to reach TRUE."""
+        if node == TRUE:
+            return 0
+        if node == FALSE:
+            return _INFINITY
+        hit = memo.get(node)
+        if hit is not None:
+            return hit[0]
+        low_cost = cost(mgr.low(node))
+        high_cost = cost(mgr.high(node))
+        if low_cost <= high_cost:
+            entry = (1 + low_cost, False)
+        else:
+            entry = (1 + high_cost, True)
+        memo[node] = entry
+        return entry[0]
+
+    cost(f)
+    cube: Dict[int, bool] = {}
+    node = f
+    while node > TRUE:
+        branch = memo[node][1]
+        cube[mgr.level(node)] = bool(branch)
+        node = mgr.high(node) if branch else mgr.low(node)
+    return cube
+
+
+def iter_cubes(mgr: BddManager, f: int) -> Iterator[Dict[int, bool]]:
+    """Yield every root-to-TRUE path of ``f`` as a cube (var -> polarity).
+
+    The cubes are disjoint (they follow distinct BDD paths) and their union
+    is exactly ``f``.  Variables skipped along a path do not appear in the
+    cube: they are don't-cares.
+    """
+    path: Dict[int, bool] = {}
+
+    def walk(node: int) -> Iterator[Dict[int, bool]]:
+        if node == FALSE:
+            return
+        if node == TRUE:
+            yield dict(path)
+            return
+        var = mgr.level(node)
+        path[var] = False
+        yield from walk(mgr.low(node))
+        path[var] = True
+        yield from walk(mgr.high(node))
+        del path[var]
+
+    yield from walk(f)
+
+
+def pick_minterm(mgr: BddManager, f: int,
+                 variables: Sequence[int]) -> Optional[Dict[int, bool]]:
+    """Return one satisfying full assignment over ``variables``, or None.
+
+    Unconstrained variables are set to ``False``; the choice is
+    deterministic (low branch explored first).
+    """
+    cube = shortest_path_cube(mgr, f)
+    if cube is None:
+        return None
+    return {var: cube.get(var, False) for var in variables}
+
+
+def cube_to_node(mgr: BddManager, cube: Dict[int, bool]) -> int:
+    """Build the BDD of a cube given as a var -> polarity mapping."""
+    return mgr.cube(cube)
+
+
+def count_paths(mgr: BddManager, f: int) -> int:
+    """Number of distinct root-to-TRUE paths (cubes in the path cover)."""
+    memo: Dict[int, int] = {TRUE: 1, FALSE: 0}
+
+    def walk(node: int) -> int:
+        hit = memo.get(node)
+        if hit is not None:
+            return hit
+        result = walk(mgr.low(node)) + walk(mgr.high(node))
+        memo[node] = result
+        return result
+
+    return walk(f)
+
+
+def truth_table(mgr: BddManager, f: int, variables: Sequence[int]) -> List[bool]:
+    """Explicit truth table of ``f`` over ``variables``.
+
+    Entry ``i`` holds ``f`` evaluated with bit ``j`` of ``i`` assigned to
+    ``variables[j]``.  Only usable for small variable counts; intended for
+    tests and pretty-printing.
+    """
+    n = len(variables)
+    table = []
+    for value in range(1 << n):
+        assignment = {var: bool((value >> j) & 1)
+                      for j, var in enumerate(variables)}
+        table.append(mgr.eval(f, assignment))
+    return table

@@ -1,0 +1,22 @@
+"""Benchmark instances: BR suite (Table 2) and circuits (Table 3)."""
+
+from .brgen import random_relation
+from .brsuite import (SUITE, BrInstance, build_suite, export_suite,
+                      instance_by_name)
+from .circuits import (CIRCUITS, S27_BLIF, CircuitSpec, build_circuits,
+                       circuit_by_name, synthetic_circuit)
+
+__all__ = [
+    "CIRCUITS",
+    "CircuitSpec",
+    "BrInstance",
+    "S27_BLIF",
+    "SUITE",
+    "build_circuits",
+    "build_suite",
+    "export_suite",
+    "circuit_by_name",
+    "instance_by_name",
+    "random_relation",
+    "synthetic_circuit",
+]

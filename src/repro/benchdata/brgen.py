@@ -1,0 +1,67 @@
+"""Seeded generators for well-defined Boolean relations.
+
+The paper's Table 2 benchmarks are the gyocro suite (int*, she*, b9, vtx,
+gr, …), whose original files are not redistributable here; DESIGN.md §4
+documents the substitution.  This generator produces well-defined BRs with
+two controlled properties that drive solver behaviour:
+
+* ``flexibility`` — the fraction of input vertices with more than one
+  permitted output vertex;
+* ``non_cube_fraction`` — among the flexible vertices, how many get an
+  output set that is *not* a cube, i.e. genuine BR flexibility that
+  don't-cares cannot express (the paper's Fig. 1 distinction).  These are
+  the vertices that can produce conflicts and splits in BREL.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Set
+
+from ..core.relation import BooleanRelation
+
+
+def _is_cube_set(outputs: Set[int], num_outputs: int) -> bool:
+    """Is a set of output vertices exactly the set covered by one cube?"""
+    if not outputs:
+        return False
+    fixed_mask = (1 << num_outputs) - 1
+    fixed_value = next(iter(outputs))
+    for value in outputs:
+        fixed_mask &= ~(fixed_value ^ value)
+    covered = 1 << bin(((1 << num_outputs) - 1) & ~fixed_mask).count("1")
+    return len(outputs) == covered and all(
+        (value & fixed_mask) == (fixed_value & fixed_mask)
+        for value in outputs)
+
+
+def random_output_set(rng: random.Random, num_outputs: int,
+                      non_cube: bool) -> Set[int]:
+    """A random non-empty output set, optionally guaranteed non-cube."""
+    space = 1 << num_outputs
+    for _ in range(64):
+        size = rng.randint(2, max(2, min(space, 4)))
+        outputs = set(rng.sample(range(space), min(size, space)))
+        if non_cube and not _is_cube_set(outputs, num_outputs):
+            return outputs
+        if not non_cube and _is_cube_set(outputs, num_outputs):
+            return outputs
+    # Fallbacks: a guaranteed non-cube pair / a guaranteed cube.
+    if non_cube and num_outputs >= 1 and space >= 3:
+        return {0, space - 1} if num_outputs > 1 else {0, 1}
+    return {rng.randrange(space)}
+
+
+def random_relation(num_inputs: int, num_outputs: int, seed: int,
+                    flexibility: float = 0.5,
+                    non_cube_fraction: float = 0.5) -> BooleanRelation:
+    """A seeded, well-defined random BR with controlled flexibility."""
+    rng = random.Random(seed)
+    rows: List[Set[int]] = []
+    for _ in range(1 << num_inputs):
+        if rng.random() < flexibility:
+            non_cube = rng.random() < non_cube_fraction
+            rows.append(random_output_set(rng, num_outputs, non_cube))
+        else:
+            rows.append({rng.randrange(1 << num_outputs)})
+    return BooleanRelation.from_output_sets(rows, num_inputs, num_outputs)

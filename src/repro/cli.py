@@ -1,0 +1,152 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``      solve a Boolean-relation file (PLA dialect, see
+               :mod:`repro.core.relio`) and print the solution.
+``decompose``  run the mux-latch decomposition flow on a BLIF netlist and
+               report baseline-vs-decomposed area/delay.
+``map``        technology-map a BLIF netlist and print the gate report.
+``bench-info`` list the bundled benchmark instances.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.brel import BrelOptions, BrelSolver
+from .core.cost import (bdd_size_cost, bdd_size_squared_cost,
+                        cube_count_cost, literal_count_cost)
+from .core.relio import load_relation
+
+#: CLI names for the cost functions of paper Section 7.3.
+COSTS = {
+    "size": bdd_size_cost,
+    "size2": bdd_size_squared_cost,
+    "cubes": cube_count_cost,
+    "literals": literal_count_cost,
+}
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    relation = load_relation(args.relation)
+    options = BrelOptions(
+        cost_function=COSTS[args.cost],
+        mode=args.mode,
+        max_explored=args.max_explored,
+        symmetry_pruning=args.symmetries,
+        time_limit_seconds=args.time_limit,
+    )
+    result = BrelSolver(options).solve(relation)
+    solution = result.solution
+    print("# inputs=%d outputs=%d pairs=%d"
+          % (len(relation.inputs), len(relation.outputs),
+             relation.pair_count()))
+    print("# cost=%.0f explored=%d splits=%d runtime=%.3fs"
+          % (solution.cost, result.stats.relations_explored,
+             result.stats.splits, result.stats.runtime_seconds))
+    print(solution.describe())
+    compatible = relation.is_compatible(solution.functions)
+    print("# compatible=%s" % compatible)
+    return 0 if compatible else 1
+
+
+def _cmd_decompose(args: argparse.Namespace) -> int:
+    from .decompose.flow import run_baseline, run_decomposed
+    from .network.blif import parse_blif
+
+    with open(args.blif, "r", encoding="ascii") as handle:
+        network = parse_blif(handle.read())
+    baseline = run_baseline(network, args.objective)
+    decomposed, stats = run_decomposed(
+        network, args.objective, max_explored=args.max_explored)
+    print("circuit %s: %d PI, %d PO, %d FF"
+          % (network.name, len(network.inputs), len(network.outputs),
+             len(network.latches)))
+    print("baseline:   area %8.1f  delay %6.2f  (%.2fs)"
+          % (baseline.area, baseline.delay, baseline.cpu_seconds))
+    print("decomposed: area %8.1f  delay %6.2f  (%.2fs, %d/%d latches)"
+          % (decomposed.area, decomposed.delay, decomposed.cpu_seconds,
+             stats.latches_decomposed, stats.latches_total))
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    from .network.algebraic import algebraic_script
+    from .network.blif import parse_blif
+    from .network.delay import gate_report
+    from .network.mapping import map_network
+
+    with open(args.blif, "r", encoding="ascii") as handle:
+        network = parse_blif(handle.read())
+    if args.script:
+        network = algebraic_script(network)
+    result = map_network(network, mode=args.objective)
+    print(gate_report(result))
+    return 0
+
+
+def _cmd_bench_info(args: argparse.Namespace) -> int:
+    from .benchdata.brsuite import SUITE
+    from .benchdata.circuits import CIRCUITS
+
+    print("Boolean-relation suite (Table 2 scale):")
+    for instance in SUITE:
+        print("  %-6s %d inputs, %d outputs" % (
+            instance.name, instance.num_inputs, instance.num_outputs))
+    print("Circuit suite (Table 3 scale):")
+    for spec in CIRCUITS:
+        print("  %-6s %2d PI, %2d PO, %2d FF" % (
+            spec.name, spec.num_inputs, spec.num_outputs,
+            spec.num_latches))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BREL: a recursive Boolean-relation solver "
+                    "(DAC'04 / IEEE TC'09 reproduction)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    solve = commands.add_parser("solve", help="solve a relation file")
+    solve.add_argument("relation", help="PLA-dialect relation file")
+    solve.add_argument("--cost", choices=sorted(COSTS), default="size")
+    solve.add_argument("--mode", choices=["bfs", "dfs"], default="bfs")
+    solve.add_argument("--max-explored", type=int, default=10)
+    solve.add_argument("--symmetries", action="store_true")
+    solve.add_argument("--time-limit", type=float, default=None)
+    solve.set_defaults(func=_cmd_solve)
+
+    decompose = commands.add_parser(
+        "decompose", help="mux-latch decomposition flow on a BLIF netlist")
+    decompose.add_argument("blif")
+    decompose.add_argument("--objective", choices=["area", "delay"],
+                           default="delay")
+    decompose.add_argument("--max-explored", type=int, default=50)
+    decompose.set_defaults(func=_cmd_decompose)
+
+    map_cmd = commands.add_parser("map", help="technology-map a netlist")
+    map_cmd.add_argument("blif")
+    map_cmd.add_argument("--objective", choices=["area", "delay"],
+                         default="area")
+    map_cmd.add_argument("--script", action="store_true",
+                         help="run the algebraic script first")
+    map_cmd.set_defaults(func=_cmd_map)
+
+    info = commands.add_parser("bench-info",
+                               help="list bundled benchmark instances")
+    info.set_defaults(func=_cmd_bench_info)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,68 @@
+"""The paper's primary contribution: Boolean relations and the BREL solver."""
+
+from .brel import BrelOptions, BrelResult, BrelSolver, solve_exactly, solve_relation
+from .cost import (bdd_size_cost, bdd_size_squared_cost, cube_count_cost,
+                   literal_count_cost, shared_bdd_size_cost, weighted_cost)
+from .exact import (assignment_to_functions, count_compatible_functions,
+                    enumerate_compatible_functions, exact_solve)
+from .isf import Isf, Misf
+from .minimize import (MINIMIZERS, eliminate_nonessential_variables,
+                       get_minimizer, minimize_constrain, minimize_exact_cubes,
+                       minimize_isop, minimize_isop_no_elimination,
+                       minimize_licompact, minimize_restrict, solve_misf)
+from .quick import quick_solve
+from .relation import BooleanRelation, NotWellDefinedError
+from .relio import (RelationFormatError, load_relation, parse_relation,
+                    save_relation, write_relation)
+from .solution import Solution, SolverStats
+from .split import SplitChoice, select_split, select_split_from_conflicts
+from .symmetry import (E, NE, SymmetryCache, output_symmetries,
+                       symmetric_images)
+
+__all__ = [
+    "BrelOptions",
+    "BrelResult",
+    "BrelSolver",
+    "BooleanRelation",
+    "E",
+    "Isf",
+    "MINIMIZERS",
+    "Misf",
+    "NE",
+    "NotWellDefinedError",
+    "Solution",
+    "SolverStats",
+    "SplitChoice",
+    "SymmetryCache",
+    "assignment_to_functions",
+    "bdd_size_cost",
+    "bdd_size_squared_cost",
+    "count_compatible_functions",
+    "cube_count_cost",
+    "eliminate_nonessential_variables",
+    "enumerate_compatible_functions",
+    "exact_solve",
+    "get_minimizer",
+    "literal_count_cost",
+    "minimize_constrain",
+    "minimize_exact_cubes",
+    "minimize_isop",
+    "minimize_isop_no_elimination",
+    "minimize_licompact",
+    "minimize_restrict",
+    "output_symmetries",
+    "parse_relation",
+    "load_relation",
+    "save_relation",
+    "write_relation",
+    "RelationFormatError",
+    "quick_solve",
+    "select_split",
+    "select_split_from_conflicts",
+    "shared_bdd_size_cost",
+    "solve_exactly",
+    "solve_misf",
+    "solve_relation",
+    "symmetric_images",
+    "weighted_cost",
+]

@@ -1,0 +1,279 @@
+"""BREL: the recursive Boolean-relation solver (paper Fig. 6).
+
+The solver reduces the binate covering problem of solving a BR to a
+sequence of unate MISF minimisations:
+
+1. project the relation to its covering MISF and minimise each output
+   independently;
+2. if the composed function is compatible, record it;
+3. otherwise pick a conflict vertex and an output (Section 7.4) and
+   *split* the relation into two strictly smaller well-defined relations
+   (Definition 5.4, Theorem 5.2) that partition the solution space
+   (Property 5.4);
+4. recurse under branch-and-bound pruning: a candidate whose relaxed-MISF
+   cost already exceeds the best known solution cannot improve any
+   descendant (Fig. 6, line 6).
+
+Two exploration strategies are provided:
+
+* ``mode="dfs"`` — the literal recursion of Fig. 6.  With an exact ISF
+  minimiser and no exploration bound this is the paper's *exact mode*
+  (Section 7.6).
+* ``mode="bfs"`` — the heuristic of Section 7.2: subrelations go through a
+  *bounded FIFO*; QuickSolver runs on every dequeued relation so a
+  compatible solution always exists no matter how aggressively the bound
+  truncates the tree; breadth-first order diversifies the exploration and
+  enables the hill-climbing behaviour Section 9 credits for beating
+  gyocro.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Optional, Tuple
+
+from ..bdd.manager import FALSE
+from .cost import CostFunction, bdd_size_cost
+from .minimize import IsfMinimizer, minimize_isop, solve_misf
+from .quick import quick_solve
+from .relation import BooleanRelation
+from .solution import Solution, SolverStats
+from .split import select_split_from_conflicts
+from .symmetry import SymmetryCache
+
+
+@dataclass
+class BrelOptions:
+    """Tuning knobs of the solver (paper Sections 6.3 and 7).
+
+    Attributes
+    ----------
+    cost_function:
+        The user-defined objective (Section 7.3).
+    minimizer:
+        ISF minimisation back-end (Section 7.5 / Table 1).
+    mode:
+        ``"bfs"`` (heuristic, bounded FIFO — the mode used for all the
+        paper's experiments) or ``"dfs"`` (the literal Fig. 6 recursion).
+    max_explored:
+        Maximum number of subrelations dequeued/visited; ``None`` means
+        unbounded.  Table 2 uses 10, Table 3 uses 200.
+    fifo_capacity:
+        Bound on the BFS frontier (Section 7.2).  ``None`` = unbounded.
+    quick_on_subrelations:
+        Run QuickSolver on every explored subrelation (Section 7.2
+        guarantees at least one solution per subrelation; also the source
+        of solution diversity).  BFS mode only.
+    symmetry_pruning / symmetry_max_depth:
+        Enable the Section 7.7 symmetric-relation cache, limited to the
+        first ``symmetry_max_depth`` levels of the tree.
+    time_limit_seconds:
+        Wall-clock budget; the search stops (keeping the best solution so
+        far) once exceeded.  This is the paper's "stop after a runtime
+        time-out" completion criterion (§6.3, §7.6).  ``None`` = no limit.
+    """
+
+    cost_function: CostFunction = bdd_size_cost
+    minimizer: IsfMinimizer = minimize_isop
+    mode: str = "bfs"
+    max_explored: Optional[int] = 10
+    fifo_capacity: Optional[int] = 64
+    quick_on_subrelations: bool = True
+    symmetry_pruning: bool = False
+    symmetry_max_depth: int = 2
+    time_limit_seconds: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("bfs", "dfs"):
+            raise ValueError("mode must be 'bfs' or 'dfs'")
+        if (self.time_limit_seconds is not None
+                and self.time_limit_seconds < 0):
+            raise ValueError("time_limit_seconds must be non-negative")
+
+
+@dataclass
+class BrelResult:
+    """Best solution found plus run statistics."""
+
+    solution: Solution
+    stats: SolverStats
+
+
+class BrelSolver:
+    """The recursive BR solver.  See module docstring for the algorithm."""
+
+    def __init__(self, options: Optional[BrelOptions] = None) -> None:
+        self.options = options or BrelOptions()
+        self._deadline: Optional[float] = None
+
+    def _out_of_time(self) -> bool:
+        return (self._deadline is not None
+                and time.perf_counter() > self._deadline)
+
+    # ------------------------------------------------------------------
+    def solve(self, relation: BooleanRelation) -> BrelResult:
+        """Solve a well-defined relation; raises if it is not left-total."""
+        relation.require_well_defined()
+        start = time.perf_counter()
+        self._deadline = (start + self.options.time_limit_seconds
+                          if self.options.time_limit_seconds is not None
+                          else None)
+        stats = SolverStats()
+        options = self.options
+
+        # Initial solution: QuickSolver guarantees one compatible function
+        # exists before any pruning can truncate the search (§7.2).
+        best = quick_solve(relation, options.minimizer,
+                           options.cost_function)
+        stats.quick_solutions += 1
+
+        symmetry = (SymmetryCache(relation, options.symmetry_max_depth)
+                    if options.symmetry_pruning else None)
+
+        if options.mode == "dfs":
+            best = self._solve_dfs(relation, best, stats, symmetry)
+        else:
+            best = self._solve_bfs(relation, best, stats, symmetry)
+
+        stats.runtime_seconds = time.perf_counter() - start
+        return BrelResult(best, stats)
+
+    # ------------------------------------------------------------------
+    def _evaluate(self, relation: BooleanRelation, stats: SolverStats
+                  ) -> Tuple[Solution, int]:
+        """Minimise the covering MISF; return the candidate and conflicts."""
+        functions = tuple(solve_misf(relation.misf(),
+                                     self.options.minimizer))
+        stats.misf_minimizations += 1
+        cost = self.options.cost_function(relation.mgr, functions)
+        conflicts = relation.conflict_inputs(functions)
+        return Solution(relation.mgr, functions, cost), conflicts
+
+    def _children(self, relation: BooleanRelation, conflicts: int,
+                  stats: SolverStats
+                  ) -> Tuple[BooleanRelation, BooleanRelation]:
+        choice = select_split_from_conflicts(relation, conflicts)
+        stats.splits += 1
+        return relation.split(choice.vertex_dict(), choice.position)
+
+    # ------------------------------------------------------------------
+    def _solve_dfs(self, relation: BooleanRelation, best: Solution,
+                   stats: SolverStats,
+                   symmetry: Optional[SymmetryCache]) -> Solution:
+        options = self.options
+
+        def rec(current: BooleanRelation, depth: int) -> None:
+            nonlocal best
+            if self._out_of_time():
+                return
+            if (options.max_explored is not None
+                    and stats.relations_explored >= options.max_explored):
+                return
+            stats.relations_explored += 1
+
+            if current.is_function():
+                functions = tuple(current.function_vector())
+                cost = options.cost_function(current.mgr, functions)
+                if cost < best.cost:
+                    best = Solution(current.mgr, functions, cost)
+                    stats.compatible_found += 1
+                return
+
+            candidate, conflicts = self._evaluate(current, stats)
+            if candidate.cost >= best.cost:
+                stats.cost_prunes += 1
+                return
+            if conflicts == FALSE:
+                best = candidate
+                stats.compatible_found += 1
+                return
+            left, right = self._children(current, conflicts, stats)
+            for child in (left, right):
+                if symmetry is not None and symmetry.should_prune(
+                        child, depth + 1):
+                    stats.symmetry_prunes += 1
+                    continue
+                rec(child, depth + 1)
+
+        rec(relation, 0)
+        return best
+
+    # ------------------------------------------------------------------
+    def _solve_bfs(self, relation: BooleanRelation, best: Solution,
+                   stats: SolverStats,
+                   symmetry: Optional[SymmetryCache]) -> Solution:
+        options = self.options
+        frontier: Deque[Tuple[BooleanRelation, int]] = deque()
+        frontier.append((relation, 0))
+
+        while frontier:
+            if self._out_of_time():
+                break
+            if (options.max_explored is not None
+                    and stats.relations_explored >= options.max_explored):
+                break
+            current, depth = frontier.popleft()
+            stats.relations_explored += 1
+
+            if current.is_function():
+                functions = tuple(current.function_vector())
+                cost = options.cost_function(current.mgr, functions)
+                if cost < best.cost:
+                    best = Solution(current.mgr, functions, cost)
+                    stats.compatible_found += 1
+                continue
+
+            # §7.2: every subrelation gets a quick compatible solution so
+            # that truncating the frontier can never lose solvability, and
+            # the BFS diversity turns QuickSolver into a hill climber.
+            if options.quick_on_subrelations and depth > 0:
+                quick = quick_solve(current, options.minimizer,
+                                    options.cost_function)
+                stats.quick_solutions += 1
+                if quick.cost < best.cost:
+                    best = quick
+                    stats.compatible_found += 1
+
+            candidate, conflicts = self._evaluate(current, stats)
+            if candidate.cost >= best.cost:
+                stats.cost_prunes += 1
+                continue
+            if conflicts == FALSE:
+                best = candidate
+                stats.compatible_found += 1
+                continue
+            left, right = self._children(current, conflicts, stats)
+            for child in (left, right):
+                if symmetry is not None and symmetry.should_prune(
+                        child, depth + 1):
+                    stats.symmetry_prunes += 1
+                    continue
+                if (options.fifo_capacity is not None
+                        and len(frontier) >= options.fifo_capacity):
+                    stats.frontier_overflow += 1
+                    continue
+                frontier.append((child, depth + 1))
+        return best
+
+
+def solve_relation(relation: BooleanRelation,
+                   options: Optional[BrelOptions] = None) -> BrelResult:
+    """Convenience wrapper: solve with default (or given) options."""
+    return BrelSolver(options).solve(relation)
+
+
+def solve_exactly(relation: BooleanRelation,
+                  cost_function: CostFunction = bdd_size_cost,
+                  minimizer: IsfMinimizer = minimize_isop) -> BrelResult:
+    """Run BREL in exhaustive DFS mode (paper's exact mode, §7.6).
+
+    Exactness holds modulo the ISF minimiser, exactly as in the paper; for
+    a ground-truth optimum on tiny relations use
+    :func:`repro.core.exact.exact_solve`.
+    """
+    options = BrelOptions(cost_function=cost_function, minimizer=minimizer,
+                          mode="dfs", max_explored=None,
+                          fifo_capacity=None)
+    return BrelSolver(options).solve(relation)

@@ -1,0 +1,109 @@
+"""Incompletely specified functions (ISFs) and vectors thereof (MISFs).
+
+Paper Definitions 4.4 and 4.5: an ISF is a function ``B^n -> {0, 1, *}``
+characterised by its ON / OFF / DC sets, equivalently by the interval of
+Boolean functions ``[ON, ON + DC]``.  An MISF is a vector of ISFs sharing
+the input space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..bdd.manager import FALSE, TRUE, BddManager
+
+
+@dataclass(frozen=True)
+class Isf:
+    """An ISF as the interval ``[on, on | dc]`` of BDD nodes.
+
+    Attributes
+    ----------
+    mgr:
+        Owning BDD manager.
+    on, dc:
+        ON-set and DC-set characteristic functions (disjoint by
+        construction).  The OFF set is the complement of their union.
+    inputs:
+        The input variables the ISF ranges over (used by minimisers that
+        need the full input space, e.g. for support reduction).
+    """
+
+    mgr: BddManager
+    on: int
+    dc: int
+    inputs: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.mgr.and_(self.on, self.dc) != FALSE:
+            raise ValueError("ISF ON and DC sets must be disjoint")
+
+    @property
+    def upper(self) -> int:
+        """The maximum implementation ``on | dc``."""
+        return self.mgr.or_(self.on, self.dc)
+
+    @property
+    def off(self) -> int:
+        """The OFF-set characteristic function."""
+        return self.mgr.not_(self.upper)
+
+    @property
+    def is_completely_specified(self) -> bool:
+        """True when the DC set is empty (a plain Boolean function)."""
+        return self.dc == FALSE
+
+    def admits(self, function: int) -> bool:
+        """Is ``function`` an implementation (``on <= function <= upper``)?"""
+        return (self.mgr.implies(self.on, function)
+                and self.mgr.implies(function, self.upper))
+
+    def value_at(self, assignment) -> str:
+        """Return ``'0'``, ``'1'`` or ``'-'`` at a full input assignment."""
+        if self.mgr.eval(self.on, assignment):
+            return "1"
+        if self.mgr.eval(self.dc, assignment):
+            return "-"
+        return "0"
+
+    def with_interval(self, lower: int, upper: int) -> "Isf":
+        """Build an ISF from interval endpoints instead of (on, dc) sets."""
+        return Isf(self.mgr, lower, self.mgr.diff(upper, lower), self.inputs)
+
+    @staticmethod
+    def from_interval(mgr: BddManager, lower: int, upper: int,
+                      inputs: Sequence[int]) -> "Isf":
+        """Construct from the interval ``[lower, upper]``."""
+        if not mgr.implies(lower, upper):
+            raise ValueError("ISF interval requires lower <= upper")
+        return Isf(mgr, lower, mgr.diff(upper, lower), tuple(inputs))
+
+
+class Misf:
+    """A multiple-output ISF: a vector of ISFs over a shared input space."""
+
+    def __init__(self, components: Sequence[Isf]) -> None:
+        if not components:
+            raise ValueError("an MISF needs at least one component")
+        managers = {isf.mgr for isf in components}
+        if len(managers) != 1:
+            raise ValueError("MISF components must share one manager")
+        self.components: List[Isf] = list(components)
+        self.mgr: BddManager = components[0].mgr
+
+    def __len__(self) -> int:
+        return len(self.components)
+
+    def __iter__(self):
+        return iter(self.components)
+
+    def __getitem__(self, index: int) -> Isf:
+        return self.components[index]
+
+    def admits(self, functions: Sequence[int]) -> bool:
+        """Pointwise interval membership of a function vector."""
+        if len(functions) != len(self.components):
+            raise ValueError("function vector arity mismatch")
+        return all(isf.admits(func)
+                   for isf, func in zip(self.components, functions))

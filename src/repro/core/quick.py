@@ -1,0 +1,57 @@
+"""QuickSolver: the naive sequential BR solver (paper Fig. 4).
+
+Minimises each output in order using the full flexibility still available,
+then propagates the chosen function back into the relation before handling
+the next output.  Fast but order-dependent: early outputs consume the
+flexibility, late outputs inherit little (Example 6.1 / Fig. 5) — the
+weakness that motivates the recursive paradigm.
+
+Within BREL it plays two roles (paper §7.2): the initial solution, and a
+guaranteed compatible solution for every subrelation dequeued from the
+bounded BFS frontier.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from .cost import CostFunction, bdd_size_cost
+from .minimize import IsfMinimizer, minimize_isop
+from .relation import BooleanRelation
+from .solution import Solution
+
+
+def quick_solve(relation: BooleanRelation,
+                minimizer: IsfMinimizer = minimize_isop,
+                cost_function: CostFunction = bdd_size_cost,
+                output_order: Optional[Sequence[int]] = None) -> Solution:
+    """Solve a well-defined BR with the sequential heuristic of Fig. 4.
+
+    Parameters
+    ----------
+    output_order:
+        Optional permutation of output positions; the paper notes the
+        result depends on this order, which makes it a useful experiment
+        knob.
+
+    Returns a :class:`Solution` that is always compatible with the
+    relation (the projection of a well-defined relation is a valid ISF
+    and constraining by an implementation keeps the relation well
+    defined).
+    """
+    relation.require_well_defined()
+    positions = list(output_order) if output_order is not None else list(
+        range(len(relation.outputs)))
+    if sorted(positions) != list(range(len(relation.outputs))):
+        raise ValueError("output_order must permute the output positions")
+
+    current = relation
+    chosen: List[Optional[int]] = [None] * len(relation.outputs)
+    for position in positions:
+        isf = current.project(position)
+        function = minimizer(isf)
+        chosen[position] = function
+        current = current.restrict_output(position, function)
+    functions = tuple(func for func in chosen if func is not None)
+    cost = cost_function(relation.mgr, functions)
+    return Solution(relation.mgr, functions, cost)

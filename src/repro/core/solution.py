@@ -1,0 +1,101 @@
+"""Solution and statistics containers for the relation solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bdd.isop import isop
+from ..bdd.manager import BddManager
+
+
+@dataclass
+class Solution:
+    """A multiple-output function produced by a solver.
+
+    Attributes
+    ----------
+    mgr:
+        Owning BDD manager.
+    functions:
+        One BDD node per relation output.
+    cost:
+        Value of the solver's cost function on ``functions``.
+    """
+
+    mgr: BddManager
+    functions: Tuple[int, ...]
+    cost: float
+
+    @property
+    def num_outputs(self) -> int:
+        return len(self.functions)
+
+    def bdd_sizes(self) -> List[int]:
+        """Per-output BDD sizes."""
+        return [self.mgr.size(func) for func in self.functions]
+
+    def sop_covers(self) -> List[List[Dict[int, bool]]]:
+        """Per-output irredundant SOP covers of the exact functions."""
+        return [isop(self.mgr, func, func)[0] for func in self.functions]
+
+    def cube_count(self) -> int:
+        """Total ISOP cubes across outputs (paper Table 2 column CB)."""
+        return sum(len(cover) for cover in self.sop_covers())
+
+    def literal_count(self) -> int:
+        """Total ISOP literals across outputs (paper Table 2 column LIT)."""
+        return sum(sum(len(cube) for cube in cover)
+                   for cover in self.sop_covers())
+
+    def describe(self, output_names: Optional[Sequence[str]] = None) -> str:
+        """Human-readable SOP rendering of each output function."""
+        lines = []
+        for position, cover in enumerate(self.sop_covers()):
+            name = (output_names[position] if output_names
+                    else "f%d" % position)
+            if not cover:
+                lines.append("%s = 0" % name)
+                continue
+            terms = []
+            for cube in cover:
+                if not cube:
+                    terms.append("1")
+                    continue
+                literals = []
+                for var in sorted(cube):
+                    var_name = self.mgr.var_name(var)
+                    literals.append(var_name if cube[var]
+                                    else var_name + "'")
+                terms.append("".join(literals))
+            lines.append("%s = %s" % (name, " + ".join(terms)))
+        return "\n".join(lines)
+
+
+@dataclass
+class SolverStats:
+    """Counters describing one solver run (useful for the benchmarks)."""
+
+    relations_explored: int = 0
+    misf_minimizations: int = 0
+    splits: int = 0
+    cost_prunes: int = 0
+    symmetry_prunes: int = 0
+    quick_solutions: int = 0
+    compatible_found: int = 0
+    frontier_overflow: int = 0
+    runtime_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for table printing."""
+        return {
+            "relations_explored": self.relations_explored,
+            "misf_minimizations": self.misf_minimizations,
+            "splits": self.splits,
+            "cost_prunes": self.cost_prunes,
+            "symmetry_prunes": self.symmetry_prunes,
+            "quick_solutions": self.quick_solutions,
+            "compatible_found": self.compatible_found,
+            "frontier_overflow": self.frontier_overflow,
+            "runtime_seconds": self.runtime_seconds,
+        }

@@ -1,0 +1,118 @@
+"""Output-variable symmetries and the processed-relation cache (§7.7).
+
+Two output variables are *non-equivalence* (NE) symmetric in a relation
+when swapping them leaves the characteristic function unchanged
+(``R|y_i=0,y_j=1 == R|y_i=1,y_j=0``) and *equivalence* (E) symmetric when
+the double complement does (``R|y_i=0,y_j=0 == R|y_i=1,y_j=1``).
+
+BREL uses symmetries to prune the branch-and-bound tree: two subrelations
+that are images of each other under a symmetry of the *original* relation
+have solution sets of identical cost (for any cost function invariant
+under renaming outputs, which the BDD-size family is), so only one branch
+needs exploring.  Following the paper's implementation decisions:
+
+* only **output** variables are considered;
+* only the relation-preserving (non-skew) transform types generate cache
+  probes — the skew types complement the characteristic function, which
+  does not map a relation to an equivalent relation-solving problem;
+* the check is applied only near the top of the recursion
+  (``max_depth``), because deep subrelations are cheap to solve directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from ..bdd.manager import BddManager
+from .relation import BooleanRelation
+
+#: Symmetry kinds detected for an output pair.
+NE = "nonequivalence"
+E = "equivalence"
+
+
+def output_symmetries(relation: BooleanRelation
+                      ) -> List[Tuple[int, int, str]]:
+    """Detect first-order symmetric output pairs of a relation.
+
+    Returns triples ``(i, j, kind)`` over output *positions* with
+    ``i < j`` and ``kind`` in {:data:`NE`, :data:`E`}.
+    """
+    mgr = relation.mgr
+    node = relation.node
+    result: List[Tuple[int, int, str]] = []
+    outputs = relation.outputs
+    for i in range(len(outputs)):
+        for j in range(i + 1, len(outputs)):
+            vi, vj = outputs[i], outputs[j]
+            f00 = mgr.cofactor(mgr.cofactor(node, vi, False), vj, False)
+            f01 = mgr.cofactor(mgr.cofactor(node, vi, False), vj, True)
+            f10 = mgr.cofactor(mgr.cofactor(node, vi, True), vj, False)
+            f11 = mgr.cofactor(mgr.cofactor(node, vi, True), vj, True)
+            if f01 == f10:
+                result.append((i, j, NE))
+            if f00 == f11:
+                result.append((i, j, E))
+    return result
+
+
+def symmetric_images(relation: BooleanRelation,
+                     pairs: Sequence[Tuple[int, int, str]]) -> Set[int]:
+    """Characteristic-function nodes of all single-pair symmetric images.
+
+    For an NE pair the image swaps the two output variables; for an E pair
+    it swaps them with complementation (``y_i := ~y_j, y_j := ~y_i``).
+    """
+    mgr = relation.mgr
+    images: Set[int] = set()
+    for i, j, kind in pairs:
+        vi, vj = relation.outputs[i], relation.outputs[j]
+        if kind == NE:
+            images.add(mgr.swap_vars(relation.node, vi, vj))
+        else:
+            images.add(mgr.vector_compose(relation.node, {
+                vi: mgr.not_(mgr.var(vj)),
+                vj: mgr.not_(mgr.var(vi)),
+            }))
+    images.discard(relation.node)
+    return images
+
+
+class SymmetryCache:
+    """Cache of processed relations, probed through symmetry transforms.
+
+    The cache records characteristic-function node ids (hash-consing makes
+    node identity function identity).  ``should_prune`` answers whether an
+    equivalent relation was already processed, and records the new one
+    otherwise.
+    """
+
+    def __init__(self, original: BooleanRelation, max_depth: int = 2) -> None:
+        self.pairs = output_symmetries(original)
+        self.max_depth = max_depth
+        self._seen: Set[int] = set()
+        self.probes = 0
+        self.hits = 0
+
+    @property
+    def has_symmetries(self) -> bool:
+        return bool(self.pairs)
+
+    def should_prune(self, relation: BooleanRelation, depth: int) -> bool:
+        """True when a symmetric image of ``relation`` was processed.
+
+        Beyond ``max_depth`` the check is skipped entirely (the paper's
+        "symmetries are only explored during the initial recursions").
+        """
+        if not self.pairs or depth > self.max_depth:
+            return False
+        self.probes += 1
+        if relation.node in self._seen:
+            self.hits += 1
+            return True
+        for image in symmetric_images(relation, self.pairs):
+            if image in self._seen:
+                self.hits += 1
+                return True
+        self._seen.add(relation.node)
+        return False

@@ -1,0 +1,163 @@
+"""Cut flexibility: the paper's Section 1 motivating application.
+
+    "Given a cut in the network, the flexibility of the nodes at the cut
+     can be specified with a BR.  E.g., if the cut contains two nodes
+     y1, y2 that reconverge to an AND gate and for a given primary vector
+     the output of the AND gate must be 0, then the flexibility at y1, y2
+     is {00, 01, 10}."
+
+Given a logic network and a set of internal nodes (the *cut*), this module
+builds the Boolean relation of all joint re-implementations of those nodes
+that preserve every combinational output:
+
+    R(X, Y) = AND over roots r of ( r(X, Y) == r(X) )
+
+where ``r(X, Y)`` re-evaluates root ``r`` with the cut nodes replaced by
+free variables ``Y``.  The relation is well defined by construction (the
+original node functions are a compatible assignment), usually *not* an
+MISF (joint flexibility!), and can be handed to BREL to resynthesise the
+cut under any cost function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..bdd.isop import isop
+from ..bdd.manager import FALSE, TRUE, BddManager
+from ..core.brel import BrelOptions, BrelResult, solve_relation
+from ..core.relation import BooleanRelation
+from ..network.netlist import LogicNetwork
+from ..sop.cover import Cover
+from ..sop.cube import DASH, Cube
+
+
+class CutError(ValueError):
+    """Raised on invalid cuts (unknown nodes, leaves, or cyclic usage)."""
+
+
+def _collapse_with_cut(network: LogicNetwork, cut: Sequence[str]
+                       ) -> Tuple[BddManager, Dict[str, int],
+                                  Dict[str, int], Dict[str, int],
+                                  Dict[str, int]]:
+    """Collapse the frame twice: normally, and with cut nodes freed.
+
+    Returns (mgr, leaf_vars, cut_vars, original_roots, freed_roots).
+    """
+    cut_set = set(cut)
+    for name in cut:
+        if name not in network.nodes:
+            raise CutError("cut member %r is not an internal node" % name)
+    leaves = network.combinational_inputs()
+    mgr = BddManager(leaves + ["cut_%s" % name for name in cut])
+    leaf_vars = {name: index for index, name in enumerate(leaves)}
+    cut_vars = {name: len(leaves) + index
+                for index, name in enumerate(cut)}
+
+    def collapse(free_cut: bool) -> Dict[str, int]:
+        values: Dict[str, int] = {name: mgr.var(var)
+                                  for name, var in leaf_vars.items()}
+        for name in network.topological_order():
+            node = network.nodes[name]
+            total = FALSE
+            for cube in node.cover:
+                term = TRUE
+                for position, value in enumerate(cube.values):
+                    if value == 2:
+                        continue
+                    fanin = values[node.fanins[position]]
+                    literal = fanin if value == 1 else mgr.not_(fanin)
+                    term = mgr.and_(term, literal)
+                total = mgr.or_(total, term)
+            if free_cut and name in cut_set:
+                values[name] = mgr.var(cut_vars[name])
+            else:
+                values[name] = total
+        return values
+
+    original = collapse(free_cut=False)
+    freed = collapse(free_cut=True)
+    roots = network.combinational_outputs()
+    original_roots = {name: original[name] for name in roots}
+    freed_roots = {name: freed[name] for name in roots}
+    return mgr, leaf_vars, cut_vars, original_roots, freed_roots
+
+
+def cut_flexibility_relation(network: LogicNetwork, cut: Sequence[str]
+                             ) -> Tuple[BooleanRelation, Dict[str, int]]:
+    """The BR of all joint re-implementations of the cut nodes.
+
+    Returns ``(relation, cut_vars)`` where the relation's inputs are the
+    frame leaves and its outputs are fresh variables, one per cut node
+    (``cut_vars`` maps node name -> variable index).
+
+    Note: a cut node that (transitively) feeds another cut node
+    contributes its *freed* variable to the other's cone, which captures
+    the joint flexibility correctly; the resynthesised functions returned
+    by :func:`resynthesize_cut` are expressed over the leaves only.
+    """
+    if not cut:
+        raise CutError("the cut is empty")
+    mgr, leaf_vars, cut_vars, original_roots, freed_roots = \
+        _collapse_with_cut(network, cut)
+    node = TRUE
+    for name, original in original_roots.items():
+        node = mgr.and_(node, mgr.xnor_(freed_roots[name], original))
+    relation = BooleanRelation(mgr, sorted(leaf_vars.values()),
+                               [cut_vars[name] for name in cut], node)
+    return relation, cut_vars
+
+
+@dataclass
+class CutResynthesis:
+    """Result of resynthesising a cut through its flexibility BR."""
+
+    network: LogicNetwork
+    relation: BooleanRelation
+    brel: BrelResult
+    literals_before: int
+    literals_after: int
+
+
+def resynthesize_cut(network: LogicNetwork, cut: Sequence[str],
+                     options: Optional[BrelOptions] = None
+                     ) -> CutResynthesis:
+    """Re-implement the cut nodes with a BREL-chosen compatible function.
+
+    The new node functions are materialised as ISOP covers over the frame
+    leaves (their support may differ from the original fanins — that is
+    the point).  Output behaviour is preserved by construction; the
+    rewritten network is validated and swept.
+    """
+    relation, cut_vars = cut_flexibility_relation(network, cut)
+    result = solve_relation(relation, options)
+    mgr = relation.mgr
+    leaves = network.combinational_inputs()
+    var_to_leaf = {index: name for index, name in enumerate(leaves)}
+
+    rewritten = network.copy()
+    for position, name in enumerate(cut):
+        func = result.solution.functions[position]
+        cover, _ = isop(mgr, func, func)
+        fanins = sorted({var_to_leaf[var] for cube in cover
+                         for var in cube})
+        index_of = {leaf: i for i, leaf in enumerate(fanins)}
+        cubes = []
+        for cube in cover:
+            values = [DASH] * len(fanins)
+            for var, polarity in cube.items():
+                values[index_of[var_to_leaf[var]]] = 1 if polarity else 0
+            cubes.append(Cube(values))
+        node = rewritten.nodes[name]
+        node.fanins = fanins
+        node.cover = Cover(len(fanins), cubes)
+    rewritten.sweep_dangling()
+    rewritten.validate()
+    return CutResynthesis(
+        network=rewritten,
+        relation=relation,
+        brel=result,
+        literals_before=network.literal_count(),
+        literals_after=rewritten.literal_count(),
+    )

@@ -1,0 +1,113 @@
+"""End-to-end evaluation flows for Table 3.
+
+Baseline:    algebraic script → technology mapping.
+Decomposed:  mux-latch BR decomposition → algebraic script → mapping of
+             the evaluation frame (mux absorbed into the flip-flop).
+
+Both sides share every stage except the decomposition itself, so the
+area/delay *ratios* isolate the BR contribution — the quantity the
+paper's Table 3 reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..network.algebraic import algebraic_script
+from ..network.library import Gate
+from ..network.mapping import map_network
+from ..network.netlist import LogicNetwork
+from .muxlatch import (MuxLatchResult, MuxLatchStats, decompose_mux_latches,
+                       evaluation_frame)
+
+
+@dataclass
+class FlowMetrics:
+    """Mapped area/delay plus runtime for one flow variant."""
+
+    area: float
+    delay: float
+    cpu_seconds: float
+
+
+@dataclass
+class ComparisonRow:
+    """One Table 3 row: baseline vs decomposed for a circuit."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    num_latches: int
+    baseline: FlowMetrics
+    decomposed: FlowMetrics
+    latches_decomposed: int
+
+    @property
+    def area_ratio(self) -> float:
+        if self.baseline.area == 0:
+            return 1.0
+        return self.decomposed.area / self.baseline.area
+
+    @property
+    def delay_ratio(self) -> float:
+        if self.baseline.delay == 0:
+            return 1.0
+        return self.decomposed.delay / self.baseline.delay
+
+
+def run_baseline(network: LogicNetwork, mode: str,
+                 library: Optional[Sequence[Gate]] = None) -> FlowMetrics:
+    """Algebraic script + mapping, no decomposition."""
+    start = time.perf_counter()
+    optimised = algebraic_script(network)
+    mapped = map_network(optimised, library, mode=mode)
+    return FlowMetrics(mapped.area, mapped.delay,
+                       time.perf_counter() - start)
+
+
+def run_decomposed(network: LogicNetwork, mode: str,
+                   library: Optional[Sequence[Gate]] = None,
+                   max_explored: int = 200,
+                   max_support: int = 12,
+                   symmetry_pruning: bool = False
+                   ) -> Tuple[FlowMetrics, MuxLatchStats]:
+    """Mux-latch decomposition + algebraic script + mapping.
+
+    ``mode`` selects both the BREL cost function ("delay" = sum of squared
+    BDD sizes) and the mapper objective, mirroring the paper's two
+    Table 3 halves.  Returns the metrics and the decomposition stats.
+    """
+    start = time.perf_counter()
+    decomposed = decompose_mux_latches(network, cost=mode,
+                                       max_explored=max_explored,
+                                       max_support=max_support,
+                                       symmetry_pruning=symmetry_pruning)
+    frame = evaluation_frame(decomposed)
+    optimised = algebraic_script(frame)
+    mapped = map_network(optimised, library, mode=mode)
+    metrics = FlowMetrics(mapped.area, mapped.delay,
+                          time.perf_counter() - start)
+    return metrics, decomposed.stats
+
+
+def compare_flows(name: str, network: LogicNetwork, mode: str,
+                  library: Optional[Sequence[Gate]] = None,
+                  max_explored: int = 200,
+                  max_support: int = 12,
+                  symmetry_pruning: bool = False) -> ComparisonRow:
+    """Produce one Table 3 row for a circuit."""
+    baseline = run_baseline(network, mode, library)
+    decomposed, stats = run_decomposed(
+        network, mode, library, max_explored=max_explored,
+        max_support=max_support, symmetry_pruning=symmetry_pruning)
+    return ComparisonRow(
+        name=name,
+        num_inputs=len(network.inputs),
+        num_outputs=len(network.outputs),
+        num_latches=len(network.latches),
+        baseline=baseline,
+        decomposed=decomposed,
+        latches_decomposed=stats.latches_decomposed,
+    )

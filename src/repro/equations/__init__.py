@@ -1,0 +1,24 @@
+"""Solving systems of Boolean equations through BRs (paper Section 8)."""
+
+from .ast import And, Const, Expr, Not, Or, Var, Xor
+from .lowenheim import instantiate, lowenheim_general_solution
+from .parser import ParseError, parse_equation, parse_expression, tokenize
+from .system import BooleanEquation, BooleanSystem
+
+__all__ = [
+    "And",
+    "BooleanEquation",
+    "BooleanSystem",
+    "Const",
+    "Expr",
+    "Not",
+    "Or",
+    "ParseError",
+    "Var",
+    "Xor",
+    "instantiate",
+    "lowenheim_general_solution",
+    "parse_equation",
+    "parse_expression",
+    "tokenize",
+]

@@ -1,0 +1,119 @@
+"""Boolean expression AST used by the equation solver (paper Section 8)."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+from ..bdd.manager import FALSE, TRUE, BddManager
+
+
+class Expr:
+    """Base class of Boolean expressions."""
+
+    def to_bdd(self, mgr: BddManager, env: Dict[str, int]) -> int:
+        """Evaluate to a BDD node; ``env`` maps variable name -> node."""
+        raise NotImplementedError
+
+    def variables(self) -> FrozenSet[str]:
+        """The set of variable names appearing in the expression."""
+        raise NotImplementedError
+
+    # Operator sugar so expressions compose programmatically too.
+    def __and__(self, other: "Expr") -> "Expr":
+        return And(self, other)
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Or(self, other)
+
+    def __xor__(self, other: "Expr") -> "Expr":
+        return Xor(self, other)
+
+    def __invert__(self) -> "Expr":
+        return Not(self)
+
+
+class Const(Expr):
+    """The constants 0 and 1."""
+
+    def __init__(self, value: bool) -> None:
+        self.value = bool(value)
+
+    def to_bdd(self, mgr: BddManager, env: Dict[str, int]) -> int:
+        return TRUE if self.value else FALSE
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def __repr__(self) -> str:
+        return "1" if self.value else "0"
+
+
+class Var(Expr):
+    """A named variable."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def to_bdd(self, mgr: BddManager, env: Dict[str, int]) -> int:
+        try:
+            return env[self.name]
+        except KeyError:
+            raise ValueError("unbound variable %r" % self.name) from None
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset({self.name})
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+class Not(Expr):
+    def __init__(self, operand: Expr) -> None:
+        self.operand = operand
+
+    def to_bdd(self, mgr: BddManager, env: Dict[str, int]) -> int:
+        return mgr.not_(self.operand.to_bdd(mgr, env))
+
+    def variables(self) -> FrozenSet[str]:
+        return self.operand.variables()
+
+    def __repr__(self) -> str:
+        return "%r'" % self.operand
+
+
+class _Binary(Expr):
+    symbol = "?"
+
+    def __init__(self, left: Expr, right: Expr) -> None:
+        self.left = left
+        self.right = right
+
+    def variables(self) -> FrozenSet[str]:
+        return self.left.variables() | self.right.variables()
+
+    def __repr__(self) -> str:
+        return "(%r %s %r)" % (self.left, self.symbol, self.right)
+
+
+class And(_Binary):
+    symbol = "*"
+
+    def to_bdd(self, mgr: BddManager, env: Dict[str, int]) -> int:
+        return mgr.and_(self.left.to_bdd(mgr, env),
+                        self.right.to_bdd(mgr, env))
+
+
+class Or(_Binary):
+    symbol = "+"
+
+    def to_bdd(self, mgr: BddManager, env: Dict[str, int]) -> int:
+        return mgr.or_(self.left.to_bdd(mgr, env),
+                       self.right.to_bdd(mgr, env))
+
+
+class Xor(_Binary):
+    symbol = "^"
+
+    def to_bdd(self, mgr: BddManager, env: Dict[str, int]) -> int:
+        return mgr.xor_(self.left.to_bdd(mgr, env),
+                        self.right.to_bdd(mgr, env))

@@ -1,0 +1,78 @@
+"""Löwenheim's formula: parametric general solutions (paper Definition 8.2).
+
+Given a consistent system with characteristic function ``IE(X, Y)`` and any
+particular solution ``u(X)``, Löwenheim's formula produces a *general*
+solution — a parametric function vector that ranges over exactly the
+particular solutions as its parameters range over all functions::
+
+    y_i(X, P) = IE(X, P) * p_i  +  ~IE(X, P) * u_i(X)
+
+i.e. use the parameter word ``P`` wherever it happens to satisfy the
+system, and fall back to ``u`` elsewhere.  The paper cites this (via
+Brown [9]) as the standard route from one particular solution to all of
+them; we include it as the natural completion of Section 8.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..bdd.manager import BddManager
+from .system import BooleanSystem
+
+
+def lowenheim_general_solution(system: BooleanSystem,
+                               particular: Dict[str, int]
+                               ) -> Tuple[Dict[str, int], List[int]]:
+    """Build the parametric general solution from a particular one.
+
+    Parameters
+    ----------
+    system:
+        The (consistent) Boolean system.
+    particular:
+        A particular solution mapping dependent names to BDD nodes.
+
+    Returns
+    -------
+    (general, parameter_vars):
+        ``general`` maps each dependent name to a node over the
+        independent *and* parameter variables; ``parameter_vars`` lists the
+        fresh parameter variable indices (one per dependent, order matches
+        ``system.dependents``).
+    """
+    if not system.is_solution(particular):
+        raise ValueError("the given functions are not a particular solution")
+    mgr = system.mgr
+    parameters = [mgr.add_var("p_%s" % name) for name in system.dependents]
+
+    # IE evaluated on the parameter word: substitute y_i := p_i.
+    y_vars = list(range(len(system.independents),
+                        len(system.independents) + len(system.dependents)))
+    substitution = {y_var: mgr.var(parameters[i])
+                    for i, y_var in enumerate(y_vars)}
+    ie_on_params = mgr.vector_compose(system.characteristic(), substitution)
+
+    general = {}
+    for index, name in enumerate(system.dependents):
+        p = mgr.var(parameters[index])
+        u = particular[name]
+        general[name] = mgr.ite(ie_on_params, p, u)
+    return general, parameters
+
+
+def instantiate(system: BooleanSystem, general: Dict[str, int],
+                parameter_vars: Sequence[int],
+                parameter_functions: Sequence[int]) -> Dict[str, int]:
+    """Substitute concrete functions for the parameters.
+
+    ``parameter_functions[i]`` (a node over the independents) replaces
+    parameter ``parameter_vars[i]``; the result is a concrete candidate
+    solution vector.
+    """
+    mgr = system.mgr
+    if len(parameter_vars) != len(parameter_functions):
+        raise ValueError("one function per parameter required")
+    substitution = dict(zip(parameter_vars, parameter_functions))
+    return {name: mgr.vector_compose(node, substitution)
+            for name, node in general.items()}

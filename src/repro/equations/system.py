@@ -1,0 +1,172 @@
+"""Systems of Boolean equations solved through Boolean relations (§8).
+
+The pipeline follows the paper exactly:
+
+1. each equation ``P ⊙ Q`` (⊙ ∈ {=, ⊆}) is turned into a characteristic
+   equation ``T = 1`` via Property 8.1 (``T = P ⊙ Q`` as XNOR / implication);
+2. the system reduces to the single equation ``IE = ∧ T_i = 1``
+   (Theorem 8.1);
+3. consistency is the left-totality of ``IE`` read as a relation from the
+   independent to the dependent variables (Property 8.2);
+4. an optimised *particular solution* is obtained by handing that relation
+   to BREL.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bdd.manager import TRUE, BddManager
+from ..core.brel import BrelOptions, BrelResult, solve_relation
+from ..core.relation import BooleanRelation
+from .ast import Expr
+from .parser import parse_equation
+
+
+@dataclass(frozen=True)
+class BooleanEquation:
+    """One equation ``lhs op rhs`` with ``op`` in {"==", "<="}."""
+
+    lhs: Expr
+    rhs: Expr
+    op: str = "=="
+
+    def __post_init__(self) -> None:
+        if self.op not in ("==", "<="):
+            raise ValueError("op must be '==' or '<='")
+
+    @staticmethod
+    def parse(text: str) -> "BooleanEquation":
+        lhs, rhs, op = parse_equation(text)
+        return BooleanEquation(lhs, rhs, op)
+
+    def characteristic(self, mgr: BddManager, env: Dict[str, int]) -> int:
+        """``T`` with ``T = 1`` equivalent to the equation (Property 8.1)."""
+        left = self.lhs.to_bdd(mgr, env)
+        right = self.rhs.to_bdd(mgr, env)
+        if self.op == "==":
+            return mgr.xnor_(left, right)
+        return mgr.or_(mgr.not_(left), right)
+
+    def variables(self):
+        return self.lhs.variables() | self.rhs.variables()
+
+
+class BooleanSystem:
+    """A set of equations over independent (X) and dependent (Y) variables."""
+
+    def __init__(self, equations: Sequence[BooleanEquation],
+                 independents: Sequence[str],
+                 dependents: Sequence[str]) -> None:
+        if not equations:
+            raise ValueError("a system needs at least one equation")
+        if set(independents) & set(dependents):
+            raise ValueError("independent and dependent variables overlap")
+        self.equations = list(equations)
+        self.independents = list(independents)
+        self.dependents = list(dependents)
+        declared = set(independents) | set(dependents)
+        used = set()
+        for equation in self.equations:
+            used |= equation.variables()
+        missing = used - declared
+        if missing:
+            raise ValueError("undeclared variables: %s"
+                             % ", ".join(sorted(missing)))
+        # One manager per system: X variables first, then Y.
+        self.mgr = BddManager(self.independents + self.dependents)
+        self._env = {name: self.mgr.var(index)
+                     for index, name in enumerate(self.independents
+                                                  + self.dependents)}
+        self._x_vars = list(range(len(self.independents)))
+        self._y_vars = list(range(len(self.independents),
+                                  len(self.independents)
+                                  + len(self.dependents)))
+
+    @staticmethod
+    def parse(equations: Sequence[str], independents: Sequence[str],
+              dependents: Sequence[str]) -> "BooleanSystem":
+        """Build a system from equation strings."""
+        return BooleanSystem([BooleanEquation.parse(text)
+                              for text in equations],
+                             independents, dependents)
+
+    # ------------------------------------------------------------------
+    def characteristic(self) -> int:
+        """``IE = ∧ T_i`` (Theorem 8.1)."""
+        node = TRUE
+        for equation in self.equations:
+            node = self.mgr.and_(node,
+                                 equation.characteristic(self.mgr, self._env))
+        return node
+
+    def to_relation(self) -> BooleanRelation:
+        """The system as a BR from X to Y (Fig. 9 of the paper)."""
+        return BooleanRelation(self.mgr, self._x_vars, self._y_vars,
+                               self.characteristic())
+
+    def is_consistent(self) -> bool:
+        """Property 8.2: every X vertex admits some Y (left-totality).
+
+        Equivalently ``∃Y.IE`` is a tautology; when there are no
+        independent variables this degenerates to satisfiability of IE.
+        """
+        return self.mgr.exists(self.characteristic(), self._y_vars) == TRUE
+
+    # ------------------------------------------------------------------
+    def solve(self, options: Optional[BrelOptions] = None
+              ) -> Tuple[Dict[str, int], BrelResult]:
+        """An optimised particular solution via BREL.
+
+        Returns ``(solution, brel_result)`` where ``solution`` maps each
+        dependent variable name to a BDD node over the independents.
+        Raises ``ValueError`` on inconsistent systems.
+        """
+        if not self.is_consistent():
+            raise ValueError("the Boolean system is inconsistent")
+        result = solve_relation(self.to_relation(), options)
+        solution = {name: result.solution.functions[index]
+                    for index, name in enumerate(self.dependents)}
+        return solution, result
+
+    def is_solution(self, functions: Dict[str, int]) -> bool:
+        """Check a candidate by substitution (Definition 8.2).
+
+        ``functions`` maps dependent names to BDD nodes in this system's
+        manager; the system is solved when every equation substitutes to a
+        tautology, i.e. the composed ``IE`` is TRUE.
+        """
+        substitution = {}
+        for index, name in enumerate(self.dependents):
+            if name not in functions:
+                raise ValueError("missing function for %r" % name)
+            substitution[self._y_vars[index]] = functions[name]
+        composed = self.mgr.vector_compose(self.characteristic(),
+                                           substitution)
+        return composed == TRUE
+
+    # ------------------------------------------------------------------
+    def describe_solution(self, functions: Dict[str, int]) -> str:
+        """Render a solution as SOP strings (for examples and docs)."""
+        from ..bdd.isop import isop
+
+        lines = []
+        for name in self.dependents:
+            node = functions[name]
+            cover, _ = isop(self.mgr, node, node)
+            if not cover:
+                lines.append("%s = 0" % name)
+                continue
+            terms = []
+            for cube in cover:
+                if not cube:
+                    terms.append("1")
+                    continue
+                literals = []
+                for var in sorted(cube):
+                    text = self.mgr.var_name(var)
+                    literals.append(text if cube[var] else text + "'")
+                terms.append("*".join(literals))
+            lines.append("%s = %s" % (name, " + ".join(terms)))
+        return "\n".join(lines)

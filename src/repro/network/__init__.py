@@ -1,0 +1,64 @@
+"""Logic-network substrate: netlists, BLIF, algebraic script, mapping."""
+
+from .algebraic import (algebraic_script, eliminate, extract_kernels,
+                        simplify, sweep)
+from .blif import BlifError, parse_blif, write_blif
+from .collapse import CollapsedNetwork
+from .delay import critical_path, gate_report
+from .kernels import (algebraic_divide, is_cube_free, kernels,
+                      largest_common_cube, literal_count, make_cube_free,
+                      node_terms, terms_to_cover)
+from .factor import (FactoredExpr, factor_node, factor_terms,
+                     factored_literal_count)
+from .library import Gate, default_library, library_by_name
+from .mapped import gate_cover, mapping_to_network
+from .mapping import (MappedGate, MappingResult, SubjectGraph,
+                      build_subject_graph, map_network)
+from .netlist import Latch, LogicNetwork, Node
+from .simulate import (combinational_signature, evaluate,
+                       exhaustive_signature, initial_state, simulate_step)
+
+__all__ = [
+    "BlifError",
+    "CollapsedNetwork",
+    "Gate",
+    "Latch",
+    "LogicNetwork",
+    "MappedGate",
+    "MappingResult",
+    "Node",
+    "SubjectGraph",
+    "algebraic_divide",
+    "algebraic_script",
+    "build_subject_graph",
+    "combinational_signature",
+    "critical_path",
+    "default_library",
+    "eliminate",
+    "evaluate",
+    "exhaustive_signature",
+    "extract_kernels",
+    "FactoredExpr",
+    "factor_node",
+    "factor_terms",
+    "factored_literal_count",
+    "gate_cover",
+    "gate_report",
+    "mapping_to_network",
+    "initial_state",
+    "is_cube_free",
+    "kernels",
+    "largest_common_cube",
+    "library_by_name",
+    "literal_count",
+    "make_cube_free",
+    "map_network",
+    "node_terms",
+    "parse_blif",
+    "simplify",
+    "simulate_step",
+    "simplify",
+    "sweep",
+    "terms_to_cover",
+    "write_blif",
+]

@@ -1,0 +1,334 @@
+"""The algebraic restructuring script (SIS `script.algebraic` analogue).
+
+Pipeline mirroring the SIS script the paper uses before mapping:
+
+1. ``sweep`` — fold constants, buffers and inverters into their fanouts;
+2. ``simplify`` — two-level minimisation of every node;
+3. ``eliminate`` — collapse low-value nodes into their fanouts;
+4. ``extract_kernels`` — greedy common-kernel extraction (gkx-style),
+   sharing subexpressions across nodes;
+5. final ``simplify`` + ``sweep``.
+
+Cost is counted in SOP literals (Table 2's ALG column).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..sop.cover import Cover
+from ..sop.espresso import espresso_isf
+from .kernels import (Term, Terms, algebraic_divide, kernels, literal_count,
+                      node_terms, terms_to_cover)
+from .netlist import LogicNetwork, Node
+
+
+def _set_node_terms(network: LogicNetwork, name: str,
+                    terms: Set[Term]) -> None:
+    """Replace a node's function with an algebraic expression."""
+    fanins, cover = terms_to_cover(terms)
+    node = network.nodes[name]
+    node.fanins = fanins
+    node.cover = cover
+
+
+def _constant_value(node: Node) -> Optional[bool]:
+    """The constant a node computes, if any (0 cubes = FALSE, etc.)."""
+    if node.cover.cube_count() == 0:
+        return False
+    if all(cube.is_universe() for cube in node.cover):
+        return True
+    return None
+
+
+def sweep(network: LogicNetwork) -> int:
+    """Fold buffers, inverters and constants; drop dangling nodes.
+
+    Returns the number of nodes removed.  Nodes feeding primary outputs
+    or latches directly are kept (their name is the interface).
+    """
+    removed = 0
+    protected = set(network.combinational_outputs())
+    changed = True
+    while changed:
+        changed = False
+        for name in list(network.nodes):
+            if name in protected:
+                continue
+            node = network.nodes[name]
+            constant = _constant_value(node)
+            if constant is not None:
+                replace = ("const", constant)
+            elif node.is_buffer():
+                replace = ("alias", (node.fanins[0], True))
+            elif node.is_inverter():
+                replace = ("alias", (node.fanins[0], False))
+            else:
+                continue
+            for user_name in list(network.nodes):
+                user = network.nodes[user_name]
+                if name not in user.fanins:
+                    continue
+                terms = set(node_terms(user))
+                new_terms: Set[Term] = set()
+                for term in terms:
+                    term = set(term)
+                    pos = (name, True) in term
+                    neg = (name, False) in term
+                    term.discard((name, True))
+                    term.discard((name, False))
+                    if replace[0] == "const":
+                        value = replace[1]
+                        if (pos and not value) or (neg and value):
+                            continue  # term dies
+                        new_terms.add(frozenset(term))
+                    else:
+                        target, same = replace[1]
+                        if pos:
+                            term.add((target, same))
+                        if neg:
+                            term.add((target, not same))
+                        new_terms.add(frozenset(term))
+                _set_node_terms(network, user_name, new_terms)
+            del network.nodes[name]
+            removed += 1
+            changed = True
+    removed += network.sweep_dangling()
+    return removed
+
+
+#: Nodes wider/larger than this skip two-level minimisation: the espresso
+#: complement is exponential in the fanin count (SIS used the same kind of
+#: escape hatch).
+SIMPLIFY_MAX_FANINS = 12
+SIMPLIFY_MAX_CUBES = 96
+
+
+def simplify(network: LogicNetwork) -> None:
+    """Espresso-minimise every node's local cover (no external DC set)."""
+    for name in list(network.nodes):
+        node = network.nodes[name]
+        if not node.fanins:
+            continue
+        if (len(node.fanins) > SIMPLIFY_MAX_FANINS
+                or node.cover.cube_count() > SIMPLIFY_MAX_CUBES):
+            node.cover = node.cover.scc()
+            continue
+        node.cover = espresso_isf(node.cover)
+
+
+def eliminate(network: LogicNetwork, threshold: int = 0) -> int:
+    """Collapse nodes whose elimination value is below ``threshold``.
+
+    The value of a node is the literal growth its elimination causes
+    (SIS convention): ``(uses - 1) * (lits - 1) - 1`` approximately; nodes
+    with value below the threshold are substituted into their fanouts.
+    Returns the number of eliminated nodes.
+    """
+    eliminated = 0
+    protected = set(network.combinational_outputs())
+    changed = True
+    while changed:
+        changed = False
+        fanouts = network.fanouts()
+        for name in list(network.nodes):
+            if name in protected:
+                continue
+            node = network.nodes[name]
+            users = fanouts.get(name, [])
+            if not users:
+                continue
+            lits = node.literal_count()
+            value = (len(users) - 1) * (lits - 1) - 1
+            if value >= threshold:
+                continue
+            if not _substitute_node(network, name):
+                continue
+            eliminated += 1
+            changed = True
+            break  # fanouts changed; recompute
+    network.sweep_dangling()
+    return eliminated
+
+
+def _substitute_node(network: LogicNetwork, name: str) -> bool:
+    """Inline ``name`` into every fanout (complement via cover complement)."""
+    node = network.nodes[name]
+    if not node.fanins:
+        return False
+    pos_terms = node_terms(node)
+    neg_names, neg_cover = node.fanins, node.cover.complement()
+    neg_node = Node("__tmp", list(node.fanins), neg_cover)
+    neg_terms = node_terms(neg_node)
+    for user_name in list(network.nodes):
+        if user_name == name:
+            continue
+        user = network.nodes[user_name]
+        if name not in user.fanins:
+            continue
+        new_terms: Set[Term] = set()
+        for term in node_terms(user):
+            pos = (name, True) in term
+            neg = (name, False) in term
+            base = frozenset(lit for lit in term if lit[0] != name)
+            if not pos and not neg:
+                new_terms.add(base)
+                continue
+            expansion = [frozenset()]
+            if pos:
+                expansion = [e | p for e in expansion for p in pos_terms]
+            if neg:
+                expansion = [e | n for e in expansion for n in neg_terms]
+            for extra in expansion:
+                new_terms.add(base | extra)
+        _set_node_terms(network, user_name, new_terms)
+    del network.nodes[name]
+    return True
+
+
+def _best_kernel_candidate(network: LogicNetwork):
+    """The (kernel, value) pair with the best literal savings, or None."""
+    candidates: Dict[Terms, List[str]] = {}
+    node_term_cache: Dict[str, Terms] = {}
+    for name, node in network.nodes.items():
+        terms = node_terms(node)
+        node_term_cache[name] = terms
+        if len(terms) < 2:
+            continue
+        for kernel, _cokernel in kernels(terms):
+            if literal_count(kernel) < 2 or len(kernel) < 2:
+                continue
+            candidates.setdefault(kernel, []).append(name)
+
+    def canonical(expression: Terms):
+        return tuple(sorted(tuple(sorted(term)) for term in expression))
+
+    best_kernel: Optional[Terms] = None
+    best_value = 0
+    best_key = None
+    for kernel, users in candidates.items():
+        value = 0
+        for user in set(users):
+            quotient, _ = algebraic_divide(node_term_cache[user], kernel)
+            if not quotient:
+                continue
+            old = sum(len(q) + len(k) for q in quotient for k in kernel)
+            new = sum(len(q) + 1 for q in quotient)
+            value += old - new
+        value -= literal_count(kernel)
+        key = (value, canonical(kernel))
+        # Ties broken on the canonical form: results are independent of
+        # set/dict iteration order (PYTHONHASHSEED).
+        if value > best_value or (value == best_value
+                                  and best_key is not None
+                                  and key > best_key):
+            best_value = value
+            best_kernel = kernel
+            best_key = key
+    return best_kernel, best_value
+
+
+def _best_cube_candidate(network: LogicNetwork):
+    """The best single-cube divisor (>= 2 literals), or None.
+
+    A cube ``d`` with ``c`` literals contained in ``k`` terms across the
+    network saves ``k*c - k - c`` literals when materialised as a node
+    (each occurrence keeps one literal for the new signal).
+    """
+    from itertools import combinations
+
+    counts: Dict[Term, int] = {}
+    for node in network.nodes.values():
+        for term in node_terms(node):
+            literals = sorted(term)
+            if len(literals) < 2:
+                continue
+            for pair in combinations(literals, 2):
+                counts[frozenset(pair)] = counts.get(frozenset(pair), 0) + 1
+
+    best_cube: Optional[Term] = None
+    best_value = 0
+    best_key = None
+    for cube, occurrences in counts.items():
+        if occurrences < 2:
+            continue
+        size = len(cube)
+        value = occurrences * size - occurrences - size
+        key = (value, tuple(sorted(cube)))
+        if value > best_value or (value == best_value
+                                  and best_key is not None
+                                  and key > best_key):
+            best_value = value
+            best_cube = cube
+            best_key = key
+    return best_cube, best_value
+
+
+def extract_kernels(network: LogicNetwork, max_new_nodes: int = 50) -> int:
+    """Greedy common-divisor extraction across the whole network.
+
+    Each round considers both multi-cube kernels and single-cube divisors
+    (the two divisor families of SIS ``fx``), materialises the one with
+    the best literal savings as a new node, and rewrites the users through
+    algebraic division.  Returns the number of new nodes.
+    """
+    created = 0
+    for _ in range(max_new_nodes):
+        kernel, kernel_value = _best_kernel_candidate(network)
+        cube, cube_value = _best_cube_candidate(network)
+        if kernel is None and cube is None:
+            break
+
+        if kernel is not None and kernel_value >= cube_value:
+            divisor = kernel
+        else:
+            divisor = frozenset({cube})
+        new_name = network.fresh_name("k")
+        fanins, cover = terms_to_cover(divisor)
+        network.add_node(new_name, fanins, cover)
+        if len(divisor) == 1:
+            # Single-cube divisor: replace the cube inside each term.
+            (cube_literals,) = divisor
+            for user in list(network.nodes):
+                if user == new_name:
+                    continue
+                terms = node_terms(network.nodes[user])
+                if not any(cube_literals <= term for term in terms):
+                    continue
+                rewritten = set()
+                for term in terms:
+                    if cube_literals <= term:
+                        rewritten.add((term - cube_literals)
+                                      | {(new_name, True)})
+                    else:
+                        rewritten.add(term)
+                _set_node_terms(network, user, rewritten)
+        else:
+            for user in list(network.nodes):
+                if user == new_name:
+                    continue
+                terms = node_terms(network.nodes[user])
+                quotient, remainder = algebraic_divide(terms, divisor)
+                if not quotient:
+                    continue
+                rewritten: Set[Term] = set()
+                for q in quotient:
+                    rewritten.add(q | {(new_name, True)})
+                rewritten |= remainder
+                _set_node_terms(network, user, rewritten)
+        created += 1
+    return created
+
+
+def algebraic_script(network: LogicNetwork,
+                     extract_rounds: int = 50) -> LogicNetwork:
+    """The full restructuring pipeline; operates on a copy."""
+    result = network.copy()
+    sweep(result)
+    simplify(result)
+    eliminate(result, threshold=0)
+    extract_kernels(result, max_new_nodes=extract_rounds)
+    simplify(result)
+    sweep(result)
+    result.validate()
+    return result

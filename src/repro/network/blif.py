@@ -1,0 +1,133 @@
+"""BLIF (Berkeley Logic Interchange Format) reader and writer.
+
+Supports the subset the flows need: ``.model``, ``.inputs``, ``.outputs``,
+``.names`` (SOP tables with ``0/1/-`` input plane and a constant output
+column), ``.latch`` (with optional init value) and ``.end``.  This is the
+format SIS used for the paper's ISCAS'89 experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..sop.cover import Cover
+from ..sop.cube import Cube
+from .netlist import LogicNetwork, Node
+
+
+class BlifError(ValueError):
+    """Raised on malformed BLIF text."""
+
+
+def _logical_lines(text: str) -> List[str]:
+    """Strip comments, join continuation lines, drop blanks."""
+    joined: List[str] = []
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip():
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        joined.append((pending + line).strip())
+        pending = ""
+    if pending.strip():
+        joined.append(pending.strip())
+    return joined
+
+
+def parse_blif(text: str) -> LogicNetwork:
+    """Parse BLIF text into a :class:`LogicNetwork`."""
+    lines = _logical_lines(text)
+    network = LogicNetwork()
+    index = 0
+    current_names: Optional[Tuple[List[str], List[str]]] = None
+
+    def flush_names() -> None:
+        nonlocal current_names
+        if current_names is None:
+            return
+        signals, rows = current_names
+        *fanins, output = signals
+        on_rows = []
+        for row in rows:
+            parts = row.split()
+            if len(parts) == 1 and not fanins:
+                plane, value = "", parts[0]
+            elif len(parts) == 2:
+                plane, value = parts
+            else:
+                raise BlifError("malformed .names row %r" % row)
+            if len(plane) != len(fanins):
+                raise BlifError("row %r arity mismatch for %r"
+                                % (row, output))
+            if value == "1":
+                on_rows.append(plane)
+            elif value != "0":
+                raise BlifError("output column must be 0 or 1 in %r" % row)
+        cover = Cover(len(fanins), [Cube.from_str(row) for row in on_rows])
+        network.add_node(output, fanins, cover)
+        current_names = None
+
+    for line in lines:
+        if line.startswith(".model"):
+            flush_names()
+            parts = line.split()
+            network.name = parts[1] if len(parts) > 1 else "network"
+        elif line.startswith(".inputs"):
+            flush_names()
+            for name in line.split()[1:]:
+                network.add_input(name)
+        elif line.startswith(".outputs"):
+            flush_names()
+            for name in line.split()[1:]:
+                network.add_output(name)
+        elif line.startswith(".latch"):
+            flush_names()
+            parts = line.split()
+            if len(parts) < 3:
+                raise BlifError("malformed .latch line %r" % line)
+            init = int(parts[3]) if len(parts) > 3 else 0
+            network.add_latch(parts[1], parts[2], init)
+        elif line.startswith(".names"):
+            flush_names()
+            signals = line.split()[1:]
+            if not signals:
+                raise BlifError(".names needs at least an output")
+            current_names = (signals, [])
+        elif line.startswith(".end"):
+            flush_names()
+            break
+        elif line.startswith("."):
+            flush_names()  # unknown directives are skipped
+        else:
+            if current_names is None:
+                raise BlifError("table row outside .names: %r" % line)
+            current_names[1].append(line)
+    flush_names()
+    network.validate()
+    return network
+
+
+def write_blif(network: LogicNetwork) -> str:
+    """Serialise a network back to BLIF text."""
+    lines = [".model %s" % network.name]
+    if network.inputs:
+        lines.append(".inputs %s" % " ".join(network.inputs))
+    if network.outputs:
+        lines.append(".outputs %s" % " ".join(network.outputs))
+    for latch in network.latches:
+        lines.append(".latch %s %s %d" % (latch.input, latch.output,
+                                          latch.init))
+    for name in network.topological_order():
+        node = network.nodes[name]
+        lines.append(".names %s" % " ".join(node.fanins + [node.name]))
+        if not node.fanins:
+            if node.cover.cube_count() > 0:
+                lines.append("1")
+        else:
+            for cube in node.cover:
+                lines.append("%s 1" % cube)
+    lines.append(".end")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,47 @@
+"""Delay reporting utilities over mapped netlists (`speed_up` analogue).
+
+The paper's delay flow runs SIS ``speed_up`` (balanced re-decomposition)
+before mapping.  Our technology decomposition already builds balanced
+AND/OR trees (see :mod:`repro.network.mapping`), so the delay-oriented
+flow is: algebraic script → balanced decomposition → delay-mode mapping.
+This module adds the reporting helpers the benchmarks print.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .library import Gate
+from .mapping import LEAF, MappedGate, MappingResult
+
+
+def critical_path(result: MappingResult) -> List[MappedGate]:
+    """The chain of mapped gates realising the reported delay."""
+    by_output = {mapped.output: mapped for mapped in result.gates}
+    if not result.gates:
+        return []
+    # Start from the gate whose arrival equals the total delay.
+    current = max(result.gates,
+                  key=lambda mapped: result.arrival.get(mapped.output, 0.0))
+    path = [current]
+    while True:
+        candidates = [by_output[leaf] for leaf in current.inputs
+                      if leaf in by_output]
+        if not candidates:
+            break
+        current = max(candidates,
+                      key=lambda mapped: result.arrival.get(mapped.output,
+                                                            0.0))
+        path.append(current)
+    path.reverse()
+    return path
+
+
+def gate_report(result: MappingResult) -> str:
+    """Human-readable summary: per-gate histogram plus totals."""
+    lines = ["%-8s %s" % ("gate", "count")]
+    for name, count in sorted(result.histogram().items()):
+        lines.append("%-8s %d" % (name, count))
+    lines.append("area  = %.1f" % result.area)
+    lines.append("delay = %.2f" % result.delay)
+    return "\n".join(lines)

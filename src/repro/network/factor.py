@@ -1,0 +1,159 @@
+"""Algebraic factoring (SIS ``print_factor`` / quick-factor analogue).
+
+SIS reports node complexity in *factored literals*: the literal count of a
+good factored form, which models multilevel implementation cost better
+than the flat SOP count.  This module implements the classical
+quick-factor recursion over the algebraic term representation:
+
+    factor(F):
+        if F is a single term: AND of its literals
+        pick the most frequent literal l
+        (Q, R) = divide(F, l)
+        return  l * factor(Q)  +  factor(R)
+
+and exposes factored literal counting plus pretty-printing for reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from .kernels import Literal, Term, Terms, divide_by_term
+from .netlist import LogicNetwork, Node
+from .kernels import node_terms
+
+
+class FactoredExpr:
+    """Base class of factored-form nodes."""
+
+    def literal_count(self) -> int:
+        raise NotImplementedError
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        raise NotImplementedError
+
+    def render(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class FactoredLiteral(FactoredExpr):
+    name: str
+    polarity: bool
+
+    def literal_count(self) -> int:
+        return 1
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        value = assignment[self.name]
+        return value if self.polarity else not value
+
+    def render(self) -> str:
+        return self.name if self.polarity else self.name + "'"
+
+
+@dataclass(frozen=True)
+class FactoredConst(FactoredExpr):
+    value: bool
+
+    def literal_count(self) -> int:
+        return 0
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        return self.value
+
+    def render(self) -> str:
+        return "1" if self.value else "0"
+
+
+@dataclass(frozen=True)
+class FactoredAnd(FactoredExpr):
+    operands: Tuple[FactoredExpr, ...]
+
+    def literal_count(self) -> int:
+        return sum(op.literal_count() for op in self.operands)
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        return all(op.evaluate(assignment) for op in self.operands)
+
+    def render(self) -> str:
+        parts = []
+        for op in self.operands:
+            text = op.render()
+            if isinstance(op, FactoredOr):
+                text = "(%s)" % text
+            parts.append(text)
+        return "*".join(parts)
+
+
+@dataclass(frozen=True)
+class FactoredOr(FactoredExpr):
+    operands: Tuple[FactoredExpr, ...]
+
+    def literal_count(self) -> int:
+        return sum(op.literal_count() for op in self.operands)
+
+    def evaluate(self, assignment: Dict[str, bool]) -> bool:
+        return any(op.evaluate(assignment) for op in self.operands)
+
+    def render(self) -> str:
+        return " + ".join(op.render() for op in self.operands)
+
+
+def _most_frequent_literal(terms: Sequence[Term]) -> Optional[Literal]:
+    counts: Dict[Literal, int] = {}
+    for term in terms:
+        for literal in term:
+            counts[literal] = counts.get(literal, 0) + 1
+    best: Optional[Literal] = None
+    best_count = 1
+    for literal in sorted(counts):
+        if counts[literal] > best_count:
+            best = literal
+            best_count = counts[literal]
+    return best
+
+
+def factor_terms(terms: Terms) -> FactoredExpr:
+    """Quick-factor an algebraic expression."""
+    term_list = sorted(terms, key=lambda term: tuple(sorted(term)))
+    if not term_list:
+        return FactoredConst(False)
+    if any(not term for term in term_list):
+        return FactoredConst(True)
+    if len(term_list) == 1:
+        literals = tuple(FactoredLiteral(name, polarity)
+                         for name, polarity in sorted(term_list[0]))
+        if len(literals) == 1:
+            return literals[0]
+        return FactoredAnd(literals)
+
+    pivot = _most_frequent_literal(term_list)
+    if pivot is None:
+        # No literal appears twice: plain sum of products.
+        products = tuple(factor_terms(frozenset({term}))
+                         for term in term_list)
+        return FactoredOr(products)
+
+    with_pivot = [term for term in term_list if pivot in term]
+    rest = [term for term in term_list if pivot not in term]
+    quotient = frozenset(divide_by_term(with_pivot, frozenset({pivot})))
+    factored = FactoredAnd((
+        FactoredLiteral(pivot[0], pivot[1]),
+        factor_terms(quotient),
+    ))
+    if not rest:
+        return factored
+    return FactoredOr((factored, factor_terms(frozenset(rest))))
+
+
+def factor_node(node: Node) -> FactoredExpr:
+    """Factored form of a network node's local function."""
+    return factor_terms(node_terms(node))
+
+
+def factored_literal_count(network: LogicNetwork) -> int:
+    """Total factored literals of a network (the SIS reporting metric)."""
+    return sum(factor_node(node).literal_count()
+               for node in network.nodes.values())

@@ -1,0 +1,178 @@
+"""Algebraic division and kernel extraction (the SIS `gkx`/`fx` family).
+
+The algebraic model treats a literal and its complement as independent
+symbols; a node function is a set of *terms*, each term a frozenset of
+``(signal_name, polarity)`` literals.  On top of that model this module
+provides weak (algebraic) division, the recursive kernel generator of
+Brayton/McMullen, and helpers to convert to and from the positional-cube
+covers stored in the network.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..sop.cover import Cover
+from ..sop.cube import DASH, Cube
+from .netlist import LogicNetwork, Node
+
+#: A literal in the algebraic model.
+Literal = Tuple[str, bool]
+#: A product term: a set of literals.
+Term = FrozenSet[Literal]
+#: An algebraic expression: a set of terms (sum of products).
+Terms = FrozenSet[Term]
+
+
+def node_terms(node: Node) -> Terms:
+    """Convert a node's positional cover to algebraic terms."""
+    terms: Set[Term] = set()
+    for cube in node.cover:
+        literals = []
+        for position, value in enumerate(cube.values):
+            if value != DASH:
+                literals.append((node.fanins[position], bool(value)))
+        terms.add(frozenset(literals))
+    return frozenset(terms)
+
+
+def terms_to_cover(terms: Iterable[Term]) -> Tuple[List[str], Cover]:
+    """Convert algebraic terms back to (fanins, positional cover).
+
+    Terms containing a literal and its complement denote FALSE and are
+    dropped (substitution can produce them).
+    """
+    term_list = [term for term in terms
+                 if not any((name, not polarity) in term
+                            for name, polarity in term)]
+    # Canonical cube order: output is independent of set iteration order.
+    term_list.sort(key=lambda term: tuple(sorted(term)))
+    names = sorted({name for term in term_list for name, _ in term})
+    position = {name: index for index, name in enumerate(names)}
+    cubes = []
+    for term in term_list:
+        values = [DASH] * len(names)
+        for name, polarity in term:
+            values[position[name]] = 1 if polarity else 0
+        cubes.append(Cube(values))
+    return names, Cover(len(names), cubes)
+
+
+def literal_count(terms: Iterable[Term]) -> int:
+    """Total literal count of an algebraic expression."""
+    return sum(len(term) for term in terms)
+
+
+# ----------------------------------------------------------------------
+# Algebraic (weak) division
+# ----------------------------------------------------------------------
+def divide_by_term(terms: Iterable[Term], divisor: Term) -> Set[Term]:
+    """Quotient of an expression by a single product term."""
+    return {term - divisor for term in terms if divisor <= term}
+
+
+def algebraic_divide(terms: Terms, divisor: Iterable[Term]
+                     ) -> Tuple[Set[Term], Set[Term]]:
+    """Weak division: ``terms = quotient * divisor + remainder``.
+
+    Quotient is the intersection of the per-term quotients; remainder is
+    whatever the product fails to cover.  Standard Brayton/McMullen.
+    """
+    divisor_list = list(divisor)
+    if not divisor_list:
+        raise ValueError("division by the zero expression")
+    quotient: Optional[Set[Term]] = None
+    for d_term in divisor_list:
+        partial = divide_by_term(terms, d_term)
+        quotient = partial if quotient is None else (quotient & partial)
+        if not quotient:
+            return set(), set(terms)
+    assert quotient is not None
+    product = {q | d for q in quotient for d in divisor_list}
+    remainder = set(terms) - product
+    return quotient, remainder
+
+
+def largest_common_cube(terms: Iterable[Term]) -> Term:
+    """The intersection of all terms (their largest common cube)."""
+    iterator = iter(terms)
+    try:
+        common = set(next(iterator))
+    except StopIteration:
+        return frozenset()
+    for term in iterator:
+        common &= term
+        if not common:
+            break
+    return frozenset(common)
+
+
+def make_cube_free(terms: Iterable[Term]) -> Terms:
+    """Strip the largest common cube from an expression."""
+    term_list = list(terms)
+    common = largest_common_cube(term_list)
+    if not common:
+        return frozenset(term_list)
+    return frozenset(term - common for term in term_list)
+
+
+def is_cube_free(terms: Iterable[Term]) -> bool:
+    return not largest_common_cube(terms)
+
+
+# ----------------------------------------------------------------------
+# Kernels
+# ----------------------------------------------------------------------
+def kernels(terms: Terms) -> Set[Tuple[Terms, Term]]:
+    """All (kernel, co-kernel) pairs of an expression.
+
+    A kernel is a cube-free quotient of the expression by a cube (the
+    co-kernel).  The expression itself is a kernel when cube-free.
+    """
+    literal_order: List[Literal] = sorted(
+        {lit for term in terms for lit in term})
+    index_of = {lit: i for i, lit in enumerate(literal_order)}
+    results: Set[Tuple[Terms, Term]] = set()
+
+    def rec(current: Terms, cokernel: Term, min_index: int) -> None:
+        for position in range(min_index, len(literal_order)):
+            literal = literal_order[position]
+            containing = [term for term in current if literal in term]
+            if len(containing) < 2:
+                continue
+            quotient = {term - {literal} for term in containing}
+            common = largest_common_cube(quotient)
+            # Skip if a smaller-indexed literal divides the quotient:
+            # that branch was (or will be) produced elsewhere.
+            if any(index_of.get(lit, len(literal_order)) < position
+                   for lit in common):
+                continue
+            free = frozenset(term - common for term in quotient)
+            new_cokernel = frozenset(cokernel | {literal} | common)
+            results.add((free, new_cokernel))
+            rec(free, new_cokernel, position + 1)
+
+    if is_cube_free(terms) and len(terms) > 1:
+        results.add((frozenset(terms), frozenset()))
+    rec(frozenset(terms), frozenset(), 0)
+    return results
+
+
+def kernel_value(kernel: Terms, uses: Sequence[Tuple[Terms, Set[Term]]]
+                 ) -> int:
+    """Literal savings of extracting ``kernel`` given its uses.
+
+    ``uses`` pairs each using expression with the quotient it would keep.
+    Savings model: each use rewrites ``Q*k + R`` costing
+    ``lits(Q) + |Q|`` (one new literal per quotient term) instead of
+    ``lits(Q*k)``; the kernel body itself is paid once.
+    """
+    kernel_lits = literal_count(kernel)
+    total = 0
+    for terms, quotient in uses:
+        if not quotient:
+            continue
+        old = sum(len(q) + len(k) for q in quotient for k in kernel)
+        new = sum(len(q) + 1 for q in quotient)
+        total += old - new
+    return total - kernel_lits

@@ -1,0 +1,99 @@
+"""A lib2-style standard-cell library for the technology mapper.
+
+Each gate carries a NAND2/INV *pattern tree* (the classical subject-graph
+matching representation from Rudell's thesis [25], which the paper's `map`
+runs use), an area, and a pin-to-pin delay.  Areas and delays follow the
+flavour of the SIS ``lib2.genlib`` library: inverters cheapest, NANDs
+slightly cheaper than NORs, complex AOI/OAI gates giving area wins at some
+delay.  Absolute values are not meaningful across technologies — Table 3
+compares *ratios* between flows, which is what survives.
+
+Pattern trees are nested tuples::
+
+    ("inv", child) | ("nand", left, right) | "<leaf-name>"
+
+A leaf name may repeat inside one pattern (leaf-DAG patterns, needed for
+the 2:1 mux); the matcher then requires both occurrences to bind to the
+same subject node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple, Union
+
+Pattern = Union[str, Tuple]
+
+
+@dataclass(frozen=True)
+class Gate:
+    """One library cell."""
+
+    name: str
+    area: float
+    delay: float
+    pattern: Pattern
+
+    def leaf_names(self) -> List[str]:
+        names: List[str] = []
+
+        def walk(node: Pattern) -> None:
+            if isinstance(node, str):
+                if node not in names:
+                    names.append(node)
+            else:
+                for child in node[1:]:
+                    walk(child)
+
+        walk(self.pattern)
+        return names
+
+
+def _nand(*children: Pattern) -> Pattern:
+    if len(children) == 2:
+        return ("nand", children[0], children[1])
+    raise ValueError("nand pattern is binary")
+
+
+def _inv(child: Pattern) -> Pattern:
+    return ("inv", child)
+
+
+def default_library() -> List[Gate]:
+    """The lib2-flavoured cell set used by all experiments."""
+    a, b, c, d = "a", "b", "c", "d"
+    gates = [
+        Gate("inv1", area=1.0, delay=1.0, pattern=_inv(a)),
+        Gate("nand2", area=2.0, delay=1.0, pattern=_nand(a, b)),
+        Gate("nor2", area=2.0, delay=1.2,
+             pattern=_inv(_nand(_inv(a), _inv(b)))),
+        Gate("and2", area=3.0, delay=1.4, pattern=_inv(_nand(a, b))),
+        Gate("or2", area=3.0, delay=1.4, pattern=_nand(_inv(a), _inv(b))),
+        Gate("nand3", area=3.0, delay=1.4,
+             pattern=_nand(_inv(_nand(a, b)), c)),
+        Gate("nand4", area=4.0, delay=1.8,
+             pattern=_nand(_inv(_nand(a, b)), _inv(_nand(c, d)))),
+        Gate("nor3", area=3.0, delay=1.6,
+             pattern=_inv(_nand(_inv(_nand(_inv(a), _inv(b))), _inv(c)))),
+        # ao21: a*b + c
+        Gate("ao21", area=4.0, delay=1.6,
+             pattern=_nand(_nand(a, b), _inv(c))),
+        # aoi21: ~(a*b + c)
+        Gate("aoi21", area=3.0, delay=1.4,
+             pattern=_inv(_nand(_nand(a, b), _inv(c)))),
+        # oai21: ~((a + b) * c)
+        Gate("oai21", area=3.0, delay=1.4,
+             pattern=_nand(_nand(_inv(a), _inv(b)), c)),
+        # aoi22: ~(a*b + c*d)
+        Gate("aoi22", area=4.0, delay=1.8,
+             pattern=_inv(_nand(_nand(a, b), _nand(c, d)))),
+        # mux21: a*s' + b*s  (leaf "s" repeats: leaf-DAG pattern)
+        Gate("mux21", area=5.0, delay=1.8,
+             pattern=_nand(_nand(a, _inv("s")), _nand(b, "s"))),
+        Gate("buf", area=2.0, delay=1.2, pattern=_inv(_inv(a))),
+    ]
+    return gates
+
+
+def library_by_name(gates: Sequence[Gate]) -> Dict[str, Gate]:
+    return {gate.name: gate for gate in gates}

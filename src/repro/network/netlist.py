@@ -1,0 +1,216 @@
+"""Multi-level logic networks with SOP node functions and latches.
+
+The reproduction's stand-in for the SIS [31] network data structure: a DAG
+of single-output nodes, each carrying a sum-of-products local function over
+its fanins, plus D-latches separating the combinational frame from the
+sequential behaviour.  Latch outputs behave like primary inputs of the
+combinational frame; latch inputs like primary outputs (the next-state
+functions the Section 10.2 decomposition flow operates on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..sop.cover import Cover
+from ..sop.cube import DASH, Cube
+
+
+@dataclass
+class Node:
+    """One combinational node: ``name = cover(fanins)``."""
+
+    name: str
+    fanins: List[str]
+    cover: Cover
+
+    def __post_init__(self) -> None:
+        if self.cover.width != len(self.fanins):
+            raise ValueError("cover width %d != fanin count %d for %r"
+                             % (self.cover.width, len(self.fanins),
+                                self.name))
+
+    def literal_count(self) -> int:
+        return self.cover.literal_count()
+
+    def is_constant(self) -> bool:
+        return not self.fanins
+
+    def is_buffer(self) -> bool:
+        """True for ``f = a`` (single positive-literal cube)."""
+        return (len(self.fanins) == 1 and self.cover.cube_count() == 1
+                and self.cover.cubes[0].values == (1,))
+
+    def is_inverter(self) -> bool:
+        """True for ``f = a'``."""
+        return (len(self.fanins) == 1 and self.cover.cube_count() == 1
+                and self.cover.cubes[0].values == (0,))
+
+
+@dataclass
+class Latch:
+    """A D-latch: ``output`` takes the value of ``input`` next cycle."""
+
+    input: str
+    output: str
+    init: int = 0
+
+
+class LogicNetwork:
+    """A named multi-level network (combinational nodes + latches)."""
+
+    def __init__(self, name: str = "network") -> None:
+        self.name = name
+        self.inputs: List[str] = []
+        self.outputs: List[str] = []
+        self.nodes: Dict[str, Node] = {}
+        self.latches: List[Latch] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str) -> None:
+        self._check_fresh(name)
+        self.inputs.append(name)
+
+    def add_output(self, name: str) -> None:
+        if name in self.outputs:
+            raise ValueError("duplicate output %r" % name)
+        self.outputs.append(name)
+
+    def add_node(self, name: str, fanins: Sequence[str],
+                 cover: Cover) -> Node:
+        self._check_fresh(name)
+        node = Node(name, list(fanins), cover)
+        self.nodes[name] = node
+        return node
+
+    def add_latch(self, input_name: str, output_name: str,
+                  init: int = 0) -> Latch:
+        self._check_fresh(output_name)
+        latch = Latch(input_name, output_name, init)
+        self.latches.append(latch)
+        return latch
+
+    def _check_fresh(self, name: str) -> None:
+        if name in self.nodes or name in self.inputs or any(
+                latch.output == name for latch in self.latches):
+            raise ValueError("signal %r already defined" % name)
+
+    def fresh_name(self, prefix: str = "n") -> str:
+        """A signal name not yet used anywhere in the network."""
+        index = len(self.nodes)
+        while True:
+            candidate = "%s%d" % (prefix, index)
+            try:
+                self._check_fresh(candidate)
+                return candidate
+            except ValueError:
+                index += 1
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def combinational_inputs(self) -> List[str]:
+        """Primary inputs plus latch outputs (the frame's leaves)."""
+        return list(self.inputs) + [latch.output for latch in self.latches]
+
+    def combinational_outputs(self) -> List[str]:
+        """Primary outputs plus latch inputs (the frame's roots)."""
+        return list(self.outputs) + [latch.input for latch in self.latches]
+
+    def is_leaf(self, name: str) -> bool:
+        return name in self.inputs or any(latch.output == name
+                                          for latch in self.latches)
+
+    def fanouts(self) -> Dict[str, List[str]]:
+        """Map each signal to the node names that read it."""
+        result: Dict[str, List[str]] = {}
+        for node in self.nodes.values():
+            for fanin in node.fanins:
+                result.setdefault(fanin, []).append(node.name)
+        return result
+
+    def literal_count(self) -> int:
+        """Total SOP literals (the SIS cost metric of Table 2's ALG)."""
+        return sum(node.literal_count() for node in self.nodes.values())
+
+    def node_count(self) -> int:
+        return len(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Structure checks
+    # ------------------------------------------------------------------
+    def topological_order(self) -> List[str]:
+        """Node names sorted leaves-to-roots; raises on cycles."""
+        state: Dict[str, int] = {}
+        order: List[str] = []
+
+        def visit(name: str) -> None:
+            if name not in self.nodes:
+                if not self.is_leaf(name):
+                    raise ValueError("undefined signal %r" % name)
+                return
+            mark = state.get(name, 0)
+            if mark == 1:
+                raise ValueError("combinational cycle through %r" % name)
+            if mark == 2:
+                return
+            state[name] = 1
+            for fanin in self.nodes[name].fanins:
+                visit(fanin)
+            state[name] = 2
+            order.append(name)
+
+        for name in self.combinational_outputs():
+            visit(name)
+        # Also visit nodes not reachable from outputs (dangling).
+        for name in list(self.nodes):
+            visit(name)
+        return order
+
+    def validate(self) -> None:
+        """Raise on undefined signals, cycles, or missing outputs."""
+        self.topological_order()
+        for name in self.combinational_outputs():
+            if name not in self.nodes and not self.is_leaf(name):
+                raise ValueError("output %r is undefined" % name)
+
+    # ------------------------------------------------------------------
+    # Copy / surgery
+    # ------------------------------------------------------------------
+    def copy(self) -> "LogicNetwork":
+        clone = LogicNetwork(self.name)
+        clone.inputs = list(self.inputs)
+        clone.outputs = list(self.outputs)
+        clone.latches = [Latch(l.input, l.output, l.init)
+                         for l in self.latches]
+        for node in self.nodes.values():
+            clone.nodes[node.name] = Node(node.name, list(node.fanins),
+                                          node.cover.copy())
+        return clone
+
+    def remove_node(self, name: str) -> None:
+        del self.nodes[name]
+
+    def replace_fanin(self, node_name: str, old: str, new: str) -> None:
+        """Re-wire one fanin of a node (cover columns are preserved)."""
+        node = self.nodes[node_name]
+        node.fanins = [new if fanin == old else fanin
+                       for fanin in node.fanins]
+
+    def sweep_dangling(self) -> int:
+        """Drop nodes not reachable from any output; returns removal count."""
+        reachable: Set[str] = set()
+        stack = [name for name in self.combinational_outputs()]
+        while stack:
+            name = stack.pop()
+            if name in reachable or name not in self.nodes:
+                continue
+            reachable.add(name)
+            stack.extend(self.nodes[name].fanins)
+        removed = [name for name in self.nodes if name not in reachable]
+        for name in removed:
+            del self.nodes[name]
+        return len(removed)

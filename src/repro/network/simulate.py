@@ -1,0 +1,73 @@
+"""Network simulation (reference semantics for the transform tests)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from .netlist import LogicNetwork
+
+
+def evaluate(network: LogicNetwork,
+             assignment: Dict[str, bool]) -> Dict[str, bool]:
+    """Evaluate every signal of the combinational frame.
+
+    ``assignment`` must bind every primary input and latch output.
+    Returns a dict with the values of all signals (leaves included).
+    """
+    values = dict(assignment)
+    for name in network.combinational_inputs():
+        if name not in values:
+            raise ValueError("missing value for leaf %r" % name)
+    for name in network.topological_order():
+        node = network.nodes[name]
+        point = 0
+        for position, fanin in enumerate(node.fanins):
+            if values[fanin]:
+                point |= 1 << position
+        values[name] = node.cover.covers_point(point)
+    return values
+
+
+def simulate_step(network: LogicNetwork, inputs: Dict[str, bool],
+                  state: Dict[str, bool]
+                  ) -> Tuple[Dict[str, bool], Dict[str, bool]]:
+    """One clock cycle: returns (primary outputs, next state).
+
+    ``state`` maps latch *output* names to their current values.
+    """
+    assignment = dict(inputs)
+    assignment.update(state)
+    values = evaluate(network, assignment)
+    outputs = {name: values[name] for name in network.outputs}
+    next_state = {latch.output: values[latch.input]
+                  for latch in network.latches}
+    return outputs, next_state
+
+
+def initial_state(network: LogicNetwork) -> Dict[str, bool]:
+    """The latch init values as a state dict."""
+    return {latch.output: bool(latch.init) for latch in network.latches}
+
+
+def combinational_signature(network: LogicNetwork,
+                            vectors: Sequence[Dict[str, bool]]
+                            ) -> List[Tuple[bool, ...]]:
+    """Frame outputs for a list of leaf assignments (equivalence checks)."""
+    result = []
+    roots = network.combinational_outputs()
+    for vector in vectors:
+        values = evaluate(network, vector)
+        result.append(tuple(values[name] for name in roots))
+    return result
+
+
+def exhaustive_signature(network: LogicNetwork) -> List[Tuple[bool, ...]]:
+    """Frame outputs over all leaf assignments (small frames only)."""
+    leaves = network.combinational_inputs()
+    if len(leaves) > 16:
+        raise ValueError("exhaustive simulation limited to 16 leaves")
+    vectors = []
+    for value in range(1 << len(leaves)):
+        vectors.append({leaf: bool((value >> i) & 1)
+                        for i, leaf in enumerate(leaves)})
+    return combinational_signature(network, vectors)

@@ -1,0 +1,20 @@
+"""Two-level (sum-of-products) machinery: cubes, covers, espresso loop."""
+
+from .cover import Cover
+from .cube import DASH, ONE, ZERO, Cube
+from .espresso import (covers_interval, espresso_isf, expand,
+                       expand_single_literal, irredundant, reduce_cover)
+
+__all__ = [
+    "Cover",
+    "Cube",
+    "DASH",
+    "ONE",
+    "ZERO",
+    "covers_interval",
+    "espresso_isf",
+    "expand",
+    "expand_single_literal",
+    "irredundant",
+    "reduce_cover",
+]

@@ -1,0 +1,264 @@
+"""Covers: sums of cubes, with the classical two-level operations.
+
+Implements the unate-recursive paradigm primitives from espresso
+(reference [8] of the paper): tautology checking, containment, complement,
+sharp, and single-cube containment cleanup.  The recursion is the textbook
+one — select a binate variable, cofactor, solve the halves — adequate for
+the problem sizes of the paper's benchmark suite.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from .cube import DASH, ONE, ZERO, Cube
+
+
+class Cover:
+    """A list of cubes of uniform width, denoting their disjunction."""
+
+    __slots__ = ("width", "cubes")
+
+    def __init__(self, width: int, cubes: Iterable[Cube] = ()) -> None:
+        self.width = width
+        self.cubes: List[Cube] = []
+        for cube in cubes:
+            if cube.width != width:
+                raise ValueError("cube width %d does not match cover width %d"
+                                 % (cube.width, width))
+            self.cubes.append(cube)
+
+    # -- constructors ---------------------------------------------------
+    @staticmethod
+    def from_strings(width: int, rows: Iterable[str]) -> "Cover":
+        """Build a cover from ``"1-0"``-style rows."""
+        return Cover(width, [Cube.from_str(row) for row in rows])
+
+    @staticmethod
+    def empty(width: int) -> "Cover":
+        """The empty cover (constant FALSE)."""
+        return Cover(width)
+
+    @staticmethod
+    def universe(width: int) -> "Cover":
+        """The tautology cover (constant TRUE)."""
+        return Cover(width, [Cube.universe(width)])
+
+    @staticmethod
+    def from_minterms(width: int, values: Iterable[int]) -> "Cover":
+        """One minterm cube per integer value."""
+        return Cover(width, [Cube.minterm(width, value) for value in values])
+
+    def copy(self) -> "Cover":
+        return Cover(self.width, list(self.cubes))
+
+    # -- basic protocol ---------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.cubes)
+
+    def __iter__(self) -> Iterator[Cube]:
+        return iter(self.cubes)
+
+    def __getitem__(self, index: int) -> Cube:
+        return self.cubes[index]
+
+    def __repr__(self) -> str:
+        return "Cover(width=%d, cubes=%d)" % (self.width, len(self.cubes))
+
+    def __str__(self) -> str:
+        return "\n".join(str(cube) for cube in self.cubes)
+
+    def __eq__(self, other: object) -> bool:
+        """Semantic equality (same Boolean function)."""
+        if not isinstance(other, Cover):
+            return NotImplemented
+        return self.contains_cover(other) and other.contains_cover(self)
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    # -- metrics -----------------------------------------------------------
+    def cube_count(self) -> int:
+        """Number of product terms (the paper's CB column)."""
+        return len(self.cubes)
+
+    def literal_count(self) -> int:
+        """Total literal count (the paper's LIT column)."""
+        return sum(cube.literal_count() for cube in self.cubes)
+
+    # -- point queries -------------------------------------------------------
+    def covers_point(self, point: int) -> bool:
+        """Membership test for the minterm encoded by ``point``."""
+        return any(cube.covers_point(point) for cube in self.cubes)
+
+    def minterms(self) -> Iterator[int]:
+        """Yield covered minterms (ascending, without duplicates)."""
+        seen = set()
+        for cube in self.cubes:
+            for point in cube.minterms():
+                seen.add(point)
+        yield from sorted(seen)
+
+    # -- structural operations ---------------------------------------------
+    def add(self, cube: Cube) -> None:
+        """Append a cube (width-checked)."""
+        if cube.width != self.width:
+            raise ValueError("cube width mismatch")
+        self.cubes.append(cube)
+
+    def without(self, index: int) -> "Cover":
+        """The cover with the cube at ``index`` removed."""
+        return Cover(self.width,
+                     [c for i, c in enumerate(self.cubes) if i != index])
+
+    def scc(self) -> "Cover":
+        """Single-cube containment: drop cubes covered by another cube."""
+        kept: List[Cube] = []
+        # Larger cubes first so that containment checks see the keepers.
+        order = sorted(self.cubes, key=lambda c: -c.size())
+        for cube in order:
+            if not any(other.contains(cube) for other in kept):
+                kept.append(cube)
+        return Cover(self.width, kept)
+
+    def cofactor_cube(self, cube: Cube) -> "Cover":
+        """Espresso cofactor of the cover with respect to ``cube``."""
+        result = []
+        for mine in self.cubes:
+            reduced = mine.cofactor(cube)
+            if reduced is not None:
+                result.append(reduced)
+        return Cover(self.width, result)
+
+    def cofactor_var(self, index: int, value: int) -> "Cover":
+        """Shannon cofactor on a single variable."""
+        pivot = Cube.universe(self.width).set_var(index, value)
+        return self.cofactor_cube(pivot)
+
+    # -- unate-recursive predicates -------------------------------------------
+    def _select_binate_var(self) -> Optional[int]:
+        """Most-binate variable, or None when the cover is unate."""
+        best_var = None
+        best_score = 0
+        for index in range(self.width):
+            zeros = sum(1 for cube in self.cubes if cube[index] == ZERO)
+            ones = sum(1 for cube in self.cubes if cube[index] == ONE)
+            if zeros and ones:
+                score = zeros + ones
+                if score > best_score:
+                    best_score = score
+                    best_var = index
+        return best_var
+
+    def is_tautology(self) -> bool:
+        """Tautology check via the unate-recursive paradigm."""
+        if any(cube.is_universe() for cube in self.cubes):
+            return True
+        if not self.cubes:
+            return False
+        var = self._select_binate_var()
+        if var is None:
+            # A unate cover is a tautology iff it has the universal cube
+            # (already checked above)... unless some variable column is
+            # single-valued everywhere; drop pure don't-care columns by
+            # checking a monotone witness point instead.
+            return self._unate_tautology()
+        return (self.cofactor_var(var, ZERO).is_tautology()
+                and self.cofactor_var(var, ONE).is_tautology())
+
+    def _unate_tautology(self) -> bool:
+        """Tautology for unate covers.
+
+        For a unate cover, the function is a tautology iff the point
+        obtained by setting each positively-unate variable to 0 and each
+        negatively-unate variable to 1 (adversarial point) is covered.
+        """
+        point = 0
+        for index in range(self.width):
+            has_one = any(cube[index] == ONE for cube in self.cubes)
+            has_zero = any(cube[index] == ZERO for cube in self.cubes)
+            if has_zero and not has_one:
+                point |= 1 << index
+        return self.covers_point(point)
+
+    def contains_cube(self, cube: Cube) -> bool:
+        """Does the cover contain every minterm of ``cube``?"""
+        return self.cofactor_cube(cube).is_tautology()
+
+    def contains_cover(self, other: "Cover") -> bool:
+        """Cover containment: ``other <= self``."""
+        return all(self.contains_cube(cube) for cube in other.cubes)
+
+    # -- complement / sharp ------------------------------------------------
+    def complement(self) -> "Cover":
+        """Complement of the cover (recursive Shannon expansion)."""
+        if not self.cubes:
+            return Cover.universe(self.width)
+        if any(cube.is_universe() for cube in self.cubes):
+            return Cover.empty(self.width)
+        if len(self.cubes) == 1:
+            return self._complement_cube(self.cubes[0])
+        var = self._select_binate_var()
+        if var is None:
+            # Unate cover: pick any bound variable of the first bound cube.
+            var = next(index for index in range(self.width)
+                       if any(cube[index] != DASH for cube in self.cubes))
+        neg = self.cofactor_var(var, ZERO).complement()
+        pos = self.cofactor_var(var, ONE).complement()
+        result = Cover(self.width)
+        for cube in neg.cubes:
+            result.add(cube.set_var(var, ZERO)
+                       if cube[var] == DASH else cube)
+        for cube in pos.cubes:
+            result.add(cube.set_var(var, ONE)
+                       if cube[var] == DASH else cube)
+        return result.scc()
+
+    def _complement_cube(self, cube: Cube) -> "Cover":
+        """De Morgan complement of a single cube (one cube per literal)."""
+        result = Cover(self.width)
+        for index, value in enumerate(cube.values):
+            if value == ZERO:
+                result.add(Cube.universe(self.width).set_var(index, ONE))
+            elif value == ONE:
+                result.add(Cube.universe(self.width).set_var(index, ZERO))
+        return result
+
+    def sharp_cube(self, cube: Cube) -> "Cover":
+        """The sharp product ``self # cube`` (points of self not in cube)."""
+        result = Cover(self.width)
+        for mine in self.cubes:
+            if not mine.intersects(cube):
+                result.add(mine)
+                continue
+            # mine # cube: split along each conflicting free position.
+            for index in range(self.width):
+                if cube[index] == DASH or mine[index] != DASH:
+                    continue
+                opposite = ZERO if cube[index] == ONE else ONE
+                result.add(mine.set_var(index, opposite))
+            if cube.contains(mine):
+                continue
+            # Positions where mine is bound opposite to cube already make
+            # them disjoint, handled by the intersects() guard above.
+        return result.scc()
+
+    def sharp(self, other: "Cover") -> "Cover":
+        """Set difference ``self # other`` as a cover."""
+        result = self.copy()
+        for cube in other.cubes:
+            result = result.sharp_cube(cube)
+        return result
+
+    # -- supercube --------------------------------------------------------------
+    def supercube(self) -> Optional[Cube]:
+        """Smallest cube containing the whole cover (None when empty)."""
+        if not self.cubes:
+            return None
+        acc = self.cubes[0]
+        for cube in self.cubes[1:]:
+            acc = acc.supercube(cube)
+        return acc

@@ -1,0 +1,150 @@
+"""Tests for the gyocro/Herb baselines, including the Fig. 10 trap."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.baselines import (GyocroOptions, MvCover, MvCube, gyocro_solve,
+                             herb_solve)
+from repro.core import (BooleanRelation, NotWellDefinedError, quick_solve,
+                        solve_relation)
+from repro.sop import Cube
+
+from ..core.strategies import set_relations
+from ..core.test_paper_examples import fig5_relation
+
+
+class TestMvCover:
+    def test_function_nodes(self):
+        rows = [{0b01}, {0b10}, {0b01}, {0b10}]
+        relation = BooleanRelation.from_output_sets(rows, 2, 2)
+        cover = MvCover(2, 2)
+        cover.append(MvCube(Cube.from_str("0-"), frozenset({0})))
+        cover.append(MvCube(Cube.from_str("1-"), frozenset({1})))
+        nodes = cover.function_nodes(relation)
+        mgr = relation.mgr
+        assert nodes[0] == mgr.nvar(relation.inputs[0])
+        assert nodes[1] == mgr.var(relation.inputs[0])
+        assert cover.is_compatible(relation)
+
+    def test_from_functions_merges_tags(self):
+        rows = [{0b11}, {0b11}]
+        relation = BooleanRelation.from_output_sets(rows, 1, 2)
+        mgr = relation.mgr
+        from repro.bdd import TRUE
+        cover = MvCover.from_functions(relation, [TRUE, TRUE])
+        assert cover.cube_count() == 1
+        assert cover.cubes[0].outputs == frozenset({0, 1})
+
+    def test_cost_is_cubes_then_literals(self):
+        cover = MvCover(2, 1)
+        cover.append(MvCube(Cube.from_str("1-"), frozenset({0})))
+        cover.append(MvCube(Cube.from_str("01"), frozenset({0})))
+        assert cover.cost() == (2, 3)
+
+    def test_tagless_cubes_dropped(self):
+        cover = MvCover(2, 1)
+        cover.append(MvCube(Cube.from_str("1-"), frozenset()))
+        assert cover.cube_count() == 0
+
+    def test_bad_tag_rejected(self):
+        cover = MvCover(2, 1)
+        with pytest.raises(ValueError):
+            cover.append(MvCube(Cube.from_str("1-"), frozenset({3})))
+
+
+class TestGyocro:
+    def test_rejects_ill_defined(self):
+        bad = BooleanRelation.from_output_sets([set(), {1}], 1, 1)
+        with pytest.raises(NotWellDefinedError):
+            gyocro_solve(bad)
+
+    def test_rejects_incompatible_seed(self):
+        rows = [{0b01}, {0b01}]
+        relation = BooleanRelation.from_output_sets(rows, 1, 2)
+        seed = MvCover(1, 2)
+        seed.append(MvCube(Cube.from_str("-"), frozenset({1})))  # y1=1: bad
+        with pytest.raises(ValueError):
+            gyocro_solve(relation, GyocroOptions(initial=seed))
+
+    def test_solves_function_relation(self):
+        rows = [{0}, {1}, {1}, {0}]
+        relation = BooleanRelation.from_output_sets(rows, 2, 1)
+        result = gyocro_solve(relation)
+        assert relation.is_compatible(result.solution.functions)
+        assert result.cover.cube_count() == 2  # XOR needs two cubes
+
+    def test_improves_on_minterm_seed(self):
+        # Seed with four minterm cubes for f = x0; gyocro must merge them.
+        rows = [{0}, {1}, {0}, {1}]
+        relation = BooleanRelation.from_output_sets(rows, 2, 1)
+        seed = MvCover(2, 1)
+        for value in (0b01, 0b11):
+            seed.append(MvCube(Cube.minterm(2, value), frozenset({0})))
+        result = gyocro_solve(relation, GyocroOptions(initial=seed))
+        assert result.cover.cube_count() == 1
+        assert result.cover.literal_count() == 1
+
+
+class TestFig10Trap:
+    def paper_initial_cover(self, relation) -> MvCover:
+        """The paper's documented initial solution (x=1, y = ab + a'b')."""
+        cover = MvCover(2, 2)
+        cover.append(MvCube(Cube.from_str("--"), frozenset({0})))
+        cover.append(MvCube(Cube.from_str("11"), frozenset({1})))
+        cover.append(MvCube(Cube.from_str("00"), frozenset({1})))
+        return cover
+
+    def test_initial_cover_is_the_quicksolver_solution(self):
+        relation = fig5_relation()
+        quick = quick_solve(relation)
+        cover = MvCover.from_functions(relation, quick.functions)
+        assert cover.cost() == (3, 4)
+
+    def test_gyocro_gets_trapped(self):
+        """Section 9.1: no reduce/expand/irredundant move escapes the
+        initial basin, so gyocro terminates at 3 cubes / 4 literals."""
+        relation = fig5_relation()
+        result = gyocro_solve(relation)
+        assert result.cover.is_compatible(relation)
+        assert result.cover.cost() == (3, 4)
+
+    def test_herb_gets_trapped_too(self):
+        relation = fig5_relation()
+        result = herb_solve(relation)
+        assert result.cover.cost() == (3, 4)
+
+    def test_brel_beats_gyocro_here(self):
+        """The headline of Section 9.1: BREL escapes to (x=b, y=a)."""
+        relation = fig5_relation()
+        gyocro = gyocro_solve(relation)
+        brel = solve_relation(relation)
+        brel_cover = MvCover.from_functions(relation,
+                                            brel.solution.functions)
+        assert brel_cover.cost() < gyocro.cover.cost()
+        assert brel_cover.cost() == (2, 2)
+
+
+@given(set_relations(num_inputs=2, num_outputs=2))
+@settings(max_examples=25, deadline=None)
+def test_gyocro_always_compatible(reference):
+    relation = reference.to_bdd_relation()
+    result = gyocro_solve(relation)
+    assert relation.is_compatible(result.solution.functions)
+
+
+@given(set_relations(num_inputs=2, num_outputs=2))
+@settings(max_examples=15, deadline=None)
+def test_herb_always_compatible(reference):
+    relation = reference.to_bdd_relation()
+    result = herb_solve(relation)
+    assert relation.is_compatible(result.solution.functions)
+
+
+@given(set_relations(num_inputs=2, num_outputs=2))
+@settings(max_examples=15, deadline=None)
+def test_gyocro_never_worse_than_its_seed(reference):
+    relation = reference.to_bdd_relation()
+    seed = quick_solve(relation)
+    seed_cover = MvCover.from_functions(relation, seed.functions)
+    result = gyocro_solve(relation)
+    assert result.cover.cost() <= seed_cover.cost()

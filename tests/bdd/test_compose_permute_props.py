@@ -1,0 +1,94 @@
+"""Property tests for composition, permutation and cache management."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BddManager, FALSE, TRUE
+
+from ..conftest import bdd_from_tt, tt_from_bdd
+
+VARS = [0, 1, 2, 3]
+tt16 = st.integers(min_value=0, max_value=(1 << 16) - 1)
+
+
+def fresh_mgr():
+    return BddManager(["a", "b", "c", "d"])
+
+
+@given(tt16, tt16, st.integers(min_value=0, max_value=3))
+@settings(max_examples=50, deadline=None)
+def test_compose_agrees_with_shannon(f_tt, g_tt, var):
+    """f[x := g] == ite(g, f|x=1, f|x=0)."""
+    mgr = fresh_mgr()
+    f = bdd_from_tt(mgr, VARS, f_tt)
+    g = bdd_from_tt(mgr, VARS, g_tt)
+    composed = mgr.compose(f, var, g)
+    expected = mgr.ite(g, mgr.cofactor(f, var, True),
+                       mgr.cofactor(f, var, False))
+    assert composed == expected
+
+
+@given(tt16)
+@settings(max_examples=50, deadline=None)
+def test_compose_identity(f_tt):
+    """Substituting a variable for itself changes nothing."""
+    mgr = fresh_mgr()
+    f = bdd_from_tt(mgr, VARS, f_tt)
+    for var in VARS:
+        assert mgr.compose(f, var, mgr.var(var)) == f
+
+
+@given(tt16, tt16, tt16)
+@settings(max_examples=40, deadline=None)
+def test_vector_compose_matches_pointwise(f_tt, g0_tt, g1_tt):
+    """Simultaneous substitution evaluated pointwise."""
+    mgr = fresh_mgr()
+    f = bdd_from_tt(mgr, VARS, f_tt)
+    g0 = bdd_from_tt(mgr, VARS, g0_tt)
+    g1 = bdd_from_tt(mgr, VARS, g1_tt)
+    composed = mgr.vector_compose(f, {0: g0, 1: g1})
+    for point in range(16):
+        env = {i: bool((point >> i) & 1) for i in VARS}
+        inner = dict(env)
+        inner[0] = mgr.eval(g0, env)
+        inner[1] = mgr.eval(g1, env)
+        assert mgr.eval(composed, env) == mgr.eval(f, inner)
+
+
+@given(tt16)
+@settings(max_examples=50, deadline=None)
+def test_permute_full_reversal(f_tt):
+    """Reversing the variable order twice is the identity."""
+    mgr = fresh_mgr()
+    f = bdd_from_tt(mgr, VARS, f_tt)
+    reversal = {0: 3, 1: 2, 2: 1, 3: 0}
+    assert mgr.permute(mgr.permute(f, reversal), reversal) == f
+
+
+@given(tt16)
+@settings(max_examples=50, deadline=None)
+def test_permute_semantics(f_tt):
+    mgr = fresh_mgr()
+    f = bdd_from_tt(mgr, VARS, f_tt)
+    mapping = {0: 1, 1: 0}
+    swapped = mgr.permute(f, mapping)
+    for point in range(16):
+        env = {i: bool((point >> i) & 1) for i in VARS}
+        swapped_env = dict(env)
+        swapped_env[0], swapped_env[1] = env[1], env[0]
+        assert mgr.eval(swapped, env) == mgr.eval(f, swapped_env)
+
+
+def test_clear_caches_preserves_results():
+    mgr = fresh_mgr()
+    f = mgr.and_(mgr.var(0), mgr.var(1))
+    mgr.clear_caches()
+    again = mgr.and_(mgr.var(0), mgr.var(1))
+    assert f == again  # the unique table survives, so ids are stable
+
+
+def test_empty_permute_is_identity():
+    mgr = fresh_mgr()
+    f = mgr.xor_(mgr.var(0), mgr.var(2))
+    assert mgr.permute(f, {}) == f
+    assert mgr.vector_compose(f, {}) == f

@@ -1,0 +1,146 @@
+"""Tests for generalized cofactors (constrain/restrict) and safe minimisation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import (FALSE, TRUE, BddManager, constrain,
+                       minimize_with_constrain, minimize_with_restrict,
+                       minimize_with_squeeze, restrict, squeeze)
+
+from ..conftest import bdd_from_tt
+
+VARS = [0, 1, 2, 3]
+tt16 = st.integers(min_value=0, max_value=(1 << 16) - 1)
+tt16_nonzero = st.integers(min_value=1, max_value=(1 << 16) - 1)
+
+
+def fresh_mgr():
+    return BddManager(["a", "b", "c", "d"])
+
+
+class TestConstrainBasics:
+    def test_constrain_true_care_is_identity(self):
+        mgr = fresh_mgr()
+        f = mgr.xor_(mgr.var(0), mgr.var(1))
+        assert constrain(mgr, f, TRUE) == f
+
+    def test_constrain_self_is_true(self):
+        mgr = fresh_mgr()
+        f = mgr.and_(mgr.var(0), mgr.var(2))
+        assert constrain(mgr, f, f) == TRUE
+
+    def test_constrain_empty_care_raises(self):
+        mgr = fresh_mgr()
+        with pytest.raises(ValueError):
+            constrain(mgr, mgr.var(0), FALSE)
+
+    def test_restrict_empty_care_raises(self):
+        mgr = fresh_mgr()
+        with pytest.raises(ValueError):
+            restrict(mgr, mgr.var(0), FALSE)
+
+    def test_restrict_drops_foreign_care_var(self):
+        mgr = fresh_mgr()
+        # f depends only on b; care set constrains a.  restrict must not
+        # introduce a into the result.
+        f = mgr.var(1)
+        care = mgr.var(0)
+        result = restrict(mgr, f, care)
+        assert 0 not in mgr.support(result)
+
+
+@given(tt16, tt16_nonzero)
+@settings(max_examples=80, deadline=None)
+def test_constrain_agrees_on_care_set(f_tt, c_tt):
+    mgr = fresh_mgr()
+    f = bdd_from_tt(mgr, VARS, f_tt)
+    c = bdd_from_tt(mgr, VARS, c_tt)
+    result = constrain(mgr, f, c)
+    assert mgr.and_(result, c) == mgr.and_(f, c)
+
+
+@given(tt16, tt16_nonzero)
+@settings(max_examples=80, deadline=None)
+def test_restrict_agrees_on_care_set(f_tt, c_tt):
+    mgr = fresh_mgr()
+    f = bdd_from_tt(mgr, VARS, f_tt)
+    c = bdd_from_tt(mgr, VARS, c_tt)
+    result = restrict(mgr, f, c)
+    assert mgr.and_(result, c) == mgr.and_(f, c)
+
+
+@given(tt16, tt16_nonzero)
+@settings(max_examples=50, deadline=None)
+def test_restrict_support_within_function(f_tt, c_tt):
+    """restrict never introduces variables outside supp(f) ∪ supp(c)."""
+    mgr = fresh_mgr()
+    f = bdd_from_tt(mgr, VARS, f_tt)
+    c = bdd_from_tt(mgr, VARS, c_tt)
+    result = restrict(mgr, f, c)
+    assert set(mgr.support(result)) <= set(mgr.support(f))
+
+
+class TestSqueezeBasics:
+    def test_point_interval_identity(self):
+        mgr = fresh_mgr()
+        f = mgr.xor_(mgr.var(0), mgr.var(3))
+        assert squeeze(mgr, f, f) == f
+
+    def test_full_interval_gives_constant(self):
+        mgr = fresh_mgr()
+        assert squeeze(mgr, FALSE, TRUE) == FALSE
+
+    def test_empty_interval_raises(self):
+        mgr = fresh_mgr()
+        with pytest.raises(ValueError):
+            squeeze(mgr, TRUE, mgr.var(0))
+
+    def test_drops_nonessential_variable(self):
+        mgr = fresh_mgr()
+        a, b = mgr.var(0), mgr.var(1)
+        lower = mgr.and_(a, b)
+        upper = b
+        result = squeeze(mgr, lower, upper)
+        # The interval contains plain "b": variable a is non-essential.
+        assert result == b
+
+
+@given(tt16, tt16)
+@settings(max_examples=80, deadline=None)
+def test_squeeze_within_interval(lower_tt, dc_tt):
+    mgr = fresh_mgr()
+    upper_tt = lower_tt | dc_tt
+    lower = bdd_from_tt(mgr, VARS, lower_tt)
+    upper = bdd_from_tt(mgr, VARS, upper_tt)
+    result = squeeze(mgr, lower, upper)
+    assert mgr.implies(lower, result)
+    assert mgr.implies(result, upper)
+
+
+@given(tt16, tt16)
+@settings(max_examples=80, deadline=None)
+def test_squeeze_is_safe(lower_tt, dc_tt):
+    """The result never exceeds the smaller endpoint representation."""
+    mgr = fresh_mgr()
+    upper_tt = lower_tt | dc_tt
+    lower = bdd_from_tt(mgr, VARS, lower_tt)
+    upper = bdd_from_tt(mgr, VARS, upper_tt)
+    result = squeeze(mgr, lower, upper)
+    assert mgr.size(result) <= min(mgr.size(lower), mgr.size(upper))
+
+
+@given(tt16, tt16)
+@settings(max_examples=60, deadline=None)
+def test_isf_minimizers_stay_in_interval(on_tt, dc_raw):
+    """All three ISF back-ends return implementations of the ISF."""
+    mgr = fresh_mgr()
+    dc_tt = dc_raw & ~on_tt & ((1 << 16) - 1)
+    on = bdd_from_tt(mgr, VARS, on_tt)
+    dc = bdd_from_tt(mgr, VARS, dc_tt)
+    upper = mgr.or_(on, dc)
+    for backend in (minimize_with_constrain, minimize_with_restrict,
+                    minimize_with_squeeze):
+        impl = backend(mgr, on, dc)
+        assert mgr.implies(on, impl), backend.__name__
+        assert mgr.implies(impl, upper), backend.__name__

@@ -1,0 +1,133 @@
+"""Tests for the Minato-Morreale ISOP generator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import FALSE, TRUE, BddManager, cover_literals, isop
+
+from ..conftest import bdd_from_tt
+
+VARS = [0, 1, 2, 3]
+tt16 = st.integers(min_value=0, max_value=(1 << 16) - 1)
+
+
+def fresh_mgr():
+    return BddManager(["a", "b", "c", "d"])
+
+
+class TestIsopBasics:
+    def test_constant_false(self):
+        mgr = fresh_mgr()
+        cover, node = isop(mgr, FALSE, FALSE)
+        assert cover == []
+        assert node == FALSE
+
+    def test_constant_true(self):
+        mgr = fresh_mgr()
+        cover, node = isop(mgr, TRUE, TRUE)
+        assert cover == [{}]
+        assert node == TRUE
+
+    def test_single_literal(self):
+        mgr = fresh_mgr()
+        a = mgr.var(0)
+        cover, node = isop(mgr, a, a)
+        assert cover == [{0: True}]
+        assert node == a
+
+    def test_full_interval_prefers_small_cover(self):
+        mgr = fresh_mgr()
+        # [0, 1]: anything is allowed; the empty function suffices.
+        cover, node = isop(mgr, FALSE, TRUE)
+        assert cover == []
+        assert node == FALSE
+
+    def test_invalid_interval_raises(self):
+        mgr = fresh_mgr()
+        with pytest.raises(ValueError):
+            isop(mgr, TRUE, mgr.var(0))
+
+    def test_xor_needs_two_cubes(self):
+        mgr = fresh_mgr()
+        f = mgr.xor_(mgr.var(0), mgr.var(1))
+        cover, node = isop(mgr, f, f)
+        assert node == f
+        assert len(cover) == 2
+        assert cover_literals(cover) == 4
+
+    def test_dont_cares_shrink_cover(self):
+        mgr = fresh_mgr()
+        a, b = mgr.var(0), mgr.var(1)
+        on = mgr.and_(a, b)
+        upper = a  # don't care on a & ~b
+        cover, node = isop(mgr, on, upper)
+        # a single-cube solution "a" exists inside the interval
+        assert len(cover) == 1
+        assert cover == [{0: True}]
+
+
+@given(tt16, tt16)
+@settings(max_examples=80, deadline=None)
+def test_isop_within_interval(lower_tt, dc_tt):
+    mgr = fresh_mgr()
+    upper_tt = lower_tt | dc_tt
+    lower = bdd_from_tt(mgr, VARS, lower_tt)
+    upper = bdd_from_tt(mgr, VARS, upper_tt)
+    cover, node = isop(mgr, lower, upper)
+    assert mgr.implies(lower, node)
+    assert mgr.implies(node, upper)
+
+
+@given(tt16, tt16)
+@settings(max_examples=80, deadline=None)
+def test_isop_cover_matches_node(lower_tt, dc_tt):
+    mgr = fresh_mgr()
+    upper_tt = lower_tt | dc_tt
+    lower = bdd_from_tt(mgr, VARS, lower_tt)
+    upper = bdd_from_tt(mgr, VARS, upper_tt)
+    cover, node = isop(mgr, lower, upper)
+    rebuilt = FALSE
+    for cube in cover:
+        rebuilt = mgr.or_(rebuilt, mgr.cube(cube))
+    assert rebuilt == node
+
+
+@given(tt16, tt16)
+@settings(max_examples=50, deadline=None)
+def test_isop_cubes_are_implicants(lower_tt, dc_tt):
+    """Every cube must fit below the upper bound."""
+    mgr = fresh_mgr()
+    upper_tt = lower_tt | dc_tt
+    lower = bdd_from_tt(mgr, VARS, lower_tt)
+    upper = bdd_from_tt(mgr, VARS, upper_tt)
+    cover, _ = isop(mgr, lower, upper)
+    for cube in cover:
+        assert mgr.implies(mgr.cube(cube), upper)
+
+
+@given(tt16, tt16)
+@settings(max_examples=50, deadline=None)
+def test_isop_irredundant(lower_tt, dc_tt):
+    """Removing any cube must uncover part of the lower bound."""
+    mgr = fresh_mgr()
+    upper_tt = lower_tt | dc_tt
+    lower = bdd_from_tt(mgr, VARS, lower_tt)
+    upper = bdd_from_tt(mgr, VARS, upper_tt)
+    cover, _ = isop(mgr, lower, upper)
+    for skip in range(len(cover)):
+        rest = FALSE
+        for index, cube in enumerate(cover):
+            if index != skip:
+                rest = mgr.or_(rest, mgr.cube(cube))
+        assert not mgr.implies(lower, rest)
+
+
+@given(tt16)
+@settings(max_examples=50, deadline=None)
+def test_isop_exact_function_roundtrip(f_tt):
+    """With an empty DC set the ISOP represents exactly the function."""
+    mgr = fresh_mgr()
+    f = bdd_from_tt(mgr, VARS, f_tt)
+    cover, node = isop(mgr, f, f)
+    assert node == f

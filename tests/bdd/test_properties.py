@@ -1,0 +1,125 @@
+"""Property-based tests: BDD algebra versus truth-table semantics."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import FALSE, TRUE, BddManager
+
+from ..conftest import bdd_from_tt, tt_from_bdd
+
+VARS = [0, 1, 2, 3]
+FULL = (1 << 16) - 1
+tt16 = st.integers(min_value=0, max_value=FULL)
+
+
+def fresh_mgr() -> BddManager:
+    return BddManager(["a", "b", "c", "d"])
+
+
+@given(tt16, tt16)
+@settings(max_examples=60, deadline=None)
+def test_and_matches_bitwise(f_tt, g_tt):
+    mgr = fresh_mgr()
+    f = bdd_from_tt(mgr, VARS, f_tt)
+    g = bdd_from_tt(mgr, VARS, g_tt)
+    assert tt_from_bdd(mgr, VARS, mgr.and_(f, g)) == (f_tt & g_tt)
+
+
+@given(tt16, tt16)
+@settings(max_examples=60, deadline=None)
+def test_or_matches_bitwise(f_tt, g_tt):
+    mgr = fresh_mgr()
+    f = bdd_from_tt(mgr, VARS, f_tt)
+    g = bdd_from_tt(mgr, VARS, g_tt)
+    assert tt_from_bdd(mgr, VARS, mgr.or_(f, g)) == (f_tt | g_tt)
+
+
+@given(tt16, tt16)
+@settings(max_examples=60, deadline=None)
+def test_xor_matches_bitwise(f_tt, g_tt):
+    mgr = fresh_mgr()
+    f = bdd_from_tt(mgr, VARS, f_tt)
+    g = bdd_from_tt(mgr, VARS, g_tt)
+    assert tt_from_bdd(mgr, VARS, mgr.xor_(f, g)) == (f_tt ^ g_tt)
+
+
+@given(tt16)
+@settings(max_examples=60, deadline=None)
+def test_not_matches_bitwise(f_tt):
+    mgr = fresh_mgr()
+    f = bdd_from_tt(mgr, VARS, f_tt)
+    assert tt_from_bdd(mgr, VARS, mgr.not_(f)) == (FULL ^ f_tt)
+
+
+@given(tt16, tt16, tt16)
+@settings(max_examples=40, deadline=None)
+def test_ite_matches_mux(f_tt, g_tt, h_tt):
+    mgr = fresh_mgr()
+    f = bdd_from_tt(mgr, VARS, f_tt)
+    g = bdd_from_tt(mgr, VARS, g_tt)
+    h = bdd_from_tt(mgr, VARS, h_tt)
+    expected = (f_tt & g_tt) | ((FULL ^ f_tt) & h_tt)
+    assert tt_from_bdd(mgr, VARS, mgr.ite(f, g, h)) == expected
+
+
+@given(tt16)
+@settings(max_examples=60, deadline=None)
+def test_canonicity_same_tt_same_node(f_tt):
+    """Two construction orders for the same function yield the same node."""
+    mgr = fresh_mgr()
+    f1 = bdd_from_tt(mgr, VARS, f_tt)
+    # Rebuild through Shannon expansion on the last variable.
+    low = bdd_from_tt(mgr, VARS[:3],
+                      sum(((f_tt >> i) & 1) << i for i in range(8)))
+    high = bdd_from_tt(mgr, VARS[:3],
+                       sum(((f_tt >> (i + 8)) & 1) << i for i in range(8)))
+    f2 = mgr.ite(mgr.var(3), high, low)
+    assert f1 == f2
+
+
+@given(tt16, st.integers(min_value=0, max_value=3),
+       st.booleans())
+@settings(max_examples=60, deadline=None)
+def test_cofactor_semantics(f_tt, var, value):
+    mgr = fresh_mgr()
+    f = bdd_from_tt(mgr, VARS, f_tt)
+    result = tt_from_bdd(mgr, VARS, mgr.cofactor(f, var, value))
+    for i in range(16):
+        j = (i | (1 << var)) if value else (i & ~(1 << var))
+        assert ((result >> i) & 1) == ((f_tt >> j) & 1)
+
+
+@given(tt16, st.sets(st.integers(min_value=0, max_value=3)))
+@settings(max_examples=60, deadline=None)
+def test_exists_forall_duality(f_tt, variables):
+    mgr = fresh_mgr()
+    f = bdd_from_tt(mgr, VARS, f_tt)
+    quantified = mgr.exists(f, variables)
+    dual = mgr.not_(mgr.forall(mgr.not_(f), variables))
+    assert quantified == dual
+
+
+@given(tt16, st.sets(st.integers(min_value=0, max_value=3), min_size=1))
+@settings(max_examples=60, deadline=None)
+def test_exists_covers_function(f_tt, variables):
+    mgr = fresh_mgr()
+    f = bdd_from_tt(mgr, VARS, f_tt)
+    assert mgr.implies(f, mgr.exists(f, variables))
+    assert mgr.implies(mgr.forall(f, variables), f)
+
+
+@given(tt16)
+@settings(max_examples=60, deadline=None)
+def test_sat_count_matches_popcount(f_tt):
+    mgr = fresh_mgr()
+    f = bdd_from_tt(mgr, VARS, f_tt)
+    assert mgr.sat_count(f, VARS) == bin(f_tt).count("1")
+
+
+@given(tt16)
+@settings(max_examples=60, deadline=None)
+def test_minterm_enumeration_matches(f_tt):
+    mgr = fresh_mgr()
+    f = bdd_from_tt(mgr, VARS, f_tt)
+    expected = {i for i in range(16) if (f_tt >> i) & 1}
+    assert set(mgr.minterms(f, VARS)) == expected

@@ -1,0 +1,111 @@
+"""Tests for path/cube traversal helpers."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import (FALSE, TRUE, BddManager, count_paths, iter_cubes,
+                       pick_minterm, shortest_path_cube, to_dot, truth_table)
+
+from ..conftest import bdd_from_tt
+
+VARS = [0, 1, 2, 3]
+tt16 = st.integers(min_value=0, max_value=(1 << 16) - 1)
+
+
+def fresh_mgr():
+    return BddManager(["a", "b", "c", "d"])
+
+
+class TestShortestPath:
+    def test_unsat_returns_none(self):
+        mgr = fresh_mgr()
+        assert shortest_path_cube(mgr, FALSE) is None
+
+    def test_true_returns_empty_cube(self):
+        mgr = fresh_mgr()
+        assert shortest_path_cube(mgr, TRUE) == {}
+
+    def test_single_minterm(self):
+        mgr = fresh_mgr()
+        node = mgr.cube({0: True, 1: False, 2: True})
+        assert shortest_path_cube(mgr, node) == {0: True, 1: False, 2: True}
+
+    def test_prefers_fewer_literals(self):
+        mgr = fresh_mgr()
+        # f = (a & b & c) | d : the d-only path has one literal... but the
+        # BDD path through a=0..c skips to d.  Path via lows reaches d with
+        # one literal after skipping none: cube {a:0? ...}
+        f = mgr.or_(mgr.and_(mgr.and_(mgr.var(0), mgr.var(1)), mgr.var(2)),
+                    mgr.var(3))
+        cube = shortest_path_cube(mgr, f)
+        node = mgr.cube(cube)
+        assert mgr.implies(node, f)
+        assert len(cube) <= 2
+
+    def test_deterministic(self):
+        mgr = fresh_mgr()
+        f = mgr.or_(mgr.var(0), mgr.var(1))
+        assert shortest_path_cube(mgr, f) == shortest_path_cube(mgr, f)
+
+
+@given(tt16)
+@settings(max_examples=60, deadline=None)
+def test_shortest_path_is_implicant(f_tt):
+    mgr = fresh_mgr()
+    f = bdd_from_tt(mgr, VARS, f_tt)
+    cube = shortest_path_cube(mgr, f)
+    if f_tt == 0:
+        assert cube is None
+    else:
+        assert mgr.implies(mgr.cube(cube), f)
+
+
+@given(tt16)
+@settings(max_examples=60, deadline=None)
+def test_cubes_partition_function(f_tt):
+    mgr = fresh_mgr()
+    f = bdd_from_tt(mgr, VARS, f_tt)
+    union = FALSE
+    total = 0
+    for cube in iter_cubes(mgr, f):
+        node = mgr.cube(cube)
+        # disjointness with what we saw so far
+        assert mgr.and_(node, union) == FALSE
+        union = mgr.or_(union, node)
+        total += 1
+    assert union == f
+    assert total == count_paths(mgr, f)
+
+
+@given(tt16)
+@settings(max_examples=40, deadline=None)
+def test_pick_minterm(f_tt):
+    mgr = fresh_mgr()
+    f = bdd_from_tt(mgr, VARS, f_tt)
+    assignment = pick_minterm(mgr, f, VARS)
+    if f_tt == 0:
+        assert assignment is None
+    else:
+        assert mgr.eval(f, assignment)
+        assert set(assignment) == set(VARS)
+
+
+class TestTruthTableAndDot:
+    def test_truth_table_length(self):
+        mgr = fresh_mgr()
+        f = mgr.var(0)
+        assert len(truth_table(mgr, f, VARS)) == 16
+
+    def test_truth_table_values(self):
+        mgr = fresh_mgr()
+        f = mgr.and_(mgr.var(0), mgr.var(1))
+        table = truth_table(mgr, f, [0, 1])
+        assert table == [False, False, False, True]
+
+    def test_dot_output_contains_nodes(self):
+        mgr = fresh_mgr()
+        f = mgr.and_(mgr.var(0), mgr.var(1))
+        text = to_dot(mgr, [f], ["f"])
+        assert "digraph" in text
+        assert '"a"' in text and '"b"' in text
+        assert text.count("->") >= 4

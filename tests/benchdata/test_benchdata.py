@@ -1,0 +1,101 @@
+"""Tests for benchmark instance generators (determinism, validity)."""
+
+import pytest
+
+from repro.benchdata import (CIRCUITS, SUITE, build_suite, circuit_by_name,
+                             instance_by_name, random_relation,
+                             synthetic_circuit)
+from repro.benchdata.brgen import _is_cube_set
+
+
+class TestCubeSetPredicate:
+    def test_cube_sets(self):
+        assert _is_cube_set({0b00, 0b01}, 2)          # y0 free
+        assert _is_cube_set({0b00, 0b01, 0b10, 0b11}, 2)
+        assert _is_cube_set({0b10}, 2)
+
+    def test_non_cube_sets(self):
+        assert not _is_cube_set({0b00, 0b11}, 2)      # diagonal
+        assert not _is_cube_set({0b00, 0b01, 0b10}, 2)
+        assert not _is_cube_set(set(), 2)
+
+
+class TestRandomRelation:
+    def test_deterministic(self):
+        a = random_relation(3, 2, seed=42)
+        b = random_relation(3, 2, seed=42)
+        assert [o for _, o in a.rows()] == [o for _, o in b.rows()]
+
+    def test_well_defined(self):
+        for seed in range(10):
+            relation = random_relation(4, 3, seed=seed)
+            assert relation.is_well_defined()
+
+    def test_flexibility_extremes(self):
+        rigid = random_relation(4, 2, seed=1, flexibility=0.0)
+        assert rigid.is_function()
+        flexible = random_relation(4, 2, seed=1, flexibility=1.0)
+        assert not flexible.is_function()
+
+    def test_non_cube_rows_present(self):
+        relation = random_relation(4, 3, seed=3, flexibility=1.0,
+                                   non_cube_fraction=1.0)
+        # At least one row must be genuinely non-cube flexibility.
+        assert any(not _is_cube_set(outs, 3) for _, outs in relation.rows())
+
+
+class TestBrSuite:
+    def test_all_instances_build_well_defined(self):
+        for name, relation in build_suite().items():
+            assert relation.is_well_defined(), name
+
+    def test_instance_lookup(self):
+        instance = instance_by_name("b9")
+        assert instance.num_inputs == 6
+        with pytest.raises(KeyError):
+            instance_by_name("nope")
+
+    def test_sizes_match_spec(self):
+        relations = build_suite(("int1", "gr"))
+        assert len(relations["int1"].inputs) == 4
+        assert len(relations["gr"].outputs) == 5
+
+    def test_deterministic_across_builds(self):
+        first = build_suite(("vtx",))["vtx"]
+        second = build_suite(("vtx",))["vtx"]
+        assert [o for _, o in first.rows()] == [o for _, o in second.rows()]
+
+
+class TestCircuits:
+    def test_s27_is_genuine(self):
+        net = circuit_by_name("s27").build()
+        assert net.inputs == ["G0", "G1", "G2", "G3"]
+        assert net.outputs == ["G17"]
+        assert len(net.latches) == 3
+        assert net.node_count() == 10
+
+    def test_interface_counts_match_spec(self):
+        for spec in CIRCUITS[:8]:
+            net = spec.build()
+            assert len(net.inputs) == spec.num_inputs, spec.name
+            assert len(net.outputs) == spec.num_outputs, spec.name
+            assert len(net.latches) == spec.num_latches, spec.name
+            net.validate()
+
+    def test_synthetic_deterministic(self):
+        a = synthetic_circuit("det", 4, 2, 2, 12, seed=5)
+        b = synthetic_circuit("det", 4, 2, 2, 12, seed=5)
+        from repro.network import write_blif
+        assert write_blif(a) == write_blif(b)
+
+    def test_cone_support_bounded(self):
+        from repro.network import CollapsedNetwork
+        net = synthetic_circuit("bound", 6, 3, 4, 30, seed=9,
+                                max_cone_support=7)
+        collapsed = CollapsedNetwork(net)
+        for state, node in collapsed.next_state_nodes().items():
+            assert len(collapsed.mgr.support(node)) <= 7
+
+    def test_unknown_circuit_rejected(self):
+        with pytest.raises(KeyError):
+            circuit_by_name("s99999")

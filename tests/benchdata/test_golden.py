@@ -1,0 +1,60 @@
+"""Golden regression pins for the deterministic solver stack.
+
+Every number below is reproducible bit-for-bit (seeded instances,
+hash-order-independent algorithms).  A change here means an algorithmic
+change somewhere in the stack — deliberate improvements should update the
+pins consciously, silent drift should fail loudly.
+"""
+
+import pytest
+
+from repro.benchdata import build_suite, circuit_by_name
+from repro.core import quick_solve, solve_relation
+from repro.decompose import run_baseline
+
+#: (QuickSolver cost, BREL cost) under the default sum-of-sizes objective
+#: with the default 10-relation exploration budget.
+GOLDEN_SUITE_COSTS = {
+    "int1": (15, 11),
+    "int2": (27, 27),
+    "int3": (37, 36),
+    "int4": (52, 52),
+    "int5": (70, 66),
+    "int6": (87, 86),
+    "int7": (120, 119),
+    "int8": (168, 166),
+    "int9": (216, 216),
+    "int10": (297, 294),
+    "she1": (41, 36),
+    "she2": (96, 87),
+    "she3": (120, 120),
+    "b9": (91, 89),
+    "vtx": (94, 93),
+    "gr": (355, 355),
+    "c17b": (20, 20),
+    "c17i": (39, 37),
+}
+
+
+@pytest.mark.parametrize("name", sorted(GOLDEN_SUITE_COSTS))
+def test_suite_costs_pinned(name):
+    relation = build_suite((name,))[name]
+    quick = quick_solve(relation)
+    brel = solve_relation(relation)
+    expected_quick, expected_brel = GOLDEN_SUITE_COSTS[name]
+    assert quick.cost == expected_quick
+    assert brel.solution.cost == expected_brel
+
+
+def test_brel_improves_on_quick_for_half_the_suite():
+    """Aggregated sanity over the pins: BREL strictly improves often."""
+    improved = sum(1 for quick, brel in GOLDEN_SUITE_COSTS.values()
+                   if brel < quick)
+    assert improved >= 9
+
+
+def test_s27_baseline_flow_pinned():
+    net = circuit_by_name("s27").build()
+    metrics = run_baseline(net, "area")
+    assert metrics.area == 30.0
+    assert metrics.delay == pytest.approx(10.0)

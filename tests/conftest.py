@@ -1,0 +1,62 @@
+"""Shared fixtures and hypothesis strategies for the test suite.
+
+The central testing idea (DESIGN.md Section 6): everything small is checked
+against explicit truth-table semantics.  A Boolean function over ``n``
+variables is encoded as an integer bitmask with bit ``i`` holding the value
+of the function on the assignment encoded by ``i`` (bit ``j`` of ``i`` is
+variable ``j``).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.bdd import Bdd, BddManager
+
+
+def tt_strategy(num_vars: int):
+    """Hypothesis strategy for truth-table bitmasks over ``num_vars`` vars."""
+    return st.integers(min_value=0, max_value=(1 << (1 << num_vars)) - 1)
+
+
+def nonzero_tt_strategy(num_vars: int):
+    """Truth tables that are not constant FALSE."""
+    return st.integers(min_value=1, max_value=(1 << (1 << num_vars)) - 1)
+
+
+def bdd_from_tt(mgr: BddManager, variables: Sequence[int], table: int) -> int:
+    """Build the BDD node of the truth-table bitmask ``table``."""
+    minterms = [i for i in range(1 << len(variables)) if (table >> i) & 1]
+    return mgr.from_minterms(variables, minterms)
+
+
+def tt_from_bdd(mgr: BddManager, variables: Sequence[int], node: int) -> int:
+    """Read a BDD node back into a truth-table bitmask."""
+    table = 0
+    for i in range(1 << len(variables)):
+        assignment = {var: bool((i >> j) & 1)
+                      for j, var in enumerate(variables)}
+        if mgr.eval(node, assignment):
+            table |= 1 << i
+    return table
+
+
+@pytest.fixture
+def mgr3() -> BddManager:
+    """A fresh manager with three variables a, b, c."""
+    return BddManager(["a", "b", "c"])
+
+
+@pytest.fixture
+def mgr4() -> BddManager:
+    """A fresh manager with four variables."""
+    return BddManager(["a", "b", "c", "d"])
+
+
+@pytest.fixture
+def abc(mgr3: BddManager) -> List[Bdd]:
+    """The literals of :func:`mgr3` as Bdd handles."""
+    return [Bdd.variable(mgr3, i) for i in range(3)]

@@ -1,0 +1,85 @@
+"""A pure-Python set-based reference model of Boolean relations.
+
+Mirrors every :class:`repro.core.BooleanRelation` operation with explicit
+sets of integer pairs, entirely independent of the BDD engine, so that the
+two implementations can be compared on small instances.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
+
+from repro.core import BooleanRelation
+
+
+class SetRelation:
+    """An explicit relation: ``rows[x]`` is the set of allowed outputs."""
+
+    def __init__(self, num_inputs: int, num_outputs: int,
+                 rows: Sequence[Iterable[int]]) -> None:
+        self.num_inputs = num_inputs
+        self.num_outputs = num_outputs
+        self.rows: List[Set[int]] = [set(r) for r in rows]
+        assert len(self.rows) == 1 << num_inputs
+
+    # -- conversions -----------------------------------------------------
+    def to_bdd_relation(self) -> BooleanRelation:
+        return BooleanRelation.from_output_sets(
+            self.rows, self.num_inputs, self.num_outputs)
+
+    @staticmethod
+    def from_bdd_relation(relation: BooleanRelation) -> "SetRelation":
+        rows = [outs for _, outs in relation.rows()]
+        return SetRelation(len(relation.inputs), len(relation.outputs), rows)
+
+    # -- predicates ------------------------------------------------------
+    def is_well_defined(self) -> bool:
+        return all(self.rows)
+
+    def is_function(self) -> bool:
+        return all(len(r) == 1 for r in self.rows)
+
+    def pair_count(self) -> int:
+        return sum(len(r) for r in self.rows)
+
+    # -- projection (paper Definition 5.1) --------------------------------
+    def project(self, position: int) -> Dict[int, Set[int]]:
+        """Per input vertex, the set of values output ``position`` takes."""
+        return {x: {(y >> position) & 1 for y in outs}
+                for x, outs in enumerate(self.rows)}
+
+    def misf_rows(self) -> List[Set[int]]:
+        """The covering MISF (Definition 5.2) as explicit output sets."""
+        result = []
+        for x in range(1 << self.num_inputs):
+            allowed_bits = [self.project(j)[x]
+                            for j in range(self.num_outputs)]
+            vertex_outputs = set()
+            for bits in itertools.product(*allowed_bits):
+                value = 0
+                for j, bit in enumerate(bits):
+                    value |= bit << j
+                vertex_outputs.add(value)
+            result.append(vertex_outputs)
+        return result
+
+    # -- split (paper Definition 5.4) --------------------------------------
+    def split(self, vertex: int, position: int
+              ) -> Tuple["SetRelation", "SetRelation"]:
+        keep0 = [set(r) for r in self.rows]
+        keep1 = [set(r) for r in self.rows]
+        keep0[vertex] = {y for y in self.rows[vertex]
+                         if not (y >> position) & 1}
+        keep1[vertex] = {y for y in self.rows[vertex]
+                         if (y >> position) & 1}
+        return (SetRelation(self.num_inputs, self.num_outputs, keep0),
+                SetRelation(self.num_inputs, self.num_outputs, keep1))
+
+    # -- compatible functions -----------------------------------------------
+    def compatible_functions(self) -> Iterator[Tuple[int, ...]]:
+        """All compatible functions as tuples ``F[x] = y``."""
+        yield from itertools.product(*[sorted(r) for r in self.rows])
+
+    def is_compatible(self, function: Sequence[int]) -> bool:
+        return all(function[x] in outs for x, outs in enumerate(self.rows))

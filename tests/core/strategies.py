@@ -1,0 +1,32 @@
+"""Hypothesis strategies for random well-defined Boolean relations."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from .reference import SetRelation
+
+
+@st.composite
+def set_relations(draw, num_inputs: int = 2, num_outputs: int = 2,
+                  well_defined: bool = True):
+    """A random :class:`SetRelation` (left-total by default)."""
+    space = 1 << num_outputs
+    rows = []
+    for _ in range(1 << num_inputs):
+        min_size = 1 if well_defined else 0
+        outs = draw(st.sets(st.integers(min_value=0, max_value=space - 1),
+                            min_size=min_size, max_size=space))
+        rows.append(outs)
+    return SetRelation(num_inputs, num_outputs, rows)
+
+
+@st.composite
+def relations_with_vertex_and_output(draw, num_inputs: int = 2,
+                                     num_outputs: int = 2):
+    """A relation plus a (vertex, output-position) pair for split tests."""
+    relation = draw(set_relations(num_inputs, num_outputs))
+    vertex = draw(st.integers(min_value=0,
+                              max_value=(1 << num_inputs) - 1))
+    position = draw(st.integers(min_value=0, max_value=num_outputs - 1))
+    return relation, vertex, position

@@ -1,0 +1,162 @@
+"""Tests for cost functions, split selection, and symmetry detection."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.bdd import FALSE, TRUE, BddManager
+from repro.core import (BooleanRelation, SymmetryCache, bdd_size_cost,
+                        bdd_size_squared_cost, cube_count_cost,
+                        literal_count_cost, output_symmetries, quick_solve,
+                        select_split, shared_bdd_size_cost, solve_misf,
+                        symmetric_images, weighted_cost)
+
+from .strategies import set_relations
+
+
+class TestCostFunctions:
+    def setup_method(self):
+        self.mgr = BddManager(["a", "b", "c"])
+        self.a = self.mgr.var(0)
+        self.b = self.mgr.var(1)
+        self.xor = self.mgr.xor_(self.a, self.b)
+
+    def test_bdd_size_cost(self):
+        assert bdd_size_cost(self.mgr, [self.a, self.xor]) == 1 + 3
+
+    def test_squared_cost_penalises_imbalance(self):
+        balanced = [self.a, self.b]
+        lopsided = [self.xor, TRUE]
+        # Equal or smaller plain size, but squares separate them.
+        assert bdd_size_squared_cost(self.mgr, balanced) == 2
+        assert bdd_size_squared_cost(self.mgr, lopsided) == 9
+
+    def test_shared_size_counts_once(self):
+        assert shared_bdd_size_cost(self.mgr, [self.xor, self.xor]) == 3
+
+    def test_cube_count(self):
+        assert cube_count_cost(self.mgr, [self.xor]) == 2
+        assert cube_count_cost(self.mgr, [TRUE]) == 1
+        assert cube_count_cost(self.mgr, [FALSE]) == 0
+
+    def test_literal_count(self):
+        assert literal_count_cost(self.mgr, [self.xor]) == 4
+        assert literal_count_cost(self.mgr, [self.a]) == 1
+
+    def test_weighted_blend(self):
+        cost = weighted_cost(size_weight=1.0, cube_weight=2.0)
+        assert cost(self.mgr, [self.xor]) == 3 + 2 * 2
+
+
+class TestSplitSelection:
+    def test_compatible_candidate_returns_none(self):
+        relation = BooleanRelation.from_output_sets([{0}, {1}], 1, 1)
+        functions = relation.function_vector()
+        assert select_split(relation, functions) is None
+
+    def test_split_choice_is_valid(self):
+        rows = [{0b01}, {0b01}, {0b00, 0b11}, {0b10, 0b11}]
+        relation = BooleanRelation.from_output_sets(rows, 2, 2)
+        mgr = relation.mgr
+        # A deliberately conflicting candidate: y0 = 1, y1 = 0 everywhere.
+        functions = [TRUE, FALSE]
+        choice = select_split(relation, functions)
+        assert choice is not None
+        vertex = choice.vertex_dict()
+        assert set(vertex) == set(relation.inputs)
+        assert relation.can_split(vertex, choice.position)
+        # The chosen vertex must be a conflict vertex.
+        conflicts = relation.conflict_inputs(functions)
+        assert mgr.eval(conflicts, vertex)
+
+
+@given(set_relations(num_inputs=3, num_outputs=2))
+@settings(max_examples=40, deadline=None)
+def test_split_choice_always_splittable(reference):
+    relation = reference.to_bdd_relation()
+    functions = solve_misf(relation.misf())
+    choice = select_split(relation, functions)
+    if choice is None:
+        assert relation.is_compatible(functions)
+    else:
+        vertex = choice.vertex_dict()
+        assert relation.can_split(vertex, choice.position)
+        r0, r1 = relation.split(vertex, choice.position)
+        assert r0.is_well_defined() and r1.is_well_defined()
+        assert r0 < relation and r1 < relation
+
+
+class TestSymmetry:
+    def symmetric_relation(self):
+        rows = [{0b01, 0b10}, {0b01, 0b10, 0b11}, {0b01, 0b10, 0b11},
+                {0b11}]
+        return BooleanRelation.from_output_sets(rows, 2, 2)
+
+    def asymmetric_relation(self):
+        rows = [{0b01}, {0b10}, {0b01}, {0b11}]
+        return BooleanRelation.from_output_sets(rows, 2, 2)
+
+    def test_ne_symmetry_detected(self):
+        pairs = output_symmetries(self.symmetric_relation())
+        assert (0, 1, "nonequivalence") in pairs
+
+    def test_asymmetric_relation_no_ne_pair(self):
+        pairs = output_symmetries(self.asymmetric_relation())
+        assert (0, 1, "nonequivalence") not in pairs
+
+    def test_equivalence_symmetry(self):
+        # Rows invariant under complementing both outputs and swapping:
+        # {00, 11} maps to itself under that transform.
+        rows = [{0b00, 0b11}, {0b00, 0b11}, {0b01, 0b10}, {0b01, 0b10}]
+        relation = BooleanRelation.from_output_sets(rows, 2, 2)
+        pairs = output_symmetries(relation)
+        assert (0, 1, "equivalence") in pairs
+
+    def test_symmetric_images_nonempty(self):
+        relation = self.symmetric_relation()
+        pairs = output_symmetries(relation)
+        r0, r1 = relation.split({0: False, 1: False}, 0)
+        images = symmetric_images(r0, pairs)
+        assert r1.node in images
+
+    def test_cache_prunes_second_image(self):
+        relation = self.symmetric_relation()
+        cache = SymmetryCache(relation, max_depth=5)
+        r0, r1 = relation.split({0: False, 1: False}, 0)
+        assert not cache.should_prune(r0, depth=1)
+        assert cache.should_prune(r1, depth=1)
+        assert cache.hits == 1
+
+    def test_cache_depth_limit(self):
+        relation = self.symmetric_relation()
+        cache = SymmetryCache(relation, max_depth=0)
+        r0, r1 = relation.split({0: False, 1: False}, 0)
+        assert not cache.should_prune(r0, depth=1)
+        assert not cache.should_prune(r1, depth=1)
+
+    def test_cache_without_symmetries_never_prunes(self):
+        relation = self.asymmetric_relation()
+        cache = SymmetryCache(relation, max_depth=5)
+        assert not cache.has_symmetries or cache.pairs
+        r0, r1 = relation.split({0: False, 1: False}, 0)
+        assert not cache.should_prune(r0, depth=1)
+
+
+@given(set_relations(num_inputs=2, num_outputs=2))
+@settings(max_examples=40, deadline=None)
+def test_detected_ne_symmetry_really_holds(reference):
+    relation = reference.to_bdd_relation()
+    pairs = output_symmetries(relation)
+    for i, j, kind in pairs:
+        if kind != "nonequivalence":
+            continue
+        # Swapping output bits i and j row-wise leaves the table unchanged.
+        for _, outs in relation.rows():
+            swapped = set()
+            for y in outs:
+                bit_i = (y >> i) & 1
+                bit_j = (y >> j) & 1
+                value = y & ~(1 << i) & ~(1 << j)
+                value |= bit_j << i
+                value |= bit_i << j
+                swapped.add(value)
+            assert swapped == outs

@@ -1,0 +1,124 @@
+"""Edge-case coverage: degenerate relations and solver corner behaviour."""
+
+import pytest
+
+from repro.bdd import FALSE, TRUE
+from repro.core import (BooleanRelation, BrelOptions, BrelSolver,
+                        exact_solve, quick_solve, solve_exactly,
+                        solve_relation)
+
+
+class TestSingleOutputRelations:
+    """With one output a well-defined BR *is* an ISF: no splits needed."""
+
+    def test_isf_relation_solved_without_splits(self):
+        # x0: output free; x1: must be 1 -> ISF [x1-ish, anything]
+        rows = [{0, 1}, {1}, {0, 1}, {1}]
+        relation = BooleanRelation.from_output_sets(rows, 2, 1)
+        assert relation.is_misf()
+        result = solve_relation(relation)
+        assert result.stats.splits == 0
+        assert relation.is_compatible(result.solution.functions)
+
+    def test_constant_flexibility_collapses_to_constant(self):
+        rows = [{0, 1}] * 4
+        relation = BooleanRelation.from_output_sets(rows, 2, 1)
+        result = solve_relation(relation)
+        assert result.solution.functions[0] in (TRUE, FALSE)
+        assert result.solution.cost == 0.0
+
+
+class TestZeroInputRelations:
+    """Relations over B^0 x B^m: one row, pure output choice."""
+
+    def test_zero_input_relation(self):
+        relation = BooleanRelation.from_output_sets([{0b01, 0b10}], 0, 2)
+        assert relation.is_well_defined()
+        assert relation.pair_count() == 2
+        result = solve_relation(relation)
+        assert relation.is_compatible(result.solution.functions)
+        # Both outputs are constants.
+        for func in result.solution.functions:
+            assert func in (TRUE, FALSE)
+
+    def test_zero_input_exact(self):
+        relation = BooleanRelation.from_output_sets([{0b11}], 0, 2)
+        best = exact_solve(relation)
+        assert tuple(best.functions) == (TRUE, TRUE)
+
+
+class TestFunctionalRelations:
+    """Already-functional relations: the solver must return that function."""
+
+    def test_functional_relation_short_circuit(self):
+        rows = [{1}, {0}, {1}, {0}]
+        relation = BooleanRelation.from_output_sets(rows, 2, 1)
+        assert relation.is_function()
+        result = solve_relation(relation)
+        expected = relation.function_vector()
+        assert list(result.solution.functions) == expected
+
+    def test_functional_multi_output(self):
+        rows = [{0b00}, {0b11}, {0b01}, {0b10}]
+        relation = BooleanRelation.from_output_sets(rows, 2, 2)
+        result = solve_exactly(relation)
+        assert relation.is_compatible(result.solution.functions)
+        # A functional relation has exactly one compatible function.
+        from repro.core import count_compatible_functions
+        assert count_compatible_functions(relation) == 1
+
+
+class TestSingleInputRelations:
+    def test_one_input_one_output(self):
+        relation = BooleanRelation.from_output_sets([{0, 1}, {0}], 1, 1)
+        result = solve_relation(relation)
+        # Cheapest compatible function is the constant 0.
+        assert result.solution.functions[0] == FALSE
+
+
+class TestFrontierBehaviour:
+    def test_zero_capacity_fifo_still_solves(self):
+        rows = [{0b01, 0b10}] * 4
+        relation = BooleanRelation.from_output_sets(rows, 2, 2)
+        options = BrelOptions(fifo_capacity=0, max_explored=10)
+        result = BrelSolver(options).solve(relation)
+        assert relation.is_compatible(result.solution.functions)
+        # Children were generated but could not be enqueued.
+        assert result.stats.frontier_overflow >= 0
+
+    def test_quick_on_subrelations_toggle(self):
+        # A relation where QuickSolver is suboptimal, so splits happen.
+        rows = [{0b00, 0b11}, {0b00, 0b11}, {0b01, 0b10}, {0b01, 0b10}]
+        relation = BooleanRelation.from_output_sets(rows, 2, 2)
+        with_quick = BrelSolver(BrelOptions(
+            quick_on_subrelations=True, max_explored=20)).solve(relation)
+        without = BrelSolver(BrelOptions(
+            quick_on_subrelations=False, max_explored=20)).solve(relation)
+        assert relation.is_compatible(with_quick.solution.functions)
+        assert relation.is_compatible(without.solution.functions)
+        assert with_quick.stats.quick_solutions > \
+            without.stats.quick_solutions
+
+    def test_stats_runtime_recorded(self):
+        relation = BooleanRelation.from_output_sets([{0}, {1}], 1, 1)
+        result = solve_relation(relation)
+        assert result.stats.runtime_seconds >= 0.0
+        stats_dict = result.stats.as_dict()
+        assert set(stats_dict) >= {"relations_explored", "splits",
+                                   "runtime_seconds"}
+
+
+class TestDescribe:
+    def test_describe_constants(self):
+        relation = BooleanRelation.from_output_sets([{0b01}] * 2, 1, 2)
+        result = solve_relation(relation)
+        text = result.solution.describe()
+        assert "f0 = 1" in text
+        assert "f1 = 0" in text
+
+    def test_to_table_shape(self):
+        relation = BooleanRelation.from_output_sets(
+            [{0b0}, {0b1}], 1, 1)
+        table = relation.to_table()
+        assert table.count("\n") == 2  # header + two rows
+        assert "|" in table

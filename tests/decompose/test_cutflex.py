@@ -1,0 +1,134 @@
+"""Tests for cut-flexibility relations (the paper's §1 motivation)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchdata import synthetic_circuit
+from repro.core import BrelOptions
+from repro.decompose import (CutError, cut_flexibility_relation,
+                             resynthesize_cut)
+from repro.network import LogicNetwork, parse_blif
+from repro.network.simulate import exhaustive_signature
+from repro.sop import Cover
+
+
+def reconvergent_and_network() -> LogicNetwork:
+    """The paper's §1 example: y1, y2 reconverge to an AND gate.
+
+    y1 = a & b, y2 = a | c, f = y1 & y2.
+    """
+    net = LogicNetwork("reconv")
+    for name in ("a", "b", "c"):
+        net.add_input(name)
+    net.add_node("y1", ["a", "b"], Cover.from_strings(2, ["11"]))
+    net.add_node("y2", ["a", "c"], Cover.from_strings(2, ["1-", "-1"]))
+    net.add_node("f", ["y1", "y2"], Cover.from_strings(2, ["11"]))
+    net.add_output("f")
+    return net
+
+
+class TestFlexibilityRelation:
+    def test_paper_and_gate_flexibility(self):
+        """Where the AND output must be 0, the cut flexibility is
+        {00, 01, 10}; where it must be 1, it is {11}."""
+        net = reconvergent_and_network()
+        relation, cut_vars = cut_flexibility_relation(net, ["y1", "y2"])
+        assert relation.is_well_defined()
+        # a=1, b=1, c=0: f must be 1 -> only (y1,y2) = (1,1).
+        vertex_111 = 0b001 | 0b010  # a=1 (bit0), b=1 (bit1), c=0
+        assert relation.output_set(vertex_111) == {0b11}
+        # a=0: f must be 0 -> anything except (1,1).
+        for vertex in (0b000, 0b010, 0b100, 0b110):
+            assert relation.output_set(vertex) == {0b00, 0b01, 0b10}
+
+    def test_original_functions_are_compatible(self):
+        net = reconvergent_and_network()
+        relation, cut_vars = cut_flexibility_relation(net, ["y1", "y2"])
+        mgr = relation.mgr
+        a, b, c = (mgr.var(i) for i in range(3))
+        y1 = mgr.and_(a, b)
+        y2 = mgr.or_(a, c)
+        assert relation.is_compatible([y1, y2])
+
+    def test_flexibility_is_not_an_misf(self):
+        """Joint flexibility {00,01,10} is precisely what DCs cannot say."""
+        net = reconvergent_and_network()
+        relation, _ = cut_flexibility_relation(net, ["y1", "y2"])
+        assert not relation.is_misf()
+
+    def test_empty_cut_rejected(self):
+        with pytest.raises(CutError):
+            cut_flexibility_relation(reconvergent_and_network(), [])
+
+    def test_leaf_in_cut_rejected(self):
+        with pytest.raises(CutError):
+            cut_flexibility_relation(reconvergent_and_network(), ["a"])
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(CutError):
+            cut_flexibility_relation(reconvergent_and_network(), ["zz"])
+
+
+class TestResynthesis:
+    def test_preserves_outputs(self):
+        net = reconvergent_and_network()
+        result = resynthesize_cut(net, ["y1", "y2"],
+                                  BrelOptions(max_explored=20))
+        assert exhaustive_signature(result.network) == \
+            exhaustive_signature(net)
+
+    def test_can_reduce_literals(self):
+        """With full flexibility, f = y1 & y2 admits y1 = a, y2 = small."""
+        net = reconvergent_and_network()
+        result = resynthesize_cut(net, ["y1", "y2"],
+                                  BrelOptions(max_explored=50))
+        assert result.literals_after <= result.literals_before
+
+    def test_single_node_cut(self):
+        net = reconvergent_and_network()
+        result = resynthesize_cut(net, ["y1"],
+                                  BrelOptions(max_explored=10))
+        assert exhaustive_signature(result.network) == \
+            exhaustive_signature(net)
+
+    def test_cut_with_internal_dependency(self):
+        """A cut where one member feeds another still works."""
+        net = LogicNetwork("chain")
+        for name in ("a", "b"):
+            net.add_input(name)
+        net.add_node("u", ["a", "b"], Cover.from_strings(2, ["10", "01"]))
+        net.add_node("v", ["u", "a"], Cover.from_strings(2, ["1-", "-1"]))
+        net.add_node("f", ["v", "b"], Cover.from_strings(2, ["11"]))
+        net.add_output("f")
+        before = exhaustive_signature(net)
+        result = resynthesize_cut(net, ["u", "v"],
+                                  BrelOptions(max_explored=20))
+        assert exhaustive_signature(result.network) == before
+
+    def test_latch_boundaries_respected(self):
+        """Cut flexibility in a sequential frame preserves next-states."""
+        blif = (".model seq\n.inputs a b\n.outputs o\n.latch n q 0\n"
+                ".names a q t\n11 1\n"
+                ".names t b n\n1- 1\n-1 1\n"
+                ".names q o\n1 1\n.end\n")
+        net = parse_blif(blif)
+        before = exhaustive_signature(net)
+        result = resynthesize_cut(net, ["t"], BrelOptions(max_explored=10))
+        assert exhaustive_signature(result.network) == before
+
+
+@given(st.integers(min_value=0, max_value=2 ** 31 - 1),
+       st.integers(min_value=1, max_value=2))
+@settings(max_examples=10, deadline=None)
+def test_random_cut_resynthesis_preserves_behaviour(seed, cut_size):
+    net = synthetic_circuit("cut", 4, 2, 1, 10, seed=seed,
+                            max_cone_support=6)
+    internal = [name for name in net.topological_order()
+                if name in net.nodes]
+    cut = internal[:cut_size]
+    if not cut:
+        return
+    before = exhaustive_signature(net)
+    result = resynthesize_cut(net, cut, BrelOptions(max_explored=10))
+    assert exhaustive_signature(result.network) == before

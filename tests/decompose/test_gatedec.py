@@ -1,0 +1,113 @@
+"""Tests for BR-based gate decomposition, including the Fig. 11 example."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import BddManager, FALSE, TRUE
+from repro.core import BrelOptions
+from repro.decompose import (and_function, decompose_with_gate,
+                             decomposition_relation, mux_function,
+                             or_function, xor_function)
+
+
+def fig11_setup():
+    """The Section 10.1 example: f = x1(x2+x3) + x1'x2'x3', mux gate."""
+    mgr = BddManager(["x1", "x2", "x3", "A", "B", "C"])
+    x1, x2, x3 = mgr.var(0), mgr.var(1), mgr.var(2)
+    target = mgr.or_(
+        mgr.and_(x1, mgr.or_(x2, x3)),
+        mgr.and_(mgr.not_(x1), mgr.and_(mgr.not_(x2), mgr.not_(x3))))
+    gate = mux_function(mgr, 3, 4, 5)
+    return mgr, target, gate
+
+
+class TestRelationConstruction:
+    def test_fig11_relation_rows(self):
+        """For minterms with f = 0, the mux must output 0: the permitted
+        (A,B,C) vertices are {00-, 0-1... } per the paper's reasoning."""
+        mgr, target, gate = fig11_setup()
+        relation = decomposition_relation(mgr, target, [0, 1, 2], gate,
+                                          [3, 4, 5])
+        assert relation.is_well_defined()
+        # f(100) = 0 wait: f(x1=1,x2=0,x3=0) = 1*(0+0) + 0 = 0.
+        outs = relation.output_set(0b001)  # x1=1, x2=0, x3=0
+        # mux(A,B,C) == 0 requires A=0,C=0 or B=0,C=1.
+        expected = set()
+        for value in range(8):
+            a, b, c = value & 1, (value >> 1) & 1, (value >> 2) & 1
+            if (a and not c) or (b and c):
+                continue
+            expected.add(value)
+        assert outs == expected
+
+    def test_overlapping_vars_rejected(self):
+        mgr, target, gate = fig11_setup()
+        with pytest.raises(ValueError):
+            decomposition_relation(mgr, target, [0, 1, 2], gate, [2, 4, 5])
+
+    def test_target_support_checked(self):
+        mgr, target, gate = fig11_setup()
+        with pytest.raises(ValueError):
+            decomposition_relation(mgr, target, [0, 1], gate, [3, 4, 5])
+
+    def test_gate_support_checked(self):
+        mgr, target, gate = fig11_setup()
+        with pytest.raises(ValueError):
+            decomposition_relation(mgr, target, [0, 1, 2], gate, [3, 4])
+
+
+class TestDecomposition:
+    def test_fig11_decomposition_verifies(self):
+        mgr, target, gate = fig11_setup()
+        result = decompose_with_gate(mgr, target, [0, 1, 2], gate,
+                                     [3, 4, 5])
+        composed = mgr.vector_compose(
+            gate, {3: result.functions[0], 4: result.functions[1],
+                   5: result.functions[2]})
+        assert composed == target
+
+    def test_constant_gate_cannot_realise(self):
+        mgr = BddManager(["x", "A"])
+        target = mgr.var(0)
+        with pytest.raises(ValueError):
+            decompose_with_gate(mgr, target, [0], FALSE, [1])
+
+    def test_and_gate_decomposition(self):
+        mgr = BddManager(["x1", "x2", "x3", "A", "B"])
+        x1, x2, x3 = mgr.var(0), mgr.var(1), mgr.var(2)
+        target = mgr.and_(x1, mgr.and_(x2, x3))
+        gate = and_function(mgr, [3, 4])
+        result = decompose_with_gate(mgr, target, [0, 1, 2], gate, [3, 4])
+        composed = mgr.vector_compose(gate, {3: result.functions[0],
+                                             4: result.functions[1]})
+        assert composed == target
+
+    def test_xor_gate_decomposition(self):
+        mgr = BddManager(["x1", "x2", "A", "B"])
+        target = mgr.xor_(mgr.var(0), mgr.var(1))
+        gate = xor_function(mgr, [2, 3])
+        result = decompose_with_gate(mgr, target, [0, 1], gate, [2, 3])
+        composed = mgr.vector_compose(gate, {2: result.functions[0],
+                                             3: result.functions[1]})
+        assert composed == target
+
+    def test_or_gate_helper(self):
+        mgr = BddManager(["A", "B"])
+        assert or_function(mgr, [0, 1]) == mgr.or_(mgr.var(0), mgr.var(1))
+
+
+@given(st.integers(min_value=0, max_value=255))
+@settings(max_examples=30, deadline=None)
+def test_mux_decomposition_of_random_functions(table):
+    """Every 3-input function decomposes through a mux (A=f|C=0 etc.)."""
+    mgr = BddManager(["x1", "x2", "x3", "A", "B", "C"])
+    minterms = [i for i in range(8) if (table >> i) & 1]
+    target = mgr.from_minterms([0, 1, 2], minterms)
+    gate = mux_function(mgr, 3, 4, 5)
+    result = decompose_with_gate(
+        mgr, target, [0, 1, 2], gate, [3, 4, 5],
+        BrelOptions(max_explored=10))
+    composed = mgr.vector_compose(
+        gate, dict(zip([3, 4, 5], result.functions)))
+    assert composed == target

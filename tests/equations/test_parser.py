@@ -1,0 +1,99 @@
+"""Tests for the expression parser."""
+
+import pytest
+
+from repro.bdd import FALSE, TRUE, BddManager
+from repro.equations import (ParseError, parse_equation, parse_expression,
+                             tokenize)
+
+
+def evaluate(text, **values):
+    """Parse and evaluate an expression over named Boolean values."""
+    expr = parse_expression(text)
+    names = sorted(expr.variables())
+    mgr = BddManager(names)
+    env = {name: mgr.var(i) for i, name in enumerate(names)}
+    node = expr.to_bdd(mgr, env)
+    assignment = {i: values[name] for i, name in enumerate(names)}
+    return mgr.eval(node, assignment)
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        assert tokenize("a + b'") == ["a", "+", "b", "'"]
+
+    def test_multichar_identifiers(self):
+        assert tokenize("foo*bar_2") == ["foo", "*", "bar_2"]
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ParseError):
+            tokenize("a $ b")
+
+
+class TestExpressions:
+    def test_or_and_precedence(self):
+        # a + b*c == a OR (b AND c)
+        assert evaluate("a + b*c", a=False, b=True, c=True) is True
+        assert evaluate("a + b*c", a=False, b=True, c=False) is False
+
+    def test_juxtaposition_is_and(self):
+        assert evaluate("a b", a=True, b=True) is True
+        assert evaluate("a b", a=True, b=False) is False
+
+    def test_postfix_complement(self):
+        assert evaluate("a'", a=False) is True
+        assert evaluate("a''", a=True) is True
+
+    def test_prefix_complement(self):
+        assert evaluate("~a + !b", a=True, b=False) is True
+
+    def test_primed_juxtaposition(self):
+        # The classic XOR notation; note "ab" would be one identifier, so
+        # the conjunction needs a prime or space between the letters.
+        assert evaluate("a'b + a b'", a=True, b=False) is True
+        assert evaluate("a'b + a b'", a=True, b=True) is False
+
+    def test_xor_operator(self):
+        assert evaluate("a ^ b", a=True, b=False) is True
+        assert evaluate("a ^ b", a=True, b=True) is False
+
+    def test_parentheses(self):
+        assert evaluate("(a + b)c", a=True, b=False, c=True) is True
+        assert evaluate("(a + b)c", a=False, b=False, c=True) is False
+
+    def test_constants(self):
+        expr = parse_expression("a*0 + 1")
+        mgr = BddManager(["a"])
+        assert expr.to_bdd(mgr, {"a": mgr.var(0)}) == TRUE
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("a + b )")
+
+    def test_missing_operand_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("a +")
+
+    def test_unbalanced_paren_rejected(self):
+        with pytest.raises(ParseError):
+            parse_expression("(a + b")
+
+    def test_operator_sugar(self):
+        from repro.equations import Var
+        expr = (Var("a") & ~Var("b")) | Var("c")
+        assert expr.variables() == {"a", "b", "c"}
+
+
+class TestEquations:
+    def test_equality_forms(self):
+        for text in ("a = b", "a == b"):
+            lhs, rhs, op = parse_equation(text)
+            assert op == "=="
+
+    def test_inclusion_form(self):
+        lhs, rhs, op = parse_equation("a*b <= a")
+        assert op == "<="
+
+    def test_missing_relation_rejected(self):
+        with pytest.raises(ParseError):
+            parse_equation("a + b")

@@ -1,0 +1,186 @@
+"""Tests for Boolean systems: reduction, consistency, solving, Löwenheim."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import FALSE, TRUE
+from repro.core import BrelOptions
+from repro.equations import (BooleanEquation, BooleanSystem, instantiate,
+                             lowenheim_general_solution)
+
+
+def section8_system() -> BooleanSystem:
+    """A system in the style of the paper's Example 8.1.
+
+    Two equations over independents {a, b} and dependents {x, y, z}:
+
+        x + b'*y*z' + b*z  =  a
+        x*y + x*z + y*z    =  0
+
+    The second equation forces pairwise disjointness of x, y, z; the first
+    ties their union-ish combination to ``a``.
+    """
+    return BooleanSystem.parse(
+        ["x + b'*y*z' + b*z = a",
+         "x*y + x*z + y*z = 0"],
+        independents=["a", "b"],
+        dependents=["x", "y", "z"])
+
+
+class TestConstruction:
+    def test_requires_equations(self):
+        with pytest.raises(ValueError):
+            BooleanSystem([], ["a"], ["x"])
+
+    def test_rejects_overlapping_variables(self):
+        equation = BooleanEquation.parse("x = a")
+        with pytest.raises(ValueError):
+            BooleanSystem([equation], ["a", "x"], ["x"])
+
+    def test_rejects_undeclared_variables(self):
+        equation = BooleanEquation.parse("x = q")
+        with pytest.raises(ValueError):
+            BooleanSystem([equation], ["a"], ["x"])
+
+    def test_bad_op_rejected(self):
+        from repro.equations import Var
+        with pytest.raises(ValueError):
+            BooleanEquation(Var("a"), Var("b"), op=">=")
+
+
+class TestReduction:
+    def test_characteristic_of_tautology(self):
+        system = BooleanSystem.parse(["x = x"], [], ["x"])
+        assert system.characteristic() == TRUE
+
+    def test_characteristic_of_contradiction(self):
+        system = BooleanSystem.parse(["x = x'"], [], ["x"])
+        assert system.characteristic() == FALSE
+
+    def test_inclusion_semantics(self):
+        # x <= a: x may be 1 only where a is 1.
+        system = BooleanSystem.parse(["x <= a"], ["a"], ["x"])
+        relation = system.to_relation()
+        assert relation.output_set(0) == {0}        # a=0 -> x must be 0
+        assert relation.output_set(1) == {0, 1}     # a=1 -> x free
+
+    def test_conjunction_of_equations(self):
+        system = BooleanSystem.parse(["x <= a", "a <= x"], ["a"], ["x"])
+        relation = system.to_relation()
+        assert relation.output_set(0) == {0}
+        assert relation.output_set(1) == {1}
+
+
+class TestConsistency:
+    def test_consistent_system(self):
+        assert section8_system().is_consistent()
+
+    def test_inconsistent_system(self):
+        system = BooleanSystem.parse(["x*x' = a"], ["a"], ["x"])
+        # At a=1 there is no x with 0 = 1.
+        assert not system.is_consistent()
+
+    def test_solve_raises_on_inconsistent(self):
+        system = BooleanSystem.parse(["x*x' = a"], ["a"], ["x"])
+        with pytest.raises(ValueError):
+            system.solve()
+
+
+class TestSolving:
+    def test_solution_substitutes_to_tautology(self):
+        system = section8_system()
+        solution, result = system.solve()
+        assert system.is_solution(solution)
+
+    def test_known_particular_solution_verifies(self):
+        """x = a*b', y = a*b... construct a hand solution and check it.
+
+        With b=0: eq1 reads x + y*z' = a; with b=1: x + z = a.
+        Choosing x = a makes both read a = a, with y = z = 0 keeping
+        eq2 satisfied.
+        """
+        system = section8_system()
+        mgr = system.mgr
+        a = mgr.var(0)
+        hand = {"x": a, "y": FALSE, "z": FALSE}
+        assert system.is_solution(hand)
+
+    def test_wrong_solution_rejected(self):
+        system = section8_system()
+        mgr = system.mgr
+        bad = {"x": TRUE, "y": TRUE, "z": TRUE}
+        assert not system.is_solution(bad)
+
+    def test_missing_function_raises(self):
+        system = section8_system()
+        with pytest.raises(ValueError):
+            system.is_solution({"x": TRUE})
+
+    def test_describe_solution_renders(self):
+        system = section8_system()
+        solution, _ = system.solve()
+        text = system.describe_solution(solution)
+        assert text.count("=") == 3
+
+    def test_solutions_only_use_independents(self):
+        system = section8_system()
+        solution, _ = system.solve()
+        for node in solution.values():
+            assert set(system.mgr.support(node)) <= {0, 1}
+
+
+class TestLowenheim:
+    def test_general_solution_instantiates_to_solutions(self):
+        system = section8_system()
+        particular, _ = system.solve()
+        general, params = lowenheim_general_solution(system, particular)
+        mgr = system.mgr
+        # Try a handful of parameter instantiations, arbitrary functions.
+        a, b = mgr.var(0), mgr.var(1)
+        trials = [
+            [FALSE, FALSE, FALSE],
+            [TRUE, TRUE, TRUE],
+            [a, b, mgr.xor_(a, b)],
+            [mgr.and_(a, b), mgr.or_(a, b), mgr.not_(a)],
+        ]
+        for functions in trials:
+            candidate = instantiate(system, general, params, functions)
+            assert system.is_solution(candidate)
+
+    def test_rejects_non_solution_seed(self):
+        system = section8_system()
+        with pytest.raises(ValueError):
+            lowenheim_general_solution(
+                system, {"x": TRUE, "y": TRUE, "z": TRUE})
+
+    def test_parameter_arity_checked(self):
+        system = section8_system()
+        particular, _ = system.solve()
+        general, params = lowenheim_general_solution(system, particular)
+        with pytest.raises(ValueError):
+            instantiate(system, general, params, [TRUE])
+
+
+@given(st.integers(min_value=0, max_value=15),
+       st.integers(min_value=0, max_value=15))
+@settings(max_examples=30, deadline=None)
+def test_random_linear_systems_solve(mask_a, mask_b):
+    """Systems of the form x ^ y = f(a,b), x ^ z... always consistent."""
+    # x ^ y = <random function>, encoded through minterm masks.
+    def sop(mask):
+        terms = []
+        for value in range(4):
+            if (mask >> value) & 1:
+                lits = []
+                lits.append("a" if value & 1 else "a'")
+                lits.append("b" if value & 2 else "b'")
+                terms.append("*".join(lits))
+        return " + ".join(terms) if terms else "0"
+
+    system = BooleanSystem.parse(
+        ["x ^ y = %s" % sop(mask_a), "y = %s" % sop(mask_b)],
+        independents=["a", "b"], dependents=["x", "y"])
+    assert system.is_consistent()
+    solution, _ = system.solve()
+    assert system.is_solution(solution)

@@ -1,0 +1,180 @@
+"""Tests for algebraic division, kernels, and the restructuring script."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network import (LogicNetwork, algebraic_divide, algebraic_script,
+                           eliminate, extract_kernels, is_cube_free, kernels,
+                           largest_common_cube, make_cube_free, node_terms,
+                           parse_blif, simplify, sweep, terms_to_cover)
+from repro.network.simulate import exhaustive_signature
+from repro.sop import Cover
+
+
+def terms(*groups):
+    """Helper: build a Terms value from tuples of (name, polarity)."""
+    return frozenset(frozenset(group) for group in groups)
+
+
+class TestDivision:
+    def test_textbook_division(self):
+        # F = abc + abd + e; divide by (c + d) -> quotient ab, rem e.
+        f = terms([("a", True), ("b", True), ("c", True)],
+                  [("a", True), ("b", True), ("d", True)],
+                  [("e", True)])
+        divisor = terms([("c", True)], [("d", True)])
+        quotient, remainder = algebraic_divide(f, divisor)
+        assert quotient == {frozenset([("a", True), ("b", True)])}
+        assert remainder == {frozenset([("e", True)])}
+
+    def test_zero_quotient(self):
+        f = terms([("a", True)])
+        divisor = terms([("b", True)])
+        quotient, remainder = algebraic_divide(f, divisor)
+        assert quotient == set()
+        assert remainder == set(f)
+
+    def test_divide_by_zero_rejected(self):
+        with pytest.raises(ValueError):
+            algebraic_divide(terms([("a", True)]), frozenset())
+
+    def test_reconstruction_identity(self):
+        f = terms([("a", True), ("c", True)],
+                  [("b", True), ("c", True)],
+                  [("d", True)])
+        divisor = terms([("a", True)], [("b", True)])
+        quotient, remainder = algebraic_divide(f, divisor)
+        product = {q | d for q in quotient for d in divisor}
+        assert product | remainder == set(f)
+
+
+class TestKernels:
+    def test_cube_free_detection(self):
+        assert is_cube_free(terms([("a", True)], [("b", True)]))
+        assert not is_cube_free(terms([("a", True), ("b", True)],
+                                      [("a", True), ("c", True)]))
+
+    def test_largest_common_cube(self):
+        shared = largest_common_cube(terms(
+            [("a", True), ("b", True), ("c", True)],
+            [("a", True), ("b", True), ("d", True)]))
+        assert shared == frozenset([("a", True), ("b", True)])
+
+    def test_make_cube_free(self):
+        result = make_cube_free(terms(
+            [("a", True), ("c", True)], [("a", True), ("d", True)]))
+        assert result == terms([("c", True)], [("d", True)])
+
+    def test_kernels_of_textbook_expression(self):
+        # F = ace + bce + de + g: kernels include (ac+bc+d) and (a+b).
+        f = terms([("a", True), ("c", True), ("e", True)],
+                  [("b", True), ("c", True), ("e", True)],
+                  [("d", True), ("e", True)],
+                  [("g", True)])
+        found = {kernel for kernel, _ in kernels(f)}
+        assert terms([("a", True)], [("b", True)]) in found
+        assert terms([("a", True), ("c", True)],
+                     [("b", True), ("c", True)],
+                     [("d", True)]) in found
+        # The expression itself is cube-free, so it is its own kernel.
+        assert f in found
+
+    def test_single_cube_has_no_kernels(self):
+        f = terms([("a", True), ("b", True)])
+        assert kernels(f) == set()
+
+    def test_terms_cover_roundtrip(self):
+        f = terms([("a", True), ("b", False)], [("c", True)])
+        names, cover = terms_to_cover(f)
+        net_node_terms = set()
+        for cube in cover:
+            literals = []
+            for position, value in enumerate(cube.values):
+                if value != 2:
+                    literals.append((names[position], bool(value)))
+            net_node_terms.add(frozenset(literals))
+        assert net_node_terms == set(f)
+
+
+BLIF_SHARED = """
+.model shared
+.inputs a b c d e
+.outputs f g
+.names a c x1
+11 1
+.names b c x2
+11 1
+.names x1 x2 d f
+1-- 1
+-1- 1
+--1 1
+.names a b e g
+11- 1
+--1 1
+.end
+"""
+
+
+class TestScript:
+    def test_sweep_folds_buffers_and_inverters(self):
+        text = (".model m\n.inputs a\n.outputs f\n"
+                ".names a buf\n1 1\n.names buf inv\n0 1\n"
+                ".names inv f\n0 1\n.end\n")
+        net = parse_blif(text)
+        before = exhaustive_signature(net)
+        removed = sweep(net)
+        assert removed >= 2
+        assert exhaustive_signature(net) == before
+
+    def test_sweep_folds_constants(self):
+        text = (".model m\n.inputs a\n.outputs f\n"
+                ".names one\n1\n.names a one f\n11 1\n.end\n")
+        net = parse_blif(text)
+        before = exhaustive_signature(net)
+        sweep(net)
+        assert exhaustive_signature(net) == before
+        assert "one" not in net.nodes
+
+    def test_eliminate_preserves_function(self):
+        net = parse_blif(BLIF_SHARED)
+        before = exhaustive_signature(net)
+        eliminate(net, threshold=10)  # aggressive: inline everything cheap
+        assert exhaustive_signature(net) == before
+
+    def test_extract_kernels_creates_sharing(self):
+        # f = a*c + b*c, g = a*d + b*d: common kernel (a + b).
+        text = (".model k\n.inputs a b c d\n.outputs f g\n"
+                ".names a b c f\n1-1 1\n-11 1\n"
+                ".names a b d g\n1-1 1\n-11 1\n.end\n")
+        net = parse_blif(text)
+        before = exhaustive_signature(net)
+        lits_before = net.literal_count()
+        created = extract_kernels(net)
+        assert created >= 1
+        assert exhaustive_signature(net) == before
+        assert net.literal_count() < lits_before
+
+    def test_simplify_preserves_function(self):
+        net = parse_blif(BLIF_SHARED)
+        before = exhaustive_signature(net)
+        simplify(net)
+        assert exhaustive_signature(net) == before
+
+    def test_full_script_preserves_function_and_reduces_literals(self):
+        net = parse_blif(BLIF_SHARED)
+        before = exhaustive_signature(net)
+        optimised = algebraic_script(net)
+        assert exhaustive_signature(optimised) == before
+        assert optimised.literal_count() <= net.literal_count()
+
+
+@given(st.integers(min_value=0, max_value=2 ** 31 - 1))
+@settings(max_examples=15, deadline=None)
+def test_script_preserves_random_circuits(seed):
+    from repro.benchdata import synthetic_circuit
+    net = synthetic_circuit("rnd", 4, 3, 2, 12, seed=seed,
+                            max_cone_support=6)
+    before = exhaustive_signature(net)
+    optimised = algebraic_script(net)
+    assert exhaustive_signature(optimised) == before

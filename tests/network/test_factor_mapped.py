@@ -1,0 +1,137 @@
+"""Tests for algebraic factoring and mapped-netlist emission."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchdata import S27_BLIF, synthetic_circuit
+from repro.network import (LogicNetwork, factor_node, factor_terms,
+                           factored_literal_count, gate_cover,
+                           default_library, map_network,
+                           mapping_to_network, parse_blif)
+from repro.network.factor import (FactoredAnd, FactoredConst,
+                                  FactoredLiteral, FactoredOr)
+from repro.network.simulate import exhaustive_signature
+from repro.sop import Cover
+
+
+def terms(*groups):
+    return frozenset(frozenset(group) for group in groups)
+
+
+class TestFactoring:
+    def test_constant_false(self):
+        assert factor_terms(frozenset()).render() == "0"
+
+    def test_constant_true(self):
+        assert factor_terms(terms([])).render() == "1"
+
+    def test_single_literal(self):
+        expr = factor_terms(terms([("a", True)]))
+        assert expr.render() == "a"
+        assert expr.literal_count() == 1
+
+    def test_textbook_factorisation(self):
+        # ac + bc + d  ->  c*(a + b) + d : 4 factored vs 5 SOP literals.
+        expr = factor_terms(terms([("a", True), ("c", True)],
+                                  [("b", True), ("c", True)],
+                                  [("d", True)]))
+        assert expr.literal_count() == 4
+
+    def test_factored_never_more_than_sop(self):
+        expression = terms([("a", True), ("b", True)],
+                           [("a", True), ("c", False)],
+                           [("d", True)])
+        sop_literals = sum(len(term) for term in expression)
+        assert factor_terms(expression).literal_count() <= sop_literals
+
+    def test_render_parenthesises_or_inside_and(self):
+        expr = factor_terms(terms([("a", True), ("c", True)],
+                                  [("b", True), ("c", True)]))
+        assert "(" in expr.render()
+
+    def test_network_factored_count(self):
+        net = LogicNetwork()
+        for name in ("a", "b", "c", "d"):
+            net.add_input(name)
+        net.add_node("f", ["a", "b", "c", "d"],
+                     Cover.from_strings(4, ["1-1-", "-11-", "---1"]))
+        net.add_output("f")
+        assert factored_literal_count(net) == 4
+        assert net.literal_count() == 5
+
+
+@given(st.lists(
+    st.lists(st.tuples(st.sampled_from("abcd"), st.booleans()),
+             min_size=1, max_size=3),
+    min_size=1, max_size=5))
+@settings(max_examples=60, deadline=None)
+def test_factoring_preserves_function(raw_terms):
+    expression = frozenset(frozenset(term) for term in raw_terms)
+    # Drop contradictory terms the generator may create.
+    expression = frozenset(
+        term for term in expression
+        if not any((name, not pol) in term for name, pol in term))
+    if not expression:
+        return
+    expr = factor_terms(expression)
+    for bits in itertools.product([False, True], repeat=4):
+        env = dict(zip("abcd", bits))
+        reference = any(all(env[name] == pol for name, pol in term)
+                        for term in expression)
+        assert expr.evaluate(env) == reference
+
+
+class TestGateCovers:
+    def test_every_library_gate_cover_matches_pattern(self):
+        from repro.network.mapped import _pattern_value
+        for gate in default_library():
+            cover = gate_cover(gate)
+            leaves = gate.leaf_names()
+            for value in range(1 << len(leaves)):
+                assignment = {leaf: bool((value >> i) & 1)
+                              for i, leaf in enumerate(leaves)}
+                assert cover.covers_point(value) == _pattern_value(
+                    gate.pattern, assignment), gate.name
+
+
+class TestMappedNetworks:
+    def test_s27_mapped_network_equivalent(self):
+        net = parse_blif(S27_BLIF)
+        for mode in ("area", "delay"):
+            result = map_network(net, mode=mode)
+            mapped = mapping_to_network(net, result)
+            assert exhaustive_signature(mapped) == \
+                exhaustive_signature(net), mode
+            # One node per emitted gate plus interface buffers.
+            assert mapped.node_count() >= result.gate_count()
+
+    def test_interface_preserved(self):
+        net = parse_blif(S27_BLIF)
+        mapped = mapping_to_network(net, map_network(net))
+        assert mapped.inputs == net.inputs
+        assert mapped.outputs == net.outputs
+        assert [l.output for l in mapped.latches] == \
+            [l.output for l in net.latches]
+
+    def test_constant_outputs(self):
+        net = LogicNetwork()
+        net.add_input("a")
+        net.add_node("t", [], Cover.universe(0))
+        net.add_node("z", [], Cover.empty(0))
+        net.add_output("t")
+        net.add_output("z")
+        mapped = mapping_to_network(net, map_network(net))
+        sig = exhaustive_signature(mapped)
+        assert sig == exhaustive_signature(net)
+
+    @given(st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_random_circuits_equivalent(self, seed):
+        net = synthetic_circuit("memit", 4, 2, 2, 10, seed=seed,
+                                max_cone_support=6)
+        result = map_network(net, mode="area")
+        mapped = mapping_to_network(net, result)
+        assert exhaustive_signature(mapped) == exhaustive_signature(net)

@@ -1,0 +1,181 @@
+"""Tests for the network data structure and BLIF I/O."""
+
+import pytest
+
+from repro.network import (BlifError, Latch, LogicNetwork, parse_blif,
+                           write_blif)
+from repro.network.simulate import (evaluate, exhaustive_signature,
+                                    initial_state, simulate_step)
+from repro.sop import Cover, Cube
+
+
+def tiny_network() -> LogicNetwork:
+    net = LogicNetwork("tiny")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_node("f", ["a", "b"], Cover.from_strings(2, ["11"]))
+    net.add_output("f")
+    return net
+
+
+class TestNetworkBasics:
+    def test_duplicate_signal_rejected(self):
+        net = tiny_network()
+        with pytest.raises(ValueError):
+            net.add_input("a")
+        with pytest.raises(ValueError):
+            net.add_node("f", ["a"], Cover.from_strings(1, ["1"]))
+
+    def test_cover_width_checked(self):
+        net = tiny_network()
+        with pytest.raises(ValueError):
+            net.add_node("g", ["a"], Cover.from_strings(2, ["11"]))
+
+    def test_topological_order(self):
+        net = tiny_network()
+        net.add_node("g", ["f", "a"], Cover.from_strings(2, ["1-"]))
+        net.add_output("g")
+        order = net.topological_order()
+        assert order.index("f") < order.index("g")
+
+    def test_cycle_detected(self):
+        net = LogicNetwork()
+        net.add_input("a")
+        net.add_node("x", ["y"], Cover.from_strings(1, ["1"]))
+        net.add_node("y", ["x"], Cover.from_strings(1, ["1"]))
+        net.add_output("x")
+        with pytest.raises(ValueError):
+            net.topological_order()
+
+    def test_undefined_signal_detected(self):
+        net = LogicNetwork()
+        net.add_input("a")
+        net.add_node("f", ["a", "ghost"], Cover.from_strings(2, ["11"]))
+        net.add_output("f")
+        with pytest.raises(ValueError):
+            net.validate()
+
+    def test_latches_are_leaves_and_roots(self):
+        net = tiny_network()
+        net.add_latch("f", "q")
+        assert "q" in net.combinational_inputs()
+        assert "f" in net.combinational_outputs()
+        assert net.is_leaf("q")
+
+    def test_literal_count(self):
+        net = tiny_network()
+        assert net.literal_count() == 2
+
+    def test_fresh_name_avoids_collisions(self):
+        net = tiny_network()
+        name = net.fresh_name("f")
+        assert name not in net.nodes
+        assert name != "f"
+
+    def test_copy_is_deep(self):
+        net = tiny_network()
+        clone = net.copy()
+        clone.nodes["f"].fanins[0] = "b"
+        assert net.nodes["f"].fanins[0] == "a"
+
+    def test_sweep_dangling(self):
+        net = tiny_network()
+        net.add_node("dead", ["a"], Cover.from_strings(1, ["1"]))
+        assert net.sweep_dangling() == 1
+        assert "dead" not in net.nodes
+
+    def test_node_classifiers(self):
+        net = LogicNetwork()
+        net.add_input("a")
+        net.add_node("buf", ["a"], Cover.from_strings(1, ["1"]))
+        net.add_node("inv", ["a"], Cover.from_strings(1, ["0"]))
+        assert net.nodes["buf"].is_buffer()
+        assert net.nodes["inv"].is_inverter()
+        assert not net.nodes["inv"].is_buffer()
+
+
+class TestSimulation:
+    def test_evaluate_and_gate(self):
+        net = tiny_network()
+        values = evaluate(net, {"a": True, "b": True})
+        assert values["f"] is True
+        values = evaluate(net, {"a": True, "b": False})
+        assert values["f"] is False
+
+    def test_missing_leaf_rejected(self):
+        net = tiny_network()
+        with pytest.raises(ValueError):
+            evaluate(net, {"a": True})
+
+    def test_simulate_step_advances_state(self):
+        net = LogicNetwork()
+        net.add_input("d")
+        net.add_node("nxt", ["d"], Cover.from_strings(1, ["1"]))
+        net.add_latch("nxt", "q", init=0)
+        net.add_node("out", ["q"], Cover.from_strings(1, ["1"]))
+        net.add_output("out")
+        state = initial_state(net)
+        outputs, state = simulate_step(net, {"d": True}, state)
+        assert outputs["out"] is False      # latch not yet updated
+        outputs, state = simulate_step(net, {"d": False}, state)
+        assert outputs["out"] is True       # previous d arrived
+
+    def test_exhaustive_signature_guard(self):
+        net = LogicNetwork()
+        for index in range(17):
+            net.add_input("i%d" % index)
+        net.add_node("f", ["i0"], Cover.from_strings(1, ["1"]))
+        net.add_output("f")
+        with pytest.raises(ValueError):
+            exhaustive_signature(net)
+
+
+class TestBlif:
+    def test_roundtrip(self):
+        text = """
+.model rt
+.inputs a b c
+.outputs f
+.latch n q 1
+.names a b n
+11 1
+.names q c f
+1- 1
+-1 1
+.end
+"""
+        net = parse_blif(text)
+        again = parse_blif(write_blif(net))
+        assert exhaustive_signature(net) == exhaustive_signature(again)
+        assert again.latches[0].init == 1
+
+    def test_constant_nodes(self):
+        net = parse_blif(".model c\n.outputs one zero\n"
+                         ".names one\n1\n.names zero\n.end\n")
+        sig = exhaustive_signature(net)
+        assert sig == [(True, False)]
+
+    def test_comments_and_continuations(self):
+        text = (".model x # comment\n.inputs a \\\nb\n.outputs f\n"
+                ".names a b f\n11 1\n.end\n")
+        net = parse_blif(text)
+        assert net.inputs == ["a", "b"]
+
+    def test_malformed_row_rejected(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.inputs a\n.outputs f\n"
+                       ".names a f\n1 1 1\n.end\n")
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.inputs a b\n.outputs f\n"
+                       ".names a b f\n111 1\n.end\n")
+
+    def test_row_outside_names_rejected(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.inputs a\n11 1\n.end\n")
+
+    def test_unknown_output_value_rejected(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.inputs a\n.outputs f\n"
+                       ".names a f\n1 2\n.end\n")

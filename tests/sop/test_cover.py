@@ -1,0 +1,152 @@
+"""Unit and property tests for covers (tautology, complement, sharp)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sop import Cover, Cube
+
+WIDTH = 4
+FULL = (1 << (1 << WIDTH)) - 1
+
+
+def cover_tt(cover: Cover) -> int:
+    """Truth-table bitmask of a cover (bit i = minterm i)."""
+    table = 0
+    for point in range(1 << cover.width):
+        if cover.covers_point(point):
+            table |= 1 << point
+    return table
+
+
+cube_strategy = st.lists(
+    st.sampled_from([0, 1, 2]), min_size=WIDTH, max_size=WIDTH
+).map(Cube)
+
+cover_strategy = st.lists(cube_strategy, max_size=6).map(
+    lambda cubes: Cover(WIDTH, cubes))
+
+
+class TestBasics:
+    def test_empty_cover_is_false(self):
+        cover = Cover.empty(3)
+        assert cover_tt(cover) == 0
+        assert not cover.is_tautology()
+
+    def test_universe_is_tautology(self):
+        assert Cover.universe(3).is_tautology()
+
+    def test_from_strings(self):
+        cover = Cover.from_strings(3, ["1--", "-1-"])
+        assert cover.cube_count() == 2
+        assert cover.literal_count() == 2
+
+    def test_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            Cover(3, [Cube.from_str("1-")])
+
+    def test_add_checks_width(self):
+        cover = Cover.empty(3)
+        with pytest.raises(ValueError):
+            cover.add(Cube.from_str("1"))
+
+    def test_from_minterms(self):
+        cover = Cover.from_minterms(3, [0, 5])
+        assert sorted(cover.minterms()) == [0, 5]
+
+    def test_semantic_equality(self):
+        a = Cover.from_strings(2, ["1-", "-1"])
+        b = Cover.from_strings(2, ["-1", "1-", "11"])
+        assert a == b
+
+    def test_semantic_inequality(self):
+        a = Cover.from_strings(2, ["1-"])
+        b = Cover.from_strings(2, ["-1"])
+        assert a != b
+
+
+class TestScc:
+    def test_scc_removes_contained(self):
+        cover = Cover.from_strings(3, ["1--", "11-", "111"])
+        assert cover.scc().cube_count() == 1
+
+    def test_scc_keeps_incomparable(self):
+        cover = Cover.from_strings(3, ["1--", "-1-"])
+        assert cover.scc().cube_count() == 2
+
+
+class TestTautology:
+    def test_split_tautology(self):
+        cover = Cover.from_strings(1, ["1", "0"])
+        assert cover.is_tautology()
+
+    def test_binate_tautology(self):
+        cover = Cover.from_strings(2, ["1-", "01", "00"])
+        assert cover.is_tautology()
+
+    def test_not_tautology(self):
+        assert not Cover.from_strings(2, ["1-", "01"]).is_tautology()
+
+    def test_unate_non_tautology(self):
+        assert not Cover.from_strings(2, ["1-", "-1"]).is_tautology()
+
+
+class TestContainment:
+    def test_contains_cube(self):
+        cover = Cover.from_strings(2, ["1-", "01"])
+        assert cover.contains_cube(Cube.from_str("11"))
+        assert cover.contains_cube(Cube.from_str("-1"))
+        assert not cover.contains_cube(Cube.from_str("0-"))
+
+    def test_contains_cover(self):
+        big = Cover.from_strings(2, ["1-", "-1"])
+        small = Cover.from_strings(2, ["11", "10"])
+        assert big.contains_cover(small)
+        assert not small.contains_cover(big)
+
+
+@given(cover_strategy)
+@settings(max_examples=80, deadline=None)
+def test_complement_property(cover):
+    complement = cover.complement()
+    assert cover_tt(complement) == (FULL ^ cover_tt(cover))
+
+
+@given(cover_strategy, cover_strategy)
+@settings(max_examples=60, deadline=None)
+def test_sharp_property(left, right):
+    sharp = left.sharp(right)
+    assert cover_tt(sharp) == (cover_tt(left) & ~cover_tt(right)) & FULL
+
+
+@given(cover_strategy)
+@settings(max_examples=60, deadline=None)
+def test_scc_preserves_function(cover):
+    assert cover_tt(cover.scc()) == cover_tt(cover)
+
+
+@given(cover_strategy)
+@settings(max_examples=60, deadline=None)
+def test_tautology_matches_tt(cover):
+    assert cover.is_tautology() == (cover_tt(cover) == FULL)
+
+
+@given(cover_strategy, cube_strategy)
+@settings(max_examples=60, deadline=None)
+def test_cofactor_cube_semantics(cover, cube):
+    """Espresso cofactor agrees with the function restricted to the cube."""
+    cofactored = cover.cofactor_cube(cube)
+    for point in range(1 << WIDTH):
+        if cube.covers_point(point):
+            assert cofactored.covers_point(point) == cover.covers_point(point)
+
+
+@given(cover_strategy)
+@settings(max_examples=40, deadline=None)
+def test_supercube_contains_cover(cover):
+    supercube = cover.supercube()
+    if supercube is None:
+        assert cover.cube_count() == 0
+    else:
+        for cube in cover:
+            assert supercube.contains(cube)

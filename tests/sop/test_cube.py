@@ -1,0 +1,115 @@
+"""Unit tests for positional-notation cubes."""
+
+import pytest
+
+from repro.sop import DASH, ONE, ZERO, Cube
+
+
+class TestConstruction:
+    def test_from_str(self):
+        cube = Cube.from_str("1-0")
+        assert cube.values == (ONE, DASH, ZERO)
+
+    def test_from_str_accepts_aliases(self):
+        assert Cube.from_str("2xX-").values == (DASH,) * 4
+
+    def test_from_str_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Cube.from_str("10a")
+
+    def test_bad_value_rejected(self):
+        with pytest.raises(ValueError):
+            Cube([0, 3])
+
+    def test_universe(self):
+        cube = Cube.universe(3)
+        assert cube.is_universe()
+        assert cube.size() == 8
+
+    def test_minterm(self):
+        cube = Cube.minterm(3, 0b101)
+        assert cube.values == (ONE, ZERO, ONE)
+        assert cube.is_minterm()
+
+    def test_from_assignment(self):
+        cube = Cube.from_assignment(4, {0: True, 3: False})
+        assert str(cube) == "1--0"
+
+    def test_str_roundtrip(self):
+        text = "10-1-0"
+        assert str(Cube.from_str(text)) == text
+
+
+class TestQueries:
+    def test_literal_count(self):
+        assert Cube.from_str("1-0-").literal_count() == 2
+
+    def test_literals_mapping(self):
+        assert Cube.from_str("1-0").literals() == {0: True, 2: False}
+
+    def test_size(self):
+        assert Cube.from_str("1--").size() == 4
+
+    def test_covers_point(self):
+        cube = Cube.from_str("1-0")
+        assert cube.covers_point(0b001)
+        assert cube.covers_point(0b011)
+        assert not cube.covers_point(0b101)
+
+    def test_minterms(self):
+        cube = Cube.from_str("1-")
+        assert sorted(cube.minterms()) == [0b01, 0b11]
+
+
+class TestAlgebra:
+    def test_contains(self):
+        assert Cube.from_str("1--").contains(Cube.from_str("1-0"))
+        assert not Cube.from_str("1-0").contains(Cube.from_str("1--"))
+
+    def test_contains_reflexive(self):
+        cube = Cube.from_str("10-")
+        assert cube.contains(cube)
+
+    def test_intersects_and_intersection(self):
+        a = Cube.from_str("1--")
+        b = Cube.from_str("-0-")
+        assert a.intersects(b)
+        assert a.intersection(b) == Cube.from_str("10-")
+
+    def test_disjoint_cubes(self):
+        a = Cube.from_str("1--")
+        b = Cube.from_str("0--")
+        assert not a.intersects(b)
+        assert a.intersection(b) is None
+
+    def test_supercube(self):
+        a = Cube.from_str("110")
+        b = Cube.from_str("100")
+        assert a.supercube(b) == Cube.from_str("1-0")
+
+    def test_distance(self):
+        a = Cube.from_str("11-")
+        b = Cube.from_str("00-")
+        assert a.distance(b) == 2
+        assert a.distance(Cube.from_str("1--")) == 0
+
+    def test_cofactor(self):
+        a = Cube.from_str("1-0")
+        pivot = Cube.from_str("1--")
+        assert a.cofactor(pivot) == Cube.from_str("--0")
+
+    def test_cofactor_disjoint_none(self):
+        assert Cube.from_str("1--").cofactor(Cube.from_str("0--")) is None
+
+    def test_raise_and_set(self):
+        cube = Cube.from_str("10-")
+        assert cube.raise_var(0) == Cube.from_str("-0-")
+        assert cube.set_var(2, ONE) == Cube.from_str("101")
+
+    def test_immutability(self):
+        cube = Cube.from_str("10-")
+        cube.raise_var(0)
+        assert str(cube) == "10-"
+
+    def test_hashable(self):
+        assert len({Cube.from_str("1-"), Cube.from_str("1-")}) == 1

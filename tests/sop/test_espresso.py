@@ -1,0 +1,85 @@
+"""Tests for the espresso-style ISF minimiser."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sop import Cover, Cube, covers_interval, espresso_isf
+
+WIDTH = 4
+
+
+def cover_from_tt(width: int, table: int) -> Cover:
+    return Cover.from_minterms(
+        width, [i for i in range(1 << width) if (table >> i) & 1])
+
+
+def cover_tt(cover: Cover) -> int:
+    table = 0
+    for point in range(1 << cover.width):
+        if cover.covers_point(point):
+            table |= 1 << point
+    return table
+
+
+tt16 = st.integers(min_value=0, max_value=(1 << 16) - 1)
+
+
+class TestKnownMinimisations:
+    def test_adjacent_minterms_merge(self):
+        on = Cover.from_minterms(2, [0b10, 0b11])  # a (bit0)=0... wait bits
+        result = espresso_isf(on)
+        assert result.cube_count() == 1
+        assert covers_interval(result, on, Cover.empty(2))
+
+    def test_full_square_merges_to_universe(self):
+        on = Cover.from_minterms(2, [0, 1, 2, 3])
+        result = espresso_isf(on)
+        assert result.cube_count() == 1
+        assert result.cubes[0].is_universe()
+
+    def test_dont_cares_enable_merging(self):
+        # ON = {00}, DC = {01, 10, 11}: the universe cube is reachable.
+        on = Cover.from_minterms(2, [0])
+        dc = Cover.from_minterms(2, [1, 2, 3])
+        result = espresso_isf(on, dc)
+        assert result.cube_count() == 1
+        assert result.literal_count() == 0
+
+    def test_xor_stays_two_cubes(self):
+        on = Cover.from_minterms(2, [0b01, 0b10])
+        result = espresso_isf(on)
+        assert result.cube_count() == 2
+        assert result.literal_count() == 4
+
+    def test_empty_on_set(self):
+        on = Cover.empty(3)
+        result = espresso_isf(on)
+        assert result.cube_count() == 0
+
+    def test_single_literal_expand_is_weaker_or_equal(self):
+        on = Cover.from_minterms(3, [1, 3, 5, 7])  # = bit0
+        multi = espresso_isf(on)
+        single = espresso_isf(on, single_literal_expand=True)
+        assert multi.literal_count() <= single.literal_count()
+        assert covers_interval(single, on, Cover.empty(3))
+
+
+@given(tt16, tt16)
+@settings(max_examples=40, deadline=None)
+def test_espresso_respects_interval(on_tt, dc_raw):
+    dc_tt = dc_raw & ~on_tt & ((1 << 16) - 1)
+    on = cover_from_tt(WIDTH, on_tt)
+    dc = cover_from_tt(WIDTH, dc_tt)
+    result = espresso_isf(on, dc)
+    result_tt = cover_tt(result)
+    assert (on_tt & ~result_tt) == 0, "ON set must stay covered"
+    assert (result_tt & ~(on_tt | dc_tt)) == 0, "OFF set must stay uncovered"
+
+
+@given(tt16)
+@settings(max_examples=40, deadline=None)
+def test_espresso_never_worse_than_minterms(on_tt):
+    on = cover_from_tt(WIDTH, on_tt)
+    result = espresso_isf(on)
+    assert result.cube_count() <= max(1, on.cube_count())
+    assert cover_tt(result) == on_tt

@@ -1,0 +1,111 @@
+"""Unit tests for the individual espresso loop components."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sop import (Cover, Cube, expand, expand_single_literal,
+                       irredundant, reduce_cover)
+from repro.sop.espresso import _off_cover
+
+WIDTH = 3
+
+
+def cover_tt(cover: Cover) -> int:
+    table = 0
+    for point in range(1 << cover.width):
+        if cover.covers_point(point):
+            table |= 1 << point
+    return table
+
+
+class TestExpand:
+    def test_expand_merges_adjacent(self):
+        on = Cover.from_minterms(WIDTH, [0b000, 0b001])
+        off = _off_cover(on, Cover.empty(WIDTH))
+        result = expand(on, off)
+        assert result.cube_count() == 1
+        assert result.cubes[0].literal_count() == 2
+
+    def test_expand_respects_off_set(self):
+        on = Cover.from_minterms(WIDTH, [0b000])
+        off = Cover.from_minterms(WIDTH, list(range(1, 8)))
+        result = expand(on, off)
+        assert cover_tt(result) == 1  # nothing can grow
+
+    def test_single_literal_expand_raises_at_most_one(self):
+        on = Cover.from_minterms(WIDTH, [0b000])
+        off = Cover.empty(WIDTH)
+        result = expand_single_literal(on, off)
+        for cube in result:
+            # started with 3 literals; at most one removed per pass
+            assert cube.literal_count() >= 2
+
+
+class TestIrredundant:
+    def test_removes_contained_cube(self):
+        cover = Cover.from_strings(WIDTH, ["1--", "11-"])
+        on = Cover.from_strings(WIDTH, ["1--"])
+        result = irredundant(cover, on)
+        assert result.cube_count() == 1
+
+    def test_keeps_essential_cubes(self):
+        cover = Cover.from_strings(WIDTH, ["1--", "-1-"])
+        on = cover.copy()
+        result = irredundant(cover, on)
+        assert result.cube_count() == 2
+
+
+class TestReduce:
+    def test_reduce_shrinks_overlap(self):
+        # Two overlapping cubes covering ON = {000, 001, 011}.
+        cover = Cover.from_strings(WIDTH, ["00-", "0-1"])
+        on = Cover.from_minterms(WIDTH, [0b000, 0b100, 0b110])
+        result = reduce_cover(cover, on)
+        # Function may shrink but must still contain ON.
+        assert result.contains_cover(on)
+        for new, old in zip(result.cubes, cover.cubes):
+            assert old.contains(new)
+
+    def test_reduce_shrinks_first_cube_away_from_overlap(self):
+        cover = Cover.from_strings(WIDTH, ["0--", "00-"])
+        on = Cover.from_strings(WIDTH, ["0--"])
+        result = reduce_cover(cover, on)
+        # Processing in order: the first cube keeps only its unique ON
+        # part (01-), the second then becomes essential and stays.
+        assert result.cube_count() == 2
+        assert result.cubes[0] == Cube.from_str("01-")
+        assert result.contains_cover(on)
+
+    def test_reduce_drops_cube_with_no_unique_points(self):
+        # The second cube duplicates part of the first *and* the first is
+        # processed last... order matters: put the redundant cube first.
+        cover = Cover.from_strings(WIDTH, ["00-", "0--"])
+        on = Cover.from_strings(WIDTH, ["0--"])
+        result = reduce_cover(cover, on)
+        assert result.contains_cover(on)
+
+
+@given(st.integers(min_value=0, max_value=255))
+@settings(max_examples=40, deadline=None)
+def test_expand_preserves_on_coverage(on_tt):
+    on = Cover.from_minterms(
+        WIDTH, [i for i in range(8) if (on_tt >> i) & 1])
+    off = _off_cover(on, Cover.empty(WIDTH))
+    result = expand(on, off)
+    assert cover_tt(result) == on_tt  # no DC: expansion cannot move
+
+
+@given(st.integers(min_value=0, max_value=255),
+       st.integers(min_value=0, max_value=255))
+@settings(max_examples=40, deadline=None)
+def test_reduce_never_uncovers_on(on_tt, shape_tt):
+    on_points = [i for i in range(8) if (on_tt >> i) & 1]
+    if not on_points:
+        return
+    on = Cover.from_minterms(WIDTH, on_points)
+    # Start from some cover that contains ON.
+    start = Cover.from_minterms(
+        WIDTH, sorted(set(on_points)
+                      | {i for i in range(8) if (shape_tt >> i) & 1}))
+    result = reduce_cover(start, on)
+    assert result.contains_cover(on)

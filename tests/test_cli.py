@@ -1,0 +1,78 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.core import BooleanRelation, save_relation
+
+
+@pytest.fixture
+def relation_file(tmp_path):
+    relation = BooleanRelation.from_output_sets(
+        [{0b01}, {0b01}, {0b00, 0b11}, {0b10, 0b11}], 2, 2)
+    path = tmp_path / "fig1.rel"
+    save_relation(relation, str(path))
+    return str(path)
+
+
+@pytest.fixture
+def blif_file(tmp_path):
+    from repro.benchdata import S27_BLIF
+    path = tmp_path / "s27.blif"
+    path.write_text(S27_BLIF)
+    return str(path)
+
+
+class TestSolveCommand:
+    def test_solve_default(self, relation_file, capsys):
+        assert main(["solve", relation_file]) == 0
+        out = capsys.readouterr().out
+        assert "compatible=True" in out
+        assert "cost=" in out
+
+    def test_solve_costs(self, relation_file, capsys):
+        for cost in ("size", "size2", "cubes", "literals"):
+            assert main(["solve", relation_file, "--cost", cost]) == 0
+
+    def test_solve_dfs_mode(self, relation_file, capsys):
+        assert main(["solve", relation_file, "--mode", "dfs",
+                     "--max-explored", "100"]) == 0
+
+    def test_solve_with_symmetries_and_limit(self, relation_file):
+        assert main(["solve", relation_file, "--symmetries",
+                     "--time-limit", "5"]) == 0
+
+
+class TestNetworkCommands:
+    def test_decompose(self, blif_file, capsys):
+        assert main(["decompose", blif_file, "--objective", "delay",
+                     "--max-explored", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline:" in out and "decomposed:" in out
+
+    def test_map(self, blif_file, capsys):
+        assert main(["map", blif_file]) == 0
+        out = capsys.readouterr().out
+        assert "area" in out and "delay" in out
+
+    def test_map_with_script(self, blif_file, capsys):
+        assert main(["map", blif_file, "--script",
+                     "--objective", "delay"]) == 0
+
+
+class TestInfoCommand:
+    def test_bench_info(self, capsys):
+        assert main(["bench-info"]) == 0
+        out = capsys.readouterr().out
+        assert "s27" in out
+        assert "int1" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

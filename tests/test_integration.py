@@ -1,0 +1,133 @@
+"""Cross-subsystem integration tests.
+
+Each test drives a complete pipeline through several packages and checks a
+semantic end-to-end property (not just per-module contracts).
+"""
+
+import pytest
+
+from repro import (BooleanRelation, BrelOptions, BrelSolver, bdd_size_cost,
+                   quick_solve, solve_relation)
+from repro.baselines import MvCover, gyocro_solve
+from repro.benchdata import build_suite, circuit_by_name, export_suite
+from repro.core import load_relation, parse_relation, write_relation
+from repro.decompose import decompose_mux_latches, evaluation_frame
+from repro.network import (algebraic_script, map_network,
+                           mapping_to_network, parse_blif, write_blif)
+from repro.network.simulate import exhaustive_signature, initial_state, \
+    simulate_step
+
+
+class TestRelationPipelines:
+    def test_suite_solve_and_serialise_roundtrip(self, tmp_path):
+        """Suite relation -> disk -> reload -> solve -> same cost."""
+        relations = build_suite(("int2", "she1"))
+        for name, relation in relations.items():
+            path = tmp_path / ("%s.pla" % name)
+            path.write_text(write_relation(relation))
+            reloaded = load_relation(str(path))
+            first = solve_relation(relation).solution.cost
+            second = solve_relation(reloaded).solution.cost
+            assert first == second, name
+
+    def test_export_suite_files_parse(self, tmp_path):
+        paths = export_suite(str(tmp_path))
+        assert len(paths) == 18
+        relation = load_relation(paths[0])
+        assert relation.is_well_defined()
+
+    def test_three_solvers_agree_on_compatibility(self):
+        """quick, BREL and gyocro all produce solutions of the suite."""
+        relation = build_suite(("b9",))["b9"]
+        quick = quick_solve(relation)
+        brel = solve_relation(relation)
+        gyocro = gyocro_solve(relation)
+        for functions in (quick.functions, brel.solution.functions,
+                          gyocro.solution.functions):
+            assert relation.is_compatible(functions)
+        # And BREL's BDD-size objective orders them as expected.
+        assert brel.solution.cost <= quick.cost
+
+
+class TestSolutionToSilicon:
+    """Relation solution -> network -> script -> mapper -> gate netlist."""
+
+    def test_full_stack_preserves_the_solution(self):
+        from benchmarks.bench_table2_vs_gyocro import solution_network
+
+        relation = build_suite(("int4",))["int4"]
+        result = solve_relation(relation)
+        network = solution_network(relation, result.solution.functions)
+        optimised = algebraic_script(network)
+        assert exhaustive_signature(optimised) == \
+            exhaustive_signature(network)
+        mapped_result = map_network(optimised, mode="area")
+        gate_level = mapping_to_network(optimised, mapped_result)
+        assert exhaustive_signature(gate_level) == \
+            exhaustive_signature(network)
+        # The mapped functions still solve the original relation.
+        mgr = relation.mgr
+        from repro.network.collapse import CollapsedNetwork
+        collapsed = CollapsedNetwork(gate_level)
+        functions = []
+        for index in range(len(relation.outputs)):
+            node = collapsed.node("y%d" % index)
+            # Rebuild in the relation's manager via minterm transfer.
+            leaves = gate_level.combinational_inputs()
+            minterms = list(collapsed.mgr.minterms(
+                node, [collapsed.leaf_vars[leaf] for leaf in leaves]))
+            functions.append(mgr.from_minterms(list(relation.inputs),
+                                               minterms))
+        assert relation.is_compatible(functions)
+
+
+class TestSequentialPipelines:
+    def test_s27_blif_roundtrip_through_decomposition(self):
+        net = circuit_by_name("s27").build()
+        decomposed = decompose_mux_latches(net, cost="area",
+                                           max_explored=10)
+        # Serialise the decomposed network and re-simulate.
+        text = write_blif(decomposed.network)
+        reparsed = parse_blif(text)
+        state_a = initial_state(net)
+        state_b = initial_state(reparsed)
+        import random
+        rng = random.Random(11)
+        for _ in range(32):
+            vector = {name: bool(rng.getrandbits(1))
+                      for name in net.inputs}
+            out_a, state_a = simulate_step(net, vector, state_a)
+            out_b, state_b = simulate_step(reparsed, vector, state_b)
+            assert out_a == out_b
+
+    def test_evaluation_frame_maps_to_equivalent_gates(self):
+        net = circuit_by_name("s27").build()
+        decomposed = decompose_mux_latches(net, cost="delay",
+                                           max_explored=10)
+        frame = evaluation_frame(decomposed)
+        optimised = algebraic_script(frame)
+        result = map_network(optimised, mode="delay")
+        gate_level = mapping_to_network(optimised, result)
+        assert exhaustive_signature(gate_level) == \
+            exhaustive_signature(frame)
+
+
+class TestDeterminism:
+    """The whole stack is reproducible run-to-run (no hash-order leaks)."""
+
+    def test_suite_costs_are_pinned(self):
+        relations = build_suite(("int2", "she1", "b9"))
+        costs = {name: solve_relation(rel).solution.cost
+                 for name, rel in relations.items()}
+        again = {name: solve_relation(rel).solution.cost
+                 for name, rel in build_suite(("int2", "she1",
+                                               "b9")).items()}
+        assert costs == again
+
+    def test_flow_metrics_are_pinned(self):
+        from repro.decompose import run_baseline
+        net = circuit_by_name("s27").build()
+        first = run_baseline(net, "area")
+        second = run_baseline(circuit_by_name("s27").build(), "area")
+        assert first.area == second.area
+        assert first.delay == second.delay
