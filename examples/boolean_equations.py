@@ -9,13 +9,15 @@ variables {a, b} and dependent variables {x, y, z}:
 
 The pipeline: each equation becomes a characteristic equation T = 1
 (Property 8.1), the system reduces to IE = T1 & T2 (Theorem 8.1),
-consistency is checked by quantification (Property 8.2), and BREL finds an
-optimised particular solution.  Löwenheim's formula then turns it into a
+consistency is checked by quantification (Property 8.2), and BREL —
+driven through the :class:`repro.Session` API — finds an optimised
+particular solution.  Löwenheim's formula then turns it into a
 parametric general solution.
 
 Run:  python examples/boolean_equations.py
 """
 
+from repro import Session, SolveRequest
 from repro.equations import (BooleanSystem, instantiate,
                              lowenheim_general_solution)
 
@@ -27,16 +29,20 @@ def main() -> None:
         independents=["a", "b"],
         dependents=["x", "y", "z"])
 
+    session = Session()
+    session.add_system("example-8.1", system)
+
     print("The system as a Boolean relation over {a,b} -> {x,y,z}:")
-    print(system.to_relation().to_table())
+    print(session.relation("example-8.1").to_table())
     print()
     print("consistent:", system.is_consistent())
     print()
 
-    solution, result = system.solve()
+    report = session.solve(SolveRequest(relation="example-8.1"))
+    solution = dict(zip(system.dependents, report.solution.functions))
     print("BREL particular solution "
           "(%d relations explored, cost %.0f):"
-          % (result.stats.relations_explored, result.solution.cost))
+          % (report.stats["relations_explored"], report.cost))
     print(system.describe_solution(solution))
     print()
     print("substitutes to a tautology:", system.is_solution(solution))

@@ -7,12 +7,15 @@ nodes y1, y2 reconverging to an AND gate: wherever the AND output must be
 on y1 and y2 individually can express.
 
 This script builds exactly that network, extracts the flexibility BR,
-shows the {00, 01, 10} rows, and lets BREL re-implement the cut.
+shows the {00, 01, 10} rows, and lets BREL re-implement the cut.  The
+solver configuration is a declarative :class:`repro.SolveRequest` —
+pure data that could equally come from a JSON batch manifest — lowered
+to :class:`BrelOptions` with :meth:`SolveRequest.to_options`.
 
 Run:  python examples/cut_flexibility.py
 """
 
-from repro import BrelOptions
+from repro import SolveRequest
 from repro.decompose import cut_flexibility_relation, resynthesize_cut
 from repro.network import LogicNetwork
 from repro.network.simulate import exhaustive_signature
@@ -45,9 +48,11 @@ def main() -> None:
           relation.is_misf())
     print()
 
-    result = resynthesize_cut(net, ["y1", "y2"],
-                              BrelOptions(max_explored=50))
-    print("BREL re-implementation of the cut:")
+    request = SolveRequest(cost="size", max_explored=50,
+                           label="resynthesize-cut")
+    result = resynthesize_cut(net, ["y1", "y2"], request.to_options())
+    print("BREL re-implementation of the cut (request: %s):"
+          % request.to_json())
     print(result.brel.solution.describe(["y1", "y2"]))
     print("literals: %d -> %d"
           % (result.literals_before, result.literals_after))

@@ -10,15 +10,14 @@ through a 2:1 mux  Q(A, B, C) = A*C' + B*C : the BR
     R(X, {A,B,C}) = f(X) <=> Q(A, B, C)
 
 encloses every decomposition f = Q(A(X), B(X), C(X)); BREL picks one per
-the cost function.  The example prints the relation rows for a few
-minterms (matching the paper's construction walk-through) and two
-decompositions found under different cost functions.
+the cost function.  The two objectives are expressed as declarative
+:class:`repro.SolveRequest` configs (registry names instead of
+callables) lowered to solver options with ``to_options()``.
 
 Run:  python examples/mux_decomposition.py
 """
 
-from repro import BddManager, BrelOptions, bdd_size_cost, \
-    bdd_size_squared_cost
+from repro import BddManager, SolveRequest
 from repro.decompose import decompose_with_gate, decomposition_relation, \
     mux_function
 
@@ -37,13 +36,16 @@ def main() -> None:
     print(relation.to_table())
     print()
 
-    for label, cost in (("area (sum of BDD sizes)", bdd_size_cost),
-                        ("delay (sum of squared sizes)",
-                         bdd_size_squared_cost)):
+    requests = [
+        ("area (sum of BDD sizes)",
+         SolveRequest(cost="size", max_explored=50, label="area")),
+        ("delay (sum of squared sizes)",
+         SolveRequest(cost="size2", max_explored=50, label="delay")),
+    ]
+    for label, request in requests:
         result = decompose_with_gate(
-            mgr, target, [0, 1, 2], gate, [3, 4, 5],
-            BrelOptions(cost_function=cost, max_explored=50))
-        print("Cost = %s:" % label)
+            mgr, target, [0, 1, 2], gate, [3, 4, 5], request.to_options())
+        print("Cost = %s (request %s):" % (label, request.to_json()))
         print(result.brel.solution.describe(["A", "B", "C"]))
         composed = mgr.vector_compose(
             gate, dict(zip([3, 4, 5], result.functions)))

@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Quickstart: solve the paper's running example (Fig. 1).
+"""Quickstart: solve the paper's running example (Fig. 1) via the API.
 
 The relation relates two inputs (x1, x2) to two outputs (y1, y2):
 
@@ -10,10 +10,15 @@ The relation relates two inputs (x1, x2) to two outputs (y1, y2):
     1  0  | {00, 11}        <- NOT expressible with don't cares
     1  1  | {10, 11}        <- plain don't care on y2
 
+The solve goes through :class:`repro.Session` — the official front door:
+the relation is ingested under a name, the solve is described by a
+declarative (JSON-round-trippable) :class:`repro.SolveRequest`, and the
+answer comes back as a structured :class:`repro.SolveReport`.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import BooleanRelation, quick_solve, solve_relation
+from repro import Session, SolveRequest, quick_solve
 
 
 def encode(bits: str) -> int:
@@ -31,8 +36,10 @@ def main() -> None:
     rows = [set() for _ in range(4)]
     for vertex, outputs in table.items():
         rows[encode(vertex)] = {encode(o) for o in outputs}
-    relation = BooleanRelation.from_output_sets(rows, num_inputs=2,
-                                                num_outputs=2)
+
+    session = Session()
+    relation = session.add_output_sets("fig1", rows, num_inputs=2,
+                                       num_outputs=2)
 
     print("The Boolean relation (paper Fig. 1a):")
     print(relation.to_table())
@@ -47,13 +54,20 @@ def main() -> None:
     print(quick.describe(["y1", "y2"]))
     print()
 
-    result = solve_relation(relation)
-    print("BREL solution (cost %.0f, %d relations explored):"
-          % (result.solution.cost, result.stats.relations_explored))
-    print(result.solution.describe(["y1", "y2"]))
+    request = SolveRequest(relation="fig1", cost="size", label="fig1")
+    print("The solve as wire-ready JSON:")
+    print("  %s" % request.to_json())
+    assert SolveRequest.from_json(request.to_json()) == request
     print()
-    print("compatible with the relation:",
-          relation.is_compatible(result.solution.functions))
+
+    report = session.solve(request)
+    print("BREL solution (cost %.0f, %d relations explored):"
+          % (report.cost, report.stats["relations_explored"]))
+    print(report.solution.describe(["y1", "y2"]))
+    print()
+    print("compatible with the relation:", report.compatible)
+    print("structured report: sizes=%s cubes=%d literals=%d"
+          % (report.bdd_sizes, report.cube_count, report.literal_count))
 
 
 if __name__ == "__main__":

@@ -5,6 +5,9 @@ Relations* (DAC 2004; extended in IEEE Trans. Computers 58(4), 2009).
 
 The package is organised as layered subsystems (see DESIGN.md):
 
+* :mod:`repro.api` — the official front door: :class:`Session`,
+  declarative :class:`SolveRequest`/:class:`SolveReport`, named
+  registries, batch solving;
 * :mod:`repro.bdd` — hash-consed BDD engine (CUDD stand-in);
 * :mod:`repro.sop` — two-level cube/cover machinery;
 * :mod:`repro.core` — Boolean relations and the BREL solver;
@@ -16,6 +19,25 @@ The package is organised as layered subsystems (see DESIGN.md):
 * :mod:`repro.benchdata` — seeded benchmark instances.
 
 Quickstart::
+
+    from repro import Session, SolveRequest
+
+    session = Session()
+    session.add_output_sets(
+        "fig1", [{0b01}, {0b01}, {0b00, 0b11}, {0b10, 0b11}], 2, 2)
+    report = session.solve(SolveRequest(relation="fig1"))
+    print(report.sop)            # minimised SOP per output
+    print(report.cost, report.compatible)
+
+Batches run process-parallel, and every request round-trips through
+JSON::
+
+    requests = [SolveRequest(relation="fig1", cost=c)
+                for c in ("size", "size2", "cubes")]
+    for r in session.solve_many(requests, max_workers=2):
+        print(r.summary())
+
+The lower-level entry points remain available::
 
     from repro import BooleanRelation, solve_relation
 
@@ -32,8 +54,10 @@ from .core import (BooleanRelation, BrelOptions, BrelResult, BrelSolver,
                    exact_solve, literal_count_cost, quick_solve,
                    solve_exactly, solve_relation, weighted_cost)
 from .equations import BooleanEquation, BooleanSystem
+from .api import (Session, SolveReport, SolveRequest, register_cost,
+                  register_minimizer)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Bdd",
@@ -47,7 +71,10 @@ __all__ = [
     "Isf",
     "Misf",
     "NotWellDefinedError",
+    "Session",
     "Solution",
+    "SolveReport",
+    "SolveRequest",
     "SolverStats",
     "bdd_size_cost",
     "bdd_size_squared_cost",
@@ -55,6 +82,8 @@ __all__ = [
     "exact_solve",
     "literal_count_cost",
     "quick_solve",
+    "register_cost",
+    "register_minimizer",
     "solve_exactly",
     "solve_relation",
     "weighted_cost",

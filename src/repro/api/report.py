@@ -1,0 +1,182 @@
+"""Structured solve results.
+
+A :class:`SolveReport` is the data-only record of one solve: the solution
+summary (cost, per-output sizes, SOP and PLA renderings, compatibility),
+the :class:`~repro.core.SolverStats` counters, and — for failed jobs — the
+captured error.  Being pure data it pickles across process boundaries
+(:meth:`Session.solve_many`) and serialises to JSON for the CLI's
+``--json`` / ``batch`` output.
+
+When the solve ran in the calling process the live
+:class:`~repro.core.Solution` (BDD nodes and manager) is attached as
+``report.solution``; it is excluded from comparison and serialisation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..core.brel import BrelResult
+from ..core.relation import BooleanRelation
+from ..core.relio import write_relation
+from ..core.solution import Solution
+
+#: Bumped when the report schema changes shape.
+REPORT_SCHEMA_VERSION = 1
+
+
+@dataclass
+class SolveReport:
+    """Outcome of one solve job (success or captured failure)."""
+
+    ok: bool
+    label: Optional[str] = None
+    error: Optional[str] = None
+    request: Optional[Dict[str, Any]] = None
+    num_inputs: Optional[int] = None
+    num_outputs: Optional[int] = None
+    pairs: Optional[int] = None
+    cost: Optional[float] = None
+    compatible: Optional[bool] = None
+    bdd_sizes: List[int] = field(default_factory=list)
+    cube_count: Optional[int] = None
+    literal_count: Optional[int] = None
+    sop: Optional[str] = None
+    pla: Optional[str] = None
+    stats: Dict[str, float] = field(default_factory=dict)
+    cached: bool = False
+    schema_version: int = REPORT_SCHEMA_VERSION
+    #: Live solution when solved in-process; never serialised.
+    solution: Optional[Solution] = field(default=None, compare=False,
+                                         repr=False)
+    #: Variable frame of the solved relation (for lazy PLA export).
+    _inputs: Optional[tuple] = field(default=None, compare=False,
+                                     repr=False)
+    _outputs: Optional[tuple] = field(default=None, compare=False,
+                                      repr=False)
+
+    # -- constructors --------------------------------------------------
+    @classmethod
+    def from_result(cls, relation: BooleanRelation, result: BrelResult,
+                    request: Optional[Mapping[str, Any]] = None,
+                    label: Optional[str] = None) -> "SolveReport":
+        """Summarise a solver result against the relation it solved.
+
+        The PLA rendering enumerates every input vertex, so it is *not*
+        built here; :meth:`solution_pla` materialises it on demand (and
+        serialisation does so automatically while the live solution is
+        attached).
+        """
+        solution = result.solution
+        return cls(
+            ok=True,
+            label=label,
+            request=dict(request) if request is not None else None,
+            num_inputs=len(relation.inputs),
+            num_outputs=len(relation.outputs),
+            pairs=relation.pair_count(),
+            cost=solution.cost,
+            compatible=relation.is_compatible(solution.functions),
+            bdd_sizes=solution.bdd_sizes(),
+            cube_count=solution.cube_count(),
+            literal_count=solution.literal_count(),
+            sop=solution.describe(),
+            pla=None,
+            stats=result.stats.as_dict(),
+            solution=solution,
+            _inputs=tuple(relation.inputs),
+            _outputs=tuple(relation.outputs))
+
+    @classmethod
+    def from_error(cls, exc: BaseException,
+                   request: Optional[Mapping[str, Any]] = None,
+                   label: Optional[str] = None, *,
+                   with_traceback: bool = False) -> "SolveReport":
+        """Capture a failure as a report instead of letting it raise."""
+        message = "%s: %s" % (type(exc).__name__, exc)
+        if with_traceback:
+            message = "".join(traceback.format_exception(
+                type(exc), exc, exc.__traceback__)).rstrip()
+        return cls(ok=False, label=label, error=message,
+                   request=dict(request) if request is not None else None)
+
+    # -- solution export -----------------------------------------------
+    def solution_pla(self) -> Optional[str]:
+        """PLA rendering of the solved function vector (memoised).
+
+        Built from the live solution on first use — the enumeration of
+        every input vertex is paid only by callers who want it.  Data-only
+        reports (from workers) carry the pre-materialised text instead.
+        """
+        if self.pla is None and self.solution is not None \
+                and self._inputs is not None:
+            functional = BooleanRelation.from_functions(
+                self.solution.mgr, self._inputs, self._outputs,
+                list(self.solution.functions))
+            self.pla = write_relation(functional)
+        return self.pla
+
+    # -- serialisation -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready dict (the live ``solution`` handle is dropped)."""
+        self.solution_pla()
+        out = {}
+        for f in dataclasses.fields(self):
+            if f.name in ("solution", "_inputs", "_outputs"):
+                continue
+            out[f.name] = getattr(self, f.name)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SolveReport":
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - fields
+        if unknown:
+            raise ValueError("unknown SolveReport fields: %s"
+                             % ", ".join(sorted(unknown)))
+        return cls(**dict(data))
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SolveReport":
+        return cls.from_dict(json.loads(text))
+
+    # -- convenience ---------------------------------------------------
+    def copy(self, **changes: Any) -> "SolveReport":
+        """A copy that shares no mutable containers with the original.
+
+        The session cache hands out copies so caller mutations cannot
+        corrupt cached entries.  The live ``solution`` handle (immutable
+        for our purposes) is carried over unless overridden.
+        """
+        fresh = dict(
+            bdd_sizes=list(self.bdd_sizes),
+            stats=dict(self.stats),
+            request=dict(self.request) if self.request is not None
+            else None,
+            solution=self.solution)
+        fresh.update(changes)
+        return dataclasses.replace(self, **fresh)
+
+    def raise_for_error(self) -> "SolveReport":
+        """Re-raise a captured failure; returns ``self`` when ok."""
+        if not self.ok:
+            raise RuntimeError(self.error or "solve failed")
+        return self
+
+    def summary(self) -> str:
+        """One status line per job, for batch progress output."""
+        name = self.label or "<unnamed>"
+        if not self.ok:
+            return "%s: FAILED (%s)" % (name, self.error)
+        return ("%s: cost=%.0f compatible=%s explored=%d runtime=%.3fs%s"
+                % (name, self.cost, self.compatible,
+                   int(self.stats.get("relations_explored", 0)),
+                   self.stats.get("runtime_seconds", 0.0),
+                   " [cached]" if self.cached else ""))

@@ -1,0 +1,273 @@
+"""Declarative solve specifications.
+
+A :class:`SolveRequest` describes one BREL solve as *pure data*: the
+relation source, the objective, the minimiser, the exploration mode, and
+the budgets — everything :class:`repro.core.BrelOptions` holds, but with
+the live callables replaced by registry names so the spec round-trips
+through JSON (``from_dict(r.to_dict()) == r``), can be stored in batch
+manifests, and can cross process boundaries.
+
+Relation sources
+----------------
+The ``relation`` field is a small tagged dict (a bare string is shorthand
+for a session-registered name).  Supported kinds mirror the package's
+ingestion paths:
+
+``{"kind": "name", "name": N}``
+    a relation previously ingested into the :class:`~repro.api.Session`;
+``{"kind": "file", "path": P}``
+    a PLA-dialect relation file (:mod:`repro.core.relio`);
+``{"kind": "pla", "text": T}``
+    the same dialect, inline;
+``{"kind": "bench", "name": N}``
+    a bundled :mod:`repro.benchdata` suite instance;
+``{"kind": "output_sets", "rows": [[..], ..], "num_inputs": n,
+"num_outputs": m}``
+    the tabular notation of the paper's examples;
+``{"kind": "truth_tables", "tables": [t0, ..], "num_inputs": n}``
+    one truth-table bitmask per (completely specified) output;
+``{"kind": "equations", "equations": [..], "independents": [..],
+"dependents": [..]}``
+    a Boolean equation system (paper Section 8) solved through its BR.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
+
+from ..core.brel import BrelOptions
+from ..core.relation import BooleanRelation
+from .registry import cost_registry, minimizer_registry
+
+#: What callers may pass as a relation source.
+RelationSpec = Union[str, Mapping[str, Any]]
+
+_SPEC_KEYS = {
+    "name": ("name",),
+    "file": ("path",),
+    "pla": ("text",),
+    "bench": ("name",),
+    "output_sets": ("rows", "num_inputs", "num_outputs"),
+    "truth_tables": ("tables", "num_inputs"),
+    "equations": ("equations", "independents", "dependents"),
+}
+
+
+def normalize_relation_spec(spec: RelationSpec) -> Dict[str, Any]:
+    """Canonicalise a relation source into a hashable-value dict.
+
+    Sequences become tuples (``output_sets`` rows additionally sorted and
+    deduplicated) so that two specs describing the same source compare
+    equal regardless of JSON/Python container types.
+    """
+    if isinstance(spec, str):
+        spec = {"kind": "name", "name": spec}
+    if not isinstance(spec, Mapping):
+        raise TypeError("relation spec must be a string or a mapping, "
+                        "got %r" % type(spec).__name__)
+    kind = spec.get("kind")
+    if kind not in _SPEC_KEYS:
+        raise ValueError("unknown relation kind %r (expected one of %s)"
+                         % (kind, ", ".join(sorted(_SPEC_KEYS))))
+    expected = _SPEC_KEYS[kind]
+    extra = set(spec) - set(expected) - {"kind"}
+    missing = set(expected) - set(spec)
+    if extra or missing:
+        raise ValueError("malformed %r relation spec (missing: %s, "
+                         "unexpected: %s)"
+                         % (kind, sorted(missing) or "-",
+                            sorted(extra) or "-"))
+    out: Dict[str, Any] = {"kind": kind}
+    for key in expected:
+        value = spec[key]
+        if key == "rows":
+            value = tuple(tuple(sorted(set(int(v) for v in row)))
+                          for row in value)
+        elif key in ("tables", "equations", "independents", "dependents"):
+            value = tuple(value)
+        out[key] = value
+    return out
+
+
+def relation_spec_to_jsonable(spec: Mapping[str, Any]) -> Dict[str, Any]:
+    """The inverse container mapping: tuples back to JSON lists."""
+    out: Dict[str, Any] = {}
+    for key, value in spec.items():
+        if key == "rows":
+            value = [list(row) for row in value]
+        elif isinstance(value, tuple):
+            value = list(value)
+        out[key] = value
+    return out
+
+
+def truth_tables_to_output_sets(tables: Sequence[int],
+                                num_inputs: int) -> List[set]:
+    """Expand per-output truth-table bitmasks into output-set rows.
+
+    Bit ``i`` of ``tables[j]`` is output ``j``'s value on the input
+    vertex encoded by ``i`` — the encoding used throughout the test
+    suite.  The result is functional (one output vertex per row).
+    """
+    rows: List[set] = []
+    for vertex in range(1 << num_inputs):
+        value = 0
+        for position, table in enumerate(tables):
+            if (int(table) >> vertex) & 1:
+                value |= 1 << position
+        rows.append({value})
+    return rows
+
+
+def build_relation(spec: RelationSpec) -> BooleanRelation:
+    """Materialise a self-contained relation spec.
+
+    Handles every kind except ``"name"``, which only a
+    :class:`~repro.api.Session` (the owner of the name table) can
+    resolve.
+    """
+    spec = normalize_relation_spec(spec)
+    kind = spec["kind"]
+    if kind == "name":
+        raise ValueError("relation %r is a session name; resolve it "
+                         "through Session.solve()/solve_many()"
+                         % spec["name"])
+    if kind == "file":
+        from ..core.relio import load_relation
+        return load_relation(spec["path"])
+    if kind == "pla":
+        from ..core.relio import parse_relation
+        return parse_relation(spec["text"])
+    if kind == "bench":
+        from ..benchdata import instance_by_name
+        return instance_by_name(spec["name"]).build()
+    if kind == "output_sets":
+        return BooleanRelation.from_output_sets(
+            [set(row) for row in spec["rows"]],
+            spec["num_inputs"], spec["num_outputs"])
+    if kind == "truth_tables":
+        num_inputs = spec["num_inputs"]
+        tables = spec["tables"]
+        rows = truth_tables_to_output_sets(tables, num_inputs)
+        return BooleanRelation.from_output_sets(rows, num_inputs,
+                                                len(tables))
+    # kind == "equations"
+    from ..equations.system import BooleanSystem
+    system = BooleanSystem.parse(list(spec["equations"]),
+                                 list(spec["independents"]),
+                                 list(spec["dependents"]))
+    if not system.is_consistent():
+        raise ValueError("the Boolean system is inconsistent")
+    return system.to_relation()
+
+
+@dataclass(frozen=True)
+class SolveRequest:
+    """One solve, described declaratively.
+
+    All solver knobs mirror :class:`repro.core.BrelOptions` but name the
+    callables through the :mod:`repro.api.registry` tables.  Construction
+    validates everything eagerly — unknown registry names, bad modes, and
+    negative budgets are rejected here, not deep inside a worker process.
+    """
+
+    relation: Any = None
+    cost: str = "size"
+    minimizer: str = "isop"
+    mode: str = "bfs"
+    max_explored: Optional[int] = 10
+    fifo_capacity: Optional[int] = 64
+    quick_on_subrelations: bool = True
+    symmetry_pruning: bool = False
+    symmetry_max_depth: int = 2
+    time_limit_seconds: Optional[float] = None
+    label: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.relation is not None:
+            object.__setattr__(self, "relation",
+                               normalize_relation_spec(self.relation))
+        if self.cost not in cost_registry:
+            cost_registry.get(self.cost)  # raises with the valid names
+        if self.minimizer not in minimizer_registry:
+            minimizer_registry.get(self.minimizer)
+        # Budget validation is shared with BrelOptions.__post_init__; build
+        # the options eagerly so a bad request never reaches a worker.
+        self.to_options()
+
+    # -- conversion ----------------------------------------------------
+    def to_options(self) -> BrelOptions:
+        """Resolve the registry names into live :class:`BrelOptions`."""
+        return BrelOptions(
+            cost_function=cost_registry.get(self.cost),
+            minimizer=minimizer_registry.get(self.minimizer),
+            mode=self.mode,
+            max_explored=self.max_explored,
+            fifo_capacity=self.fifo_capacity,
+            quick_on_subrelations=self.quick_on_subrelations,
+            symmetry_pruning=self.symmetry_pruning,
+            symmetry_max_depth=self.symmetry_max_depth,
+            time_limit_seconds=self.time_limit_seconds)
+
+    @classmethod
+    def from_options(cls, options: BrelOptions,
+                     relation: Optional[RelationSpec] = None,
+                     label: Optional[str] = None) -> "SolveRequest":
+        """Serialise live options back into a request.
+
+        Requires the cost function and minimiser to be registered (the
+        registries are the only way to name a callable as data).
+        """
+        cost = cost_registry.name_of(options.cost_function)
+        if cost is None:
+            raise ValueError("cost function %r is not registered; "
+                             "register_cost() it first"
+                             % getattr(options.cost_function, "__name__",
+                                       options.cost_function))
+        minimizer = minimizer_registry.name_of(options.minimizer)
+        if minimizer is None:
+            raise ValueError("minimizer %r is not registered; "
+                             "register_minimizer() it first"
+                             % getattr(options.minimizer, "__name__",
+                                       options.minimizer))
+        return cls(relation=relation, cost=cost, minimizer=minimizer,
+                   mode=options.mode, max_explored=options.max_explored,
+                   fifo_capacity=options.fifo_capacity,
+                   quick_on_subrelations=options.quick_on_subrelations,
+                   symmetry_pruning=options.symmetry_pruning,
+                   symmetry_max_depth=options.symmetry_max_depth,
+                   time_limit_seconds=options.time_limit_seconds,
+                   label=label)
+
+    # -- serialisation -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-ready dict; ``from_dict`` inverts it exactly."""
+        out: Dict[str, Any] = dataclasses.asdict(self)
+        if self.relation is not None:
+            out["relation"] = relation_spec_to_jsonable(self.relation)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SolveRequest":
+        """Build a request from a dict, rejecting unknown keys."""
+        fields = {f.name for f in dataclasses.fields(cls)}
+        unknown = set(data) - fields
+        if unknown:
+            raise ValueError("unknown SolveRequest fields: %s"
+                             % ", ".join(sorted(unknown)))
+        return cls(**dict(data))
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SolveRequest":
+        return cls.from_dict(json.loads(text))
+
+    # -- convenience ---------------------------------------------------
+    def replace(self, **changes: Any) -> "SolveRequest":
+        """A copy with the given fields replaced (re-validated)."""
+        return dataclasses.replace(self, **changes)

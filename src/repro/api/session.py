@@ -1,0 +1,475 @@
+"""The session layer: named relations, cached solving, batch execution.
+
+A :class:`Session` is the stateful front door of the package.  It
+
+* owns reusable :class:`~repro.bdd.BddManager` instances (one per
+  relation shape) so relations ingested through it share BDD nodes —
+  the Section 7.1 sharing benefit, extended across relations;
+* accepts relations from every ingestion path the package has (output
+  sets, PLA-dialect files/strings, truth tables, Boolean equation
+  systems, bundled benchmarks) and registers them under names a
+  :class:`~repro.api.SolveRequest` can refer to;
+* runs single solves (:meth:`Session.solve`) and batches
+  (:meth:`Session.solve_many`) with a shared result cache, the latter
+  optionally process-parallel via :mod:`concurrent.futures`, with
+  per-job failures captured as failed :class:`SolveReport`\\ s rather
+  than raised.
+
+Batch jobs are made *self-contained* before dispatch: the relation is
+snapshotted to PLA text and the request travels as its dict form, so a
+job needs nothing from the parent process beyond importable code.
+(Custom registry entries reach workers through the default ``fork``
+start method on POSIX; under ``spawn`` they must be registered at import
+time of a module the workers import.)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import (Any, Dict, Iterable, List, Mapping, Optional, Sequence,
+                    Tuple, Union)
+
+from ..bdd.manager import BddManager
+from ..core.brel import BrelSolver
+from ..core.relation import BooleanRelation
+from ..core.relio import parse_relation, peek_shape, write_relation
+from .report import SolveReport
+from .request import (RelationSpec, SolveRequest, build_relation,
+                      normalize_relation_spec, relation_spec_to_jsonable,
+                      truth_tables_to_output_sets)
+
+#: What solve()/solve_many() accept as the thing to solve.
+RelationLike = Union[BooleanRelation, RelationSpec]
+
+
+def _solve_payload(payload: Dict[str, Any]) -> SolveReport:
+    """Execute one self-contained batch job (runs in worker processes).
+
+    Never raises: any failure — malformed request, unparsable relation,
+    solver error — comes back as a failed report so one bad job cannot
+    poison a batch.
+    """
+    label = payload.get("label")
+    request_dict = payload.get("request")
+    try:
+        request = SolveRequest.from_dict(request_dict)
+        relation = parse_relation(payload["pla"])
+        result = BrelSolver(request.to_options()).solve(relation)
+        report = SolveReport.from_result(relation, result,
+                                         request=request_dict, label=label)
+        # BDD handles must not cross back over the process boundary:
+        # materialise the PLA text while the solution is still live,
+        # then ship the data-only report.
+        report.solution_pla()
+        report.solution = None
+        return report
+    except Exception as exc:  # noqa: BLE001 — isolation is the contract
+        return SolveReport.from_error(exc, request=request_dict,
+                                      label=label)
+
+
+class Session:
+    """A workspace of named relations with cached, batchable solving."""
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self._relations: Dict[str, BooleanRelation] = {}
+        self._managers: Dict[Tuple[int, int], BddManager] = {}
+        self._cache: Dict[Tuple[Any, ...], SolveReport] = {}
+        self.cache_hits = 0
+        self.default_max_workers = max_workers
+
+    # ------------------------------------------------------------------
+    # Managers
+    # ------------------------------------------------------------------
+    def manager_for(self, num_inputs: int, num_outputs: int) -> BddManager:
+        """The session's shared manager for a relation shape."""
+        key = (num_inputs, num_outputs)
+        if key not in self._managers:
+            self._managers[key] = BddManager(
+                ["x%d" % i for i in range(num_inputs)]
+                + ["y%d" % j for j in range(num_outputs)])
+        return self._managers[key]
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def add_relation(self, name: str, relation: BooleanRelation, *,
+                     overwrite: bool = False) -> BooleanRelation:
+        """Register an existing relation under ``name``."""
+        if not overwrite and name in self._relations:
+            raise ValueError("relation %r is already registered "
+                             "(pass overwrite=True to replace)" % name)
+        self._relations[name] = relation
+        return relation
+
+    def add_output_sets(self, name: str, rows: Sequence[Iterable[int]],
+                        num_inputs: int, num_outputs: int,
+                        **kwargs: Any) -> BooleanRelation:
+        """Ingest the paper's tabular notation (Example 4.2 style)."""
+        relation = BooleanRelation.from_output_sets(
+            rows, num_inputs, num_outputs,
+            mgr=self.manager_for(num_inputs, num_outputs))
+        return self.add_relation(name, relation, **kwargs)
+
+    def add_truth_tables(self, name: str, tables: Sequence[int],
+                         num_inputs: int, **kwargs: Any) -> BooleanRelation:
+        """Ingest one truth-table bitmask per completely specified output.
+
+        See :func:`~repro.api.request.truth_tables_to_output_sets` for
+        the encoding.  The result is a functional relation (no
+        flexibility); useful as a degenerate case and for decomposition
+        targets.
+        """
+        rows = truth_tables_to_output_sets(tables, num_inputs)
+        return self.add_output_sets(name, rows, num_inputs, len(tables),
+                                    **kwargs)
+
+    def add_pla(self, name: str, text: str, **kwargs: Any) -> BooleanRelation:
+        """Ingest a PLA-dialect relation string (:mod:`repro.core.relio`)."""
+        num_inputs, num_outputs = peek_shape(text)
+        mgr = self.manager_for(num_inputs, num_outputs)
+        return self.add_relation(name, parse_relation(text, mgr=mgr),
+                                 **kwargs)
+
+    def add_pla_file(self, name: str, path: str,
+                     **kwargs: Any) -> BooleanRelation:
+        """Ingest a PLA-dialect relation file."""
+        with open(path, "r", encoding="ascii") as handle:
+            return self.add_pla(name, handle.read(), **kwargs)
+
+    def add_system(self, name: str, system: Any,
+                   independents: Optional[Sequence[str]] = None,
+                   dependents: Optional[Sequence[str]] = None,
+                   **kwargs: Any) -> BooleanRelation:
+        """Ingest a Boolean equation system (paper Section 8).
+
+        ``system`` is either a :class:`repro.equations.BooleanSystem` or a
+        sequence of equation strings (then ``independents`` and
+        ``dependents`` are required).  The system's own manager is kept —
+        its variables carry the user's names.
+        """
+        from ..equations.system import BooleanSystem
+        if not isinstance(system, BooleanSystem):
+            if independents is None or dependents is None:
+                raise ValueError("equation strings need independents= "
+                                 "and dependents=")
+            system = BooleanSystem.parse(list(system), list(independents),
+                                         list(dependents))
+        if not system.is_consistent():
+            raise ValueError("the Boolean system is inconsistent")
+        return self.add_relation(name, system.to_relation(), **kwargs)
+
+    def add_benchmark(self, name: str,
+                      instance: Optional[str] = None,
+                      **kwargs: Any) -> BooleanRelation:
+        """Ingest a bundled :mod:`repro.benchdata` suite instance."""
+        from ..benchdata import instance_by_name
+        relation = instance_by_name(instance or name).build()
+        return self.add_relation(name, relation, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def relation(self, name: str) -> BooleanRelation:
+        """Look up a registered relation."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise KeyError("no relation named %r in this session "
+                           "(registered: %s)"
+                           % (name, ", ".join(sorted(self._relations))
+                              or "none")) from None
+
+    def relation_names(self) -> List[str]:
+        return sorted(self._relations)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._relations
+
+    def resolve_relation(self, source: RelationLike) -> BooleanRelation:
+        """Materialise any accepted relation source."""
+        if isinstance(source, BooleanRelation):
+            return source
+        if isinstance(source, str):
+            return self.relation(source)
+        if isinstance(source, Mapping) and source.get("kind") == "name":
+            return self.relation(source["name"])
+        return build_relation(source)
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def _options_key(self, request: SolveRequest) -> Tuple[Any, ...]:
+        return (request.cost, request.minimizer, request.mode,
+                request.max_explored, request.fifo_capacity,
+                request.quick_on_subrelations, request.symmetry_pruning,
+                request.symmetry_max_depth, request.time_limit_seconds)
+
+    def _cache_key(self, pla: str, request: SolveRequest
+                   ) -> Tuple[Any, ...]:
+        """Snapshot-based key for batch jobs (shareable across managers)."""
+        return (pla,) + self._options_key(request)
+
+    def _live_key(self, relation: BooleanRelation,
+                  request: SolveRequest) -> Tuple[Any, ...]:
+        """Identity-based key for interactive solves.
+
+        Keying on the relation object (manager identity + node) avoids
+        the exponential ``write_relation`` enumeration on every call and
+        guarantees a cached live ``Solution`` belongs to the caller's
+        manager.  The relation in the key keeps its manager alive, so
+        ids cannot be recycled while the entry exists.
+        """
+        return (relation,) + self._options_key(request)
+
+    def _spec_key(self, spec: Mapping[str, Any],
+                  request: SolveRequest) -> Tuple[Any, ...]:
+        """Content-based key for self-contained relation specs.
+
+        The canonical spec JSON identifies the relation without building
+        it, so repeated spec solves hit the cache instead of minting a
+        fresh manager per call.
+        """
+        return ("spec", json.dumps(relation_spec_to_jsonable(dict(spec)),
+                                   sort_keys=True)) \
+            + self._options_key(request)
+
+    @staticmethod
+    def _portable_solution(report: SolveReport,
+                           relation: Optional[BooleanRelation]):
+        """A cached live solution is only valid in its own manager.
+
+        Snapshot-keyed cache entries can be shared between same-content
+        relations living in *different* managers; handing such a caller
+        the foreign solution's node ids would crash or silently lie, so
+        the live handle travels only when the managers match (the data
+        fields — sop, pla, cost — are manager-independent).
+        """
+        if (report.solution is not None and relation is not None
+                and report.solution.mgr is relation.mgr):
+            return report.solution
+        return None
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+        self.cache_hits = 0
+
+    def solve(self, request: Optional[SolveRequest] = None,
+              relation: Optional[RelationLike] = None) -> SolveReport:
+        """Run one solve and return its report.
+
+        The relation comes from the explicit ``relation`` argument or,
+        failing that, the request's ``relation`` spec.  Unlike
+        :meth:`solve_many` this raises on failure — single solves are
+        interactive.
+        """
+        request = request or SolveRequest()
+        if relation is None:
+            if request.relation is None:
+                raise ValueError("no relation: pass relation= or set "
+                                 "request.relation")
+            relation = request.relation
+
+        # Pick the cache key *before* materialising anything: session
+        # names and caller objects key by identity; self-contained specs
+        # key by content (file specs become inline PLA text so on-disk
+        # edits invalidate), which lets repeated spec solves hit the
+        # cache instead of minting a fresh manager per call.
+        resolved: Optional[BooleanRelation] = None
+        spec: Optional[Dict[str, Any]] = None
+        if isinstance(relation, BooleanRelation):
+            resolved = relation
+            key = self._live_key(resolved, request)
+        else:
+            spec = normalize_relation_spec(relation)
+            if spec["kind"] == "name":
+                resolved = self.relation(spec["name"])
+                key = self._live_key(resolved, request)
+            else:
+                if spec["kind"] == "file":
+                    with open(spec["path"], "r",
+                              encoding="ascii") as handle:
+                        spec = {"kind": "pla", "text": handle.read()}
+                key = self._spec_key(spec, request)
+        cached = self._cache.get(key)
+        # A worker-produced cache entry has its solution stripped; this
+        # path promises a live solution, so re-solve (and upgrade the
+        # cache entry) rather than serve it.
+        if cached is not None and cached.solution is not None:
+            self.cache_hits += 1
+            return cached.copy(label=request.label,
+                               request=request.to_dict(), cached=True)
+        if resolved is None:
+            resolved = build_relation(spec)
+        result = BrelSolver(request.to_options()).solve(resolved)
+        report = SolveReport.from_result(resolved, result,
+                                         request=request.to_dict(),
+                                         label=request.label)
+        self._cache[key] = report.copy()
+        return report
+
+    def solve_many(self, requests: Sequence[SolveRequest],
+                   max_workers: Optional[int] = None,
+                   executor: str = "process") -> List[SolveReport]:
+        """Solve a batch of requests; one report per request, in order.
+
+        * Failures (bad relation names, malformed inputs, solver errors)
+          are captured in the corresponding report, never raised.
+        * Identical jobs — same relation (snapshot content for pool
+          executors, object identity for serial), same options — are
+          solved once and shared through the session cache, which also
+          persists across calls.
+        * ``executor`` selects ``"process"`` (default; true parallelism
+          across cores), ``"thread"`` (one PLA snapshot per job — the
+          shared managers are not thread-safe — so reports are data-only
+          like process reports), or ``"serial"`` (in-process).
+
+        Batch reports are data-first: ``report.solution`` is attached
+        only opportunistically (fresh serial runs whose manager matches)
+        and may be ``None`` on cache hits.  Use :meth:`solve` when a
+        live ``Solution`` is required.
+        """
+        if executor not in ("process", "thread", "serial"):
+            raise ValueError("executor must be 'process', 'thread' "
+                             "or 'serial'")
+        reports: List[Optional[SolveReport]] = [None] * len(requests)
+        pending: Dict[Tuple[Any, ...], List[int]] = {}
+        payloads: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
+        resolved_by_index: List[Optional[BooleanRelation]] = \
+            [None] * len(requests)
+
+        for index, request in enumerate(requests):
+            label = request.label or "job-%d" % index
+            try:
+                if request.relation is None:
+                    raise ValueError("request has no relation source")
+                resolved = self.resolve_relation(request.relation)
+                # The PLA snapshot (an exponential enumeration) is the
+                # transport to worker pools; serial jobs solve the live
+                # object and key by identity, skipping it entirely.
+                pla = (write_relation(resolved) if executor != "serial"
+                       else None)
+            except Exception as exc:  # noqa: BLE001 — capture per job
+                reports[index] = SolveReport.from_error(
+                    exc, request=request.to_dict(), label=label)
+                continue
+            resolved_by_index[index] = resolved
+            key = (self._cache_key(pla, request) if pla is not None
+                   else self._live_key(resolved, request))
+            cached = self._cache.get(key)
+            if cached is not None:
+                self.cache_hits += 1
+                reports[index] = cached.copy(
+                    label=label, request=request.to_dict(), cached=True,
+                    solution=self._portable_solution(cached, resolved))
+                continue
+            if key not in pending:
+                # "relation" is the live object for in-process execution;
+                # workers get only the picklable PLA snapshot.
+                payloads[key] = {"pla": pla,
+                                 "request": request.to_dict(),
+                                 "label": label,
+                                 "relation": resolved}
+            pending.setdefault(key, []).append(index)
+
+        if pending:
+            fresh = self._run_jobs(list(pending), payloads, max_workers,
+                                   executor)
+            for key, report in fresh.items():
+                if report.ok:
+                    self._cache[key] = report.copy()
+                first, *rest = pending[key]
+                reports[first] = report.copy(
+                    label=requests[first].label or "job-%d" % first,
+                    request=requests[first].to_dict())
+                for index in rest:
+                    # Failures are never cached, so only successful
+                    # shared results count (and read) as cache hits.
+                    if report.ok:
+                        self.cache_hits += 1
+                    reports[index] = report.copy(
+                        label=requests[index].label or "job-%d" % index,
+                        request=requests[index].to_dict(),
+                        cached=report.ok,
+                        solution=self._portable_solution(
+                            report, resolved_by_index[index]))
+        # Every index was filled above: failure, cache hit, or fresh run.
+        return [report for report in reports if report is not None]
+
+    # ------------------------------------------------------------------
+    def _run_jobs(self, keys: List[Tuple[Any, ...]],
+                  payloads: Dict[Tuple[Any, ...], Dict[str, Any]],
+                  max_workers: Optional[int],
+                  executor: str) -> Dict[Tuple[Any, ...], SolveReport]:
+        """Execute the unique jobs, serially or on an executor pool."""
+        if max_workers is None:
+            max_workers = self.default_max_workers
+        if max_workers is None:
+            max_workers = min(len(keys), os.cpu_count() or 1)
+        max_workers = max(1, min(max_workers, len(keys)))
+
+        results: Dict[Tuple[Any, ...], SolveReport] = {}
+        # Only an explicit "serial" runs in this process: process/thread
+        # keep their isolation and data-only contracts even for a single
+        # job or max_workers=1.
+        if executor == "serial":
+            for key in keys:
+                results[key] = self._solve_in_process(payloads[key])
+            return results
+
+        if executor == "thread":
+            # BddManager is not thread-safe and session relations of the
+            # same shape share one, so each thread job solves its own
+            # PLA snapshot in a fresh manager (like a process worker).
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                futures = {key: pool.submit(
+                    _solve_payload,
+                    {k: v for k, v in payloads[key].items()
+                     if k != "relation"})
+                    for key in keys}
+                for key, future in futures.items():
+                    results[key] = future.result()
+            return results
+
+        try:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                futures = {key: pool.submit(
+                    _solve_payload,
+                    {k: v for k, v in payloads[key].items()
+                     if k != "relation"})
+                    for key in keys}
+                for key, future in futures.items():
+                    try:
+                        results[key] = future.result()
+                    except Exception as exc:  # pool/pickling breakage
+                        results[key] = SolveReport.from_error(
+                            exc, request=payloads[key]["request"],
+                            label=payloads[key]["label"])
+        except OSError:
+            # Process pools need a working fork/semaphore layer; fall
+            # back to in-process execution in restricted sandboxes.
+            for key in keys:
+                if key not in results:
+                    results[key] = self._solve_in_process(payloads[key])
+        return results
+
+    def _solve_in_process(self, payload: Dict[str, Any]) -> SolveReport:
+        """In-process execution: same contract as the worker, but solves
+        the live relation object (keeping ``Solution`` handles valid in
+        the caller's managers)."""
+        label = payload.get("label")
+        request_dict = payload.get("request")
+        try:
+            request = SolveRequest.from_dict(request_dict)
+            relation = payload.get("relation")
+            if relation is None:
+                relation = parse_relation(payload["pla"])
+            result = BrelSolver(request.to_options()).solve(relation)
+            return SolveReport.from_result(relation, result,
+                                           request=request_dict,
+                                           label=label)
+        except Exception as exc:  # noqa: BLE001 — isolation is the contract
+            return SolveReport.from_error(exc, request=request_dict,
+                                          label=label)

@@ -1,56 +1,139 @@
-"""Command-line interface: ``python -m repro <command>``.
+"""Command-line interface: ``python -m repro <command>`` (or ``repro``).
 
 Commands
 --------
 ``solve``      solve a Boolean-relation file (PLA dialect, see
-               :mod:`repro.core.relio`) and print the solution.
+               :mod:`repro.core.relio`) and print the solution; with
+               ``--json`` emit the structured :class:`SolveReport`.
+``batch``      run a JSON manifest of solve jobs through
+               :meth:`Session.solve_many` (process-parallel) and emit
+               machine-readable per-job reports.
 ``decompose``  run the mux-latch decomposition flow on a BLIF netlist and
                report baseline-vs-decomposed area/delay.
 ``map``        technology-map a BLIF netlist and print the gate report.
 ``bench-info`` list the bundled benchmark instances.
+
+Batch manifests are either a JSON list of :class:`SolveRequest` dicts or
+an object ``{"defaults": {...}, "jobs": [{...}, ...]}`` where each job is
+merged over the defaults.  Relation ``file`` paths are resolved relative
+to the manifest's directory::
+
+    {"defaults": {"cost": "size", "max_explored": 20},
+     "jobs": [
+       {"label": "a", "relation": {"kind": "file", "path": "a.pla"}},
+       {"label": "b", "relation": {"kind": "bench", "name": "int1"},
+        "cost": "cubes"}]}
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import os
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
-from .core.brel import BrelOptions, BrelSolver
-from .core.cost import (bdd_size_cost, bdd_size_squared_cost,
-                        cube_count_cost, literal_count_cost)
-from .core.relio import load_relation
+from .api.registry import COSTS, cost_names, minimizer_names
+from .api.request import SolveRequest
+from .api.session import Session
 
-#: CLI names for the cost functions of paper Section 7.3.
-COSTS = {
-    "size": bdd_size_cost,
-    "size2": bdd_size_squared_cost,
-    "cubes": cube_count_cost,
-    "literals": literal_count_cost,
-}
+__all__ = ["COSTS", "build_parser", "main"]
 
 
-def _cmd_solve(args: argparse.Namespace) -> int:
-    relation = load_relation(args.relation)
-    options = BrelOptions(
-        cost_function=COSTS[args.cost],
+def _request_from_args(args: argparse.Namespace,
+                       relation_spec: Dict[str, Any]) -> SolveRequest:
+    return SolveRequest(
+        relation=relation_spec,
+        cost=args.cost,
+        minimizer=args.minimizer,
         mode=args.mode,
         max_explored=args.max_explored,
         symmetry_pruning=args.symmetries,
-        time_limit_seconds=args.time_limit,
-    )
-    result = BrelSolver(options).solve(relation)
-    solution = result.solution
+        time_limit_seconds=args.time_limit)
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    from .core.relation import NotWellDefinedError
+    from .core.relio import RelationFormatError
+
+    try:
+        request = _request_from_args(
+            args, {"kind": "file", "path": args.relation})
+        report = Session().solve(request)
+    except (OSError, ValueError, KeyError, RelationFormatError,
+            NotWellDefinedError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    if args.json:
+        print(report.to_json(indent=2))
+        return 0 if report.compatible else 1
     print("# inputs=%d outputs=%d pairs=%d"
-          % (len(relation.inputs), len(relation.outputs),
-             relation.pair_count()))
+          % (report.num_inputs, report.num_outputs, report.pairs))
     print("# cost=%.0f explored=%d splits=%d runtime=%.3fs"
-          % (solution.cost, result.stats.relations_explored,
-             result.stats.splits, result.stats.runtime_seconds))
-    print(solution.describe())
-    compatible = relation.is_compatible(solution.functions)
-    print("# compatible=%s" % compatible)
-    return 0 if compatible else 1
+          % (report.cost, report.stats["relations_explored"],
+             report.stats["splits"], report.stats["runtime_seconds"]))
+    print(report.sop)
+    print("# compatible=%s" % report.compatible)
+    return 0 if report.compatible else 1
+
+
+def _load_manifest(path: str) -> List[SolveRequest]:
+    """Parse a batch manifest into validated requests."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if isinstance(data, dict):
+        defaults = data.get("defaults", {})
+        jobs = data.get("jobs")
+        if jobs is None:
+            raise ValueError("manifest object needs a 'jobs' list")
+    elif isinstance(data, list):
+        defaults, jobs = {}, data
+    else:
+        raise ValueError("manifest must be a JSON list or object")
+    base = os.path.dirname(os.path.abspath(path))
+    requests = []
+    for position, job in enumerate(jobs):
+        if not isinstance(job, dict):
+            raise ValueError("job %d is not a JSON object" % position)
+        merged = dict(defaults)
+        merged.update(job)
+        relation = merged.get("relation")
+        if (isinstance(relation, dict) and relation.get("kind") == "file"
+                and not os.path.isabs(relation.get("path", ""))):
+            relation = dict(relation)
+            relation["path"] = os.path.join(base, relation["path"])
+            merged["relation"] = relation
+        requests.append(SolveRequest.from_dict(merged))
+    return requests
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    try:
+        requests = _load_manifest(args.manifest)
+    except (ValueError, KeyError, TypeError, OSError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    session = Session()
+    reports = session.solve_many(requests, max_workers=args.workers,
+                                 executor=args.executor)
+    payload = [report.to_dict() for report in reports]
+    text = json.dumps(payload, indent=2, sort_keys=True)
+    if args.output:
+        try:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+        except OSError as exc:
+            # Don't lose a finished batch to a bad path: report the
+            # write failure but still emit the results on stdout.
+            print("error: %s" % exc, file=sys.stderr)
+            print(text)
+            return 2
+    else:
+        print(text)
+    if not args.quiet:
+        for report in reports:
+            print(report.summary(), file=sys.stderr)
+    return 0 if all(report.ok for report in reports) else 1
 
 
 def _cmd_decompose(args: argparse.Namespace) -> int:
@@ -105,20 +188,45 @@ def _cmd_bench_info(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="BREL: a recursive Boolean-relation solver "
                     "(DAC'04 / IEEE TC'09 reproduction)")
+    parser.add_argument("--version", action="version",
+                        version="repro %s" % __version__)
     commands = parser.add_subparsers(dest="command", required=True)
 
     solve = commands.add_parser("solve", help="solve a relation file")
     solve.add_argument("relation", help="PLA-dialect relation file")
-    solve.add_argument("--cost", choices=sorted(COSTS), default="size")
+    solve.add_argument("--cost", choices=cost_names(), default="size")
+    solve.add_argument("--minimizer", choices=minimizer_names(),
+                       default="isop")
     solve.add_argument("--mode", choices=["bfs", "dfs"], default="bfs")
     solve.add_argument("--max-explored", type=int, default=10)
     solve.add_argument("--symmetries", action="store_true")
     solve.add_argument("--time-limit", type=float, default=None)
+    solve.add_argument("--json", action="store_true",
+                       help="emit the structured SolveReport as JSON")
     solve.set_defaults(func=_cmd_solve)
+
+    batch = commands.add_parser(
+        "batch", help="run a JSON manifest of solve jobs")
+    batch.add_argument("manifest", help="JSON manifest file (see module "
+                                        "docstring for the format)")
+    batch.add_argument("--workers", type=int, default=None,
+                       help="process-pool size (default: one per job, "
+                            "capped at the CPU count)")
+    batch.add_argument("--executor",
+                       choices=["process", "thread", "serial"],
+                       default="process")
+    batch.add_argument("--output", default=None,
+                       help="write the JSON report array here instead "
+                            "of stdout")
+    batch.add_argument("--quiet", action="store_true",
+                       help="suppress the per-job summary on stderr")
+    batch.set_defaults(func=_cmd_batch)
 
     decompose = commands.add_parser(
         "decompose", help="mux-latch decomposition flow on a BLIF netlist")

@@ -13,7 +13,7 @@ from .minimize import (MINIMIZERS, eliminate_nonessential_variables,
 from .quick import quick_solve
 from .relation import BooleanRelation, NotWellDefinedError
 from .relio import (RelationFormatError, load_relation, parse_relation,
-                    save_relation, write_relation)
+                    peek_shape, save_relation, write_relation)
 from .solution import Solution, SolverStats
 from .split import SplitChoice, select_split, select_split_from_conflicts
 from .symmetry import (E, NE, SymmetryCache, output_symmetries,
@@ -52,6 +52,7 @@ __all__ = [
     "minimize_restrict",
     "output_symmetries",
     "parse_relation",
+    "peek_shape",
     "load_relation",
     "save_relation",
     "write_relation",

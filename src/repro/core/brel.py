@@ -91,6 +91,12 @@ class BrelOptions:
         if (self.time_limit_seconds is not None
                 and self.time_limit_seconds < 0):
             raise ValueError("time_limit_seconds must be non-negative")
+        if self.max_explored is not None and self.max_explored < 0:
+            raise ValueError("max_explored must be non-negative or None "
+                             "(negative values would disable exploration)")
+        if self.fifo_capacity is not None and self.fifo_capacity < 0:
+            raise ValueError("fifo_capacity must be non-negative or None "
+                             "(negative values would disable exploration)")
 
 
 @dataclass

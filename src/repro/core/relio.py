@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
+from ..bdd.manager import BddManager
 from ..sop.cube import Cube
 from .relation import BooleanRelation
 
@@ -35,8 +36,40 @@ class RelationFormatError(ValueError):
     """Raised on malformed relation files."""
 
 
-def parse_relation(text: str) -> BooleanRelation:
-    """Parse the PLA-dialect text into a :class:`BooleanRelation`."""
+def peek_shape(text: str) -> Tuple[int, int]:
+    """Scan just the ``.i`` / ``.o`` header of PLA-dialect text.
+
+    Lets callers learn ``(num_inputs, num_outputs)`` — e.g. to pick a
+    shared manager — without building the relation.
+    """
+    num_inputs: Optional[int] = None
+    num_outputs: Optional[int] = None
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if line.startswith(".i ") or line.startswith(".o "):
+            try:
+                value = int(line.split()[1])
+            except ValueError:
+                raise RelationFormatError("malformed header %r"
+                                          % line) from None
+            if line.startswith(".i "):
+                num_inputs = value
+            else:
+                num_outputs = value
+        if num_inputs is not None and num_outputs is not None:
+            return num_inputs, num_outputs
+    raise RelationFormatError("missing .i / .o header")
+
+
+def parse_relation(text: str,
+                   mgr: Optional[BddManager] = None) -> BooleanRelation:
+    """Parse the PLA-dialect text into a :class:`BooleanRelation`.
+
+    When ``mgr`` is given the relation is built inside that manager
+    (which must already hold enough variables), enabling node sharing
+    across relations — e.g. a :class:`repro.api.Session` ingesting many
+    same-shape relations.
+    """
     num_inputs: Optional[int] = None
     num_outputs: Optional[int] = None
     rows: List[Tuple[str, str]] = []
@@ -75,7 +108,7 @@ def parse_relation(text: str) -> BooleanRelation:
             for out_value in out_cube.minterms():
                 output_sets[vertex].add(out_value)
     return BooleanRelation.from_output_sets(output_sets, num_inputs,
-                                            num_outputs)
+                                            num_outputs, mgr=mgr)
 
 
 def write_relation(relation: BooleanRelation,
@@ -106,10 +139,11 @@ def write_relation(relation: BooleanRelation,
     return "\n".join(lines) + "\n"
 
 
-def load_relation(path: str) -> BooleanRelation:
+def load_relation(path: str,
+                  mgr: Optional[BddManager] = None) -> BooleanRelation:
     """Read a relation file from disk."""
     with open(path, "r", encoding="ascii") as handle:
-        return parse_relation(handle.read())
+        return parse_relation(handle.read(), mgr=mgr)
 
 
 def save_relation(relation: BooleanRelation, path: str,

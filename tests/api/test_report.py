@@ -1,0 +1,98 @@
+"""SolveReport: schema, serialisation, and solution exports."""
+
+import json
+
+import pytest
+
+from repro.api import REPORT_SCHEMA_VERSION, Session, SolveReport, \
+    SolveRequest
+from repro.core.relio import parse_relation
+
+FIG1_ROWS = [{0b01}, {0b01}, {0b00, 0b11}, {0b10, 0b11}]
+
+#: Every key a serialised report must carry (the batch-consumer contract).
+EXPECTED_KEYS = {
+    "ok", "label", "error", "request", "num_inputs", "num_outputs",
+    "pairs", "cost", "compatible", "bdd_sizes", "cube_count",
+    "literal_count", "sop", "pla", "stats", "cached", "schema_version",
+}
+
+
+@pytest.fixture
+def report():
+    session = Session()
+    session.add_output_sets("fig1", FIG1_ROWS, 2, 2)
+    return session.solve(SolveRequest(relation="fig1", label="fig1"))
+
+
+class TestSchema:
+    def test_to_json_keys(self, report):
+        data = json.loads(report.to_json())
+        assert set(data) == EXPECTED_KEYS
+        assert data["schema_version"] == REPORT_SCHEMA_VERSION
+
+    def test_success_fields(self, report):
+        data = report.to_dict()
+        assert data["ok"] is True and data["error"] is None
+        assert data["label"] == "fig1"
+        assert data["num_inputs"] == 2 and data["num_outputs"] == 2
+        assert data["pairs"] == 6
+        assert data["compatible"] is True
+        assert len(data["bdd_sizes"]) == 2
+        assert data["cost"] == pytest.approx(sum(data["bdd_sizes"]))
+        assert data["stats"]["relations_explored"] >= 1
+        assert data["request"]["relation"] == {"kind": "name",
+                                               "name": "fig1"}
+
+    def test_dict_round_trip(self, report):
+        again = SolveReport.from_dict(json.loads(report.to_json()))
+        assert again == report  # `solution` is excluded from comparison
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown SolveReport"):
+            SolveReport.from_dict({"ok": True, "wat": 1})
+
+
+class TestSolutionExports:
+    def test_sop_text(self, report):
+        assert report.sop.count("\n") == 1  # one line per output
+        assert "f0 = " in report.sop and "f1 = " in report.sop
+
+    def test_pla_is_lazy(self, report):
+        # The exponential enumeration is only paid on demand.
+        assert report.pla is None
+        text = report.solution_pla()
+        assert text is not None and report.pla == text
+        # Serialisation materialises it automatically.
+        assert json.loads(report.to_json())["pla"] == text
+
+    def test_pla_export_is_a_compatible_function(self, report):
+        exported = parse_relation(report.solution_pla())
+        assert exported.is_function()
+        session = Session()
+        original = session.add_output_sets("fig1", FIG1_ROWS, 2, 2)
+        for vertex, outputs in exported.rows():
+            assert outputs <= original.output_set(vertex)
+
+
+class TestFailureReports:
+    def test_from_error(self):
+        report = SolveReport.from_error(ValueError("boom"),
+                                        request={"relation": "x"},
+                                        label="bad")
+        assert not report.ok
+        assert report.error == "ValueError: boom"
+        assert report.cost is None and report.sop is None
+        data = json.loads(report.to_json())
+        assert set(data) == EXPECTED_KEYS
+
+    def test_raise_for_error(self, report):
+        assert report.raise_for_error() is report
+        failed = SolveReport.from_error(RuntimeError("nope"))
+        with pytest.raises(RuntimeError, match="nope"):
+            failed.raise_for_error()
+
+    def test_summary_lines(self, report):
+        assert report.summary().startswith("fig1: cost=")
+        failed = SolveReport.from_error(RuntimeError("nope"), label="f")
+        assert "FAILED" in failed.summary()

@@ -1,0 +1,1 @@
+"""Test package (enables the relative imports used across the suite)."""

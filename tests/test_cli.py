@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -41,6 +43,89 @@ class TestSolveCommand:
     def test_solve_with_symmetries_and_limit(self, relation_file):
         assert main(["solve", relation_file, "--symmetries",
                      "--time-limit", "5"]) == 0
+
+    def test_solve_json(self, relation_file, capsys):
+        assert main(["solve", relation_file, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["compatible"] is True
+        assert report["num_inputs"] == 2 and report["num_outputs"] == 2
+        assert report["request"]["relation"]["kind"] == "file"
+
+    def test_solve_minimizer_choice(self, relation_file):
+        assert main(["solve", relation_file,
+                     "--minimizer", "restrict"]) == 0
+
+
+class TestBatchCommand:
+    def _write_manifest(self, tmp_path, relation_file, jobs=None):
+        manifest = {
+            "defaults": {"cost": "size", "max_explored": 10},
+            "jobs": jobs if jobs is not None else [
+                {"label": "rel-size",
+                 "relation": {"kind": "file", "path": relation_file}},
+                {"label": "rel-cubes", "cost": "cubes",
+                 "relation": {"kind": "file", "path": relation_file}},
+            ],
+        }
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(manifest))
+        return str(path)
+
+    def test_batch_reports_per_job(self, relation_file, tmp_path, capsys):
+        path = self._write_manifest(tmp_path, relation_file)
+        assert main(["batch", path, "--workers", "2", "--quiet"]) == 0
+        reports = json.loads(capsys.readouterr().out)
+        assert [r["label"] for r in reports] == ["rel-size", "rel-cubes"]
+        assert all(r["ok"] and r["compatible"] for r in reports)
+
+    def test_batch_failure_sets_exit_code(self, relation_file, tmp_path,
+                                          capsys):
+        path = self._write_manifest(tmp_path, relation_file, jobs=[
+            {"label": "ok",
+             "relation": {"kind": "file", "path": relation_file}},
+            {"label": "broken",
+             "relation": {"kind": "file", "path": "does-not-exist.pla"}},
+        ])
+        assert main(["batch", path, "--executor", "serial",
+                     "--quiet"]) == 1
+        reports = json.loads(capsys.readouterr().out)
+        assert [r["ok"] for r in reports] == [True, False]
+        assert reports[1]["error"]
+
+    def test_batch_relative_paths_and_output_file(self, tmp_path, capsys):
+        relation = BooleanRelation.from_output_sets(
+            [{0b01}, {0b01}, {0b00, 0b11}, {0b10, 0b11}], 2, 2)
+        save_relation(relation, str(tmp_path / "fig1.rel"))
+        manifest = [{"label": "rel",
+                     "relation": {"kind": "file", "path": "fig1.rel"}}]
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps(manifest))
+        out = tmp_path / "reports.json"
+        assert main(["batch", str(path), "--executor", "serial",
+                     "--quiet", "--output", str(out)]) == 0
+        reports = json.loads(out.read_text())
+        assert reports[0]["ok"]
+
+    def test_batch_bad_manifest(self, tmp_path, capsys):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps({"no-jobs": []}))
+        assert main(["batch", str(path)]) == 2
+
+    def test_batch_non_mapping_relation_spec(self, tmp_path, capsys):
+        path = tmp_path / "manifest.json"
+        path.write_text(json.dumps([{"label": "x", "relation": 42}]))
+        assert main(["batch", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestVersionFlag:
+    def test_version(self, capsys):
+        from repro import __version__
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
 
 
 class TestNetworkCommands:
