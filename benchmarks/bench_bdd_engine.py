@@ -2,7 +2,20 @@
 
 Not a paper table; sanity numbers for the CUDD stand-in so that regressions
 in the engine are visible independently of solver behaviour.
+
+Besides the pytest-benchmark entry points, the module runs standalone for
+CI smoke checks::
+
+    python benchmarks/bench_bdd_engine.py --quick
+
+which executes every workload once (no pytest-benchmark needed), prints
+wall-clock timings plus an engine-stats snapshot, and fails loudly if a
+workload returns wrong results or the computed table exceeds its bound.
 """
+
+import random
+import sys
+import time
 
 import pytest
 
@@ -96,3 +109,191 @@ def test_bdd_shortest_path_throughput(benchmark):
     assert cube is not None
     # A satisfying cube of the queens function binds at least n queens.
     assert sum(1 for value in cube.values() if value) >= 5
+
+
+# ----------------------------------------------------------------------
+# Engine microbenchmarks: ITE and quantification under solver-like sizes
+# ----------------------------------------------------------------------
+_POOL_VARS = 16
+_POOL_SIZE = 12
+
+
+def build_function_pool(num_vars: int = _POOL_VARS,
+                        count: int = _POOL_SIZE, seed: int = 42):
+    """Seeded random functions of solver-typical size in one manager."""
+    mgr = BddManager(["v%d" % i for i in range(num_vars)])
+    rng = random.Random(seed)
+    pool = []
+    for _ in range(count):
+        f = mgr.var(rng.randrange(num_vars))
+        for _ in range(2 * num_vars):
+            g = mgr.var(rng.randrange(num_vars))
+            if rng.random() < 0.5:
+                g = mgr.not_(g)
+            op = rng.randrange(3)
+            if op == 0:
+                f = mgr.and_(f, g)
+            elif op == 1:
+                f = mgr.or_(f, g)
+            else:
+                f = mgr.xor_(f, g)
+        pool.append(f)
+    return mgr, pool
+
+
+def ite_workload(mgr, pool):
+    """ITE under the solver's real call mix — the ternary hot path.
+
+    Three phases, two passes each (solver search re-queries the same
+    relations constantly, so warm computed-table throughput matters as
+    much as cold expansion):
+
+    * general triples over the pool;
+    * constant-leg triples — the dominant shape inside
+      restrict/constrain/characteristic-function construction;
+    * variable-guard selections — the isop / gencof / mux-decomposition
+      rebuild shape (paper §9).
+    """
+    num_vars = mgr.num_vars
+    checksum = 0
+    for _ in range(2):
+        for f in pool:
+            for g in pool:
+                for h in pool:
+                    checksum ^= mgr.ite(f, g, h)
+        for f in pool:
+            for g in pool:
+                checksum ^= mgr.ite(f, g, 0)
+                checksum ^= mgr.ite(f, 1, g)
+                checksum ^= mgr.ite(f, 0, g)
+                checksum ^= mgr.ite(f, g, 1)
+        for f in pool:
+            for g in pool:
+                for var in range(0, num_vars, 3):
+                    checksum ^= mgr.ite(mgr.var(var), f, g)
+    return checksum
+
+
+def quantification_workload(mgr, pool):
+    """exists/forall sweeps over fresh conjunctions (MISF-projection shape).
+
+    Cold + warm passes, like :func:`ite_workload`.
+    """
+    groups = ([0, 3, 5, 9, 12], [2, 4, 11, 14], [1, 6, 13, 15],
+              [5, 7, 8, 10, 13])
+    checksum = 0
+    for _ in range(2):
+        for f in pool:
+            for g in pool:
+                h = mgr.and_(f, g)
+                for group in groups:
+                    checksum ^= mgr.exists(h, group)
+                    checksum ^= mgr.forall(h, group)
+    return checksum
+
+
+def _ite_sanity(mgr, pool):
+    """Spot-check ITE results against its and/or decomposition."""
+    rng = random.Random(7)
+    for _ in range(16):
+        f, g, h = (rng.choice(pool) for _ in range(3))
+        expected = mgr.or_(mgr.and_(f, g), mgr.and_(mgr.not_(f), h))
+        assert mgr.ite(f, g, h) == expected
+
+
+def _quant_sanity(mgr, pool):
+    """Spot-check the quantifier duality forall == ~exists~."""
+    rng = random.Random(8)
+    for _ in range(16):
+        f = rng.choice(pool)
+        group = rng.sample(range(_POOL_VARS), 3)
+        assert mgr.forall(f, group) == \
+            mgr.not_(mgr.exists(mgr.not_(f), group))
+
+
+@pytest.mark.benchmark(group="bdd")
+def test_bdd_ite_throughput(benchmark):
+    mgr, pool = build_function_pool()
+    checksum = benchmark(ite_workload, mgr, pool)
+    assert checksum != 0
+    _ite_sanity(mgr, pool)
+
+
+@pytest.mark.benchmark(group="bdd")
+def test_bdd_quantification_throughput(benchmark):
+    mgr, pool = build_function_pool(seed=43)
+    checksum = benchmark(quantification_workload, mgr, pool)
+    assert checksum != 0
+    _quant_sanity(mgr, pool)
+
+
+# ----------------------------------------------------------------------
+# Quick mode: dependency-free smoke run for CI
+# ----------------------------------------------------------------------
+def run_quick() -> int:
+    """Run each workload once; print timings and engine stats.
+
+    Returns a process exit code: non-zero when a workload misbehaves or
+    the computed table escapes its bound.
+    """
+    timings = {}
+
+    start = time.perf_counter()
+    mgr, constraint = build_queens(5)
+    timings["queens_build"] = time.perf_counter() - start
+    count = mgr.sat_count(constraint, list(range(mgr.num_vars)))
+    assert count == 10, "5-queens must have 10 solutions, got %d" % count
+
+    start = time.perf_counter()
+    cube = shortest_path_cube(mgr, constraint)
+    timings["shortest_path"] = time.perf_counter() - start
+    assert cube is not None
+
+    relations = build_suite(("int9", "gr"))
+    start = time.perf_counter()
+    cubes = 0
+    for relation in relations.values():
+        for position in range(len(relation.outputs)):
+            isf = relation.project(position)
+            cover, _ = isop(relation.mgr, isf.on, isf.upper)
+            cubes += len(cover)
+    timings["project_isop"] = time.perf_counter() - start
+    assert cubes > 0
+
+    mgr, pool = build_function_pool()
+    start = time.perf_counter()
+    ite_workload(mgr, pool)
+    timings["ite"] = time.perf_counter() - start
+    _ite_sanity(mgr, pool)
+
+    qmgr, qpool = build_function_pool(seed=43)
+    start = time.perf_counter()
+    quantification_workload(qmgr, qpool)
+    timings["quantification"] = time.perf_counter() - start
+    _quant_sanity(qmgr, qpool)
+
+    print("bench_bdd_engine quick mode")
+    for name, seconds in timings.items():
+        print("  %-16s %8.3fs" % (name, seconds))
+    for label, engine in (("ite", mgr), ("quant", qmgr)):
+        stats = engine.stats()
+        print("  engine[%s]: nodes=%d cache_entries=%d (limit %s) "
+              "hits=%d misses=%d flushes=%d"
+              % (label, stats["nodes"], stats["cache_entries"],
+                 stats["cache_limit"], stats["cache_hits"],
+                 stats["cache_misses"], stats["cache_flushes"]))
+        if stats["cache_limit"] is not None \
+                and stats["cache_entries"] > stats["cache_limit"]:
+            print("FAIL: computed table exceeded its bound", file=sys.stderr)
+            return 1
+    print("quick mode ok")
+    return 0
+
+
+if __name__ == "__main__":
+    if "--quick" in sys.argv[1:]:
+        sys.exit(run_quick())
+    print("usage: python benchmarks/bench_bdd_engine.py --quick\n"
+          "(or run under pytest with pytest-benchmark for full numbers)",
+          file=sys.stderr)
+    sys.exit(2)

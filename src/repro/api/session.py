@@ -43,6 +43,15 @@ from .request import (RelationSpec, SolveRequest, build_relation,
 #: What solve()/solve_many() accept as the thing to solve.
 RelationLike = Union[BooleanRelation, RelationSpec]
 
+#: Widest relation (in inputs) solve_many will snapshot to PLA text for
+#: pool executors.  The snapshot enumerates all 2^inputs input vertices,
+#: so past this point the "parallel" path would silently hang.
+DEFAULT_MAX_SNAPSHOT_INPUTS = 16
+
+#: Node count past which a session garbage-collects a manager between
+#: solves (None disables auto-trimming).
+DEFAULT_AUTO_TRIM_NODES = 500_000
+
 
 def _solve_payload(payload: Dict[str, Any]) -> SolveReport:
     """Execute one self-contained batch job (runs in worker processes).
@@ -71,14 +80,31 @@ def _solve_payload(payload: Dict[str, Any]) -> SolveReport:
 
 
 class Session:
-    """A workspace of named relations with cached, batchable solving."""
+    """A workspace of named relations with cached, batchable solving.
 
-    def __init__(self, max_workers: Optional[int] = None) -> None:
+    Memory management: registered relations are *pinned* in their BDD
+    manager, so :meth:`trim` (explicit) and the automatic between-solve
+    trim (``auto_trim_nodes``) can garbage-collect everything else —
+    solver scratch, dead intermediate relations — while keeping every
+    registered relation valid.  A trim invalidates live
+    :class:`~repro.core.Solution` handles returned by earlier solves
+    (their data renderings — SOP, PLA, cost — are unaffected); cached
+    reports keep serving data and re-solve lazily when a live handle is
+    requested again.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None,
+                 max_snapshot_inputs: int = DEFAULT_MAX_SNAPSHOT_INPUTS,
+                 auto_trim_nodes: Optional[int] = DEFAULT_AUTO_TRIM_NODES
+                 ) -> None:
         self._relations: Dict[str, BooleanRelation] = {}
         self._managers: Dict[Tuple[int, int], BddManager] = {}
         self._cache: Dict[Tuple[Any, ...], SolveReport] = {}
         self.cache_hits = 0
         self.default_max_workers = max_workers
+        self.max_snapshot_inputs = max_snapshot_inputs
+        self.auto_trim_nodes = auto_trim_nodes
+        self.trims = 0
 
     # ------------------------------------------------------------------
     # Managers
@@ -92,17 +118,156 @@ class Session:
                 + ["y%d" % j for j in range(num_outputs)])
         return self._managers[key]
 
+    def _session_managers(self) -> List[BddManager]:
+        """Every manager this session owns or has adopted, deduplicated."""
+        managers: List[BddManager] = []
+        seen = set()
+        for mgr in self._managers.values():
+            if id(mgr) not in seen:
+                seen.add(id(mgr))
+                managers.append(mgr)
+        for relation in self._relations.values():
+            if id(relation.mgr) not in seen:
+                seen.add(id(relation.mgr))
+                managers.append(relation.mgr)
+        return managers
+
+    def engine_stats(self) -> Dict[str, Dict[str, Any]]:
+        """Per-manager :meth:`BddManager.stats` snapshots.
+
+        Shape-owned managers key as ``"shape:IxO"``.  Managers adopted
+        through registered relations (equation systems, benchmarks) key
+        as ``"adopted:N"``, numbered by sorted relation name; the labels
+        are positional and recomputed per call, so they can shift when
+        relations are added or removed — treat each call's result as a
+        self-contained snapshot.
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        seen = set()
+        for (ni, no), mgr in sorted(self._managers.items()):
+            out["shape:%dx%d" % (ni, no)] = mgr.stats()
+            seen.add(id(mgr))
+        adopted = 0
+        for name in sorted(self._relations):
+            mgr = self._relations[name].mgr
+            if id(mgr) not in seen:
+                seen.add(id(mgr))
+                out["adopted:%d" % adopted] = mgr.stats()
+                adopted += 1
+        return out
+
+    # ------------------------------------------------------------------
+    # Memory management
+    # ------------------------------------------------------------------
+    def trim(self) -> Dict[str, Dict[str, Any]]:
+        """Reclaim engine memory now: GC every manager, drop op caches.
+
+        Registered relations survive (they are pinned and remapped);
+        everything unreachable — solver scratch, deregistered relations —
+        is collected.  Live solutions handed out by earlier solves become
+        invalid; their reports' data fields stay correct.  Returns
+        :meth:`engine_stats` after the collection.
+        """
+        for mgr in self._session_managers():
+            self._trim_manager(mgr)
+        return self.engine_stats()
+
+    def _strip_solution(self, report: SolveReport) -> None:
+        """Drop a report's live solution, keeping its data useful.
+
+        The PLA rendering is materialised first — but only for narrow
+        relations: ``write_relation`` enumerates all ``2^inputs`` input
+        vertices, the exact blow-up ``max_snapshot_inputs`` exists to
+        avoid.  Wide reports keep their SOP/cost data and re-solve
+        lazily when a rendering or live handle is needed again.
+        """
+        if (report.num_inputs is not None
+                and report.num_inputs <= self.max_snapshot_inputs):
+            report.solution_pla()
+        report.solution = None
+
+    def _trim_manager(self, mgr: BddManager,
+                      keep: Optional[BooleanRelation] = None,
+                      extra_reports: Iterable[SolveReport] = (),
+                      extra_payloads: Iterable[Dict[str, Any]] = ()
+                      ) -> Optional[BooleanRelation]:
+        """GC one manager, remapping this session's state through it.
+
+        ``keep`` is an extra relation to protect (the one about to be
+        solved); the remapped copy is returned.  Cached reports (and any
+        ``extra_reports``, e.g. a batch's finished jobs) lose their live
+        solutions (data is materialised first), identity-keyed cache
+        entries of this manager are dropped — their key objects would
+        hold stale node ids — and relations referenced by
+        ``extra_payloads`` (a batch's pending jobs) are kept live and
+        remapped in place.
+        """
+        stale_keys = []
+        for key, report in self._cache.items():
+            if isinstance(key[0], BooleanRelation) and key[0].mgr is mgr:
+                # Doomed entry: no point materialising its renderings.
+                stale_keys.append(key)
+            elif (report.solution is not None
+                    and report.solution.mgr is mgr):
+                self._strip_solution(report)
+        for key in stale_keys:
+            del self._cache[key]
+        for report in extra_reports:
+            if (report.solution is not None
+                    and report.solution.mgr is mgr):
+                self._strip_solution(report)
+        payload_relations = [
+            (payload, payload["relation"]) for payload in extra_payloads
+            if isinstance(payload.get("relation"), BooleanRelation)
+            and payload["relation"].mgr is mgr]
+        mgr.clear_caches()
+        extra = [keep.node] if keep is not None else []
+        extra.extend(relation.node for _, relation in payload_relations)
+        mapping = mgr.collect(extra_roots=extra)
+        for name, relation in list(self._relations.items()):
+            if relation.mgr is mgr:
+                self._relations[name] = relation.with_node(
+                    mapping[relation.node])
+        for payload, relation in payload_relations:
+            payload["relation"] = relation.with_node(mapping[relation.node])
+        self.trims += 1
+        if keep is not None:
+            return keep.with_node(mapping[keep.node])
+        return None
+
+    def _maybe_trim(self, resolved: BooleanRelation) -> BooleanRelation:
+        """Auto-trim the solved relation's manager when it grew too big."""
+        limit = self.auto_trim_nodes
+        if limit is None or resolved.mgr.num_nodes <= limit:
+            return resolved
+        return self._trim_manager(resolved.mgr, keep=resolved)
+
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
     def add_relation(self, name: str, relation: BooleanRelation, *,
                      overwrite: bool = False) -> BooleanRelation:
-        """Register an existing relation under ``name``."""
-        if not overwrite and name in self._relations:
+        """Register an existing relation under ``name``.
+
+        The relation's BDD root is pinned in its manager so session trims
+        (:meth:`trim` / ``auto_trim_nodes``) never collect it.
+        """
+        previous = self._relations.get(name)
+        if previous is not None and not overwrite:
             raise ValueError("relation %r is already registered "
                              "(pass overwrite=True to replace)" % name)
+        relation.mgr.pin(relation.node)
+        if previous is not None:
+            previous.mgr.unpin(previous.node)
         self._relations[name] = relation
         return relation
+
+    def remove_relation(self, name: str) -> None:
+        """Deregister ``name``; its nodes become collectable on trim."""
+        relation = self._relations.pop(name, None)
+        if relation is None:
+            raise KeyError("no relation named %r in this session" % name)
+        relation.mgr.unpin(relation.node)
 
     def add_output_sets(self, name: str, rows: Sequence[Iterable[int]],
                         num_inputs: int, num_outputs: int,
@@ -279,6 +444,7 @@ class Session:
         # cache instead of minting a fresh manager per call.
         resolved: Optional[BooleanRelation] = None
         spec: Optional[Dict[str, Any]] = None
+        from_registry = False
         if isinstance(relation, BooleanRelation):
             resolved = relation
             key = self._live_key(resolved, request)
@@ -286,6 +452,7 @@ class Session:
             spec = normalize_relation_spec(relation)
             if spec["kind"] == "name":
                 resolved = self.relation(spec["name"])
+                from_registry = True
                 key = self._live_key(resolved, request)
             else:
                 if spec["kind"] == "file":
@@ -302,7 +469,19 @@ class Session:
             return cached.copy(label=request.label,
                                request=request.to_dict(), cached=True)
         if resolved is None:
+            # Spec-built relations get a fresh manager per call; there is
+            # nothing from earlier solves to reclaim in it.
             resolved = build_relation(spec)
+        elif from_registry:
+            # Auto-trim only fires for registry-resolved relations: the
+            # session can remap those safely.  Trimming around a
+            # caller-owned handle would leave the caller's object holding
+            # stale node ids and silently corrupt its next use.
+            trimmed = self._maybe_trim(resolved)
+            if trimmed is not resolved:
+                # The trim remapped node ids; re-key on the fresh object.
+                resolved = trimmed
+                key = self._live_key(resolved, request)
         result = BrelSolver(request.to_options()).solve(resolved)
         report = SolveReport.from_result(resolved, result,
                                          request=request.to_dict(),
@@ -325,6 +504,10 @@ class Session:
           across cores), ``"thread"`` (one PLA snapshot per job — the
           shared managers are not thread-safe — so reports are data-only
           like process reports), or ``"serial"`` (in-process).
+        * Pool executors snapshot each relation to PLA text, an
+          enumeration of all ``2^inputs`` input vertices; relations wider
+          than ``max_snapshot_inputs`` raise ``ValueError`` up front
+          (use ``executor="serial"`` for those).
 
         Batch reports are data-first: ``report.solution`` is attached
         only opportunistically (fresh serial runs whose manager matches)
@@ -346,6 +529,25 @@ class Session:
                 if request.relation is None:
                     raise ValueError("request has no relation source")
                 resolved = self.resolve_relation(request.relation)
+            except Exception as exc:  # noqa: BLE001 — capture per job
+                reports[index] = SolveReport.from_error(
+                    exc, request=request.to_dict(), label=label)
+                continue
+            if (executor != "serial"
+                    and len(resolved.inputs) > self.max_snapshot_inputs):
+                # Not a per-job data failure but an API misuse: the pool
+                # transport would enumerate 2^inputs PLA rows and appear
+                # to hang, so refuse the whole batch loudly.
+                raise ValueError(
+                    "relation for job %r has %d inputs; executor=%r "
+                    "snapshots each relation to PLA text, which "
+                    "enumerates 2^inputs input vertices and is capped at "
+                    "max_snapshot_inputs=%d — pass executor='serial' "
+                    "(or raise Session(max_snapshot_inputs=...)) for "
+                    "wide relations"
+                    % (label, len(resolved.inputs), executor,
+                       self.max_snapshot_inputs))
+            try:
                 # The PLA snapshot (an exponential enumeration) is the
                 # transport to worker pools; serial jobs solve the live
                 # object and key by identity, skipping it entirely.
@@ -367,11 +569,21 @@ class Session:
                 continue
             if key not in pending:
                 # "relation" is the live object for in-process execution;
-                # workers get only the picklable PLA snapshot.
+                # workers get only the picklable PLA snapshot.  The
+                # registry name (when the job referenced one) lets the
+                # serial path re-resolve and auto-trim safely.
+                source = request.relation
+                registry_name = None
+                if isinstance(source, str):
+                    registry_name = source
+                elif (isinstance(source, Mapping)
+                        and source.get("kind") == "name"):
+                    registry_name = source.get("name")
                 payloads[key] = {"pla": pla,
                                  "request": request.to_dict(),
                                  "label": label,
-                                 "relation": resolved}
+                                 "relation": resolved,
+                                 "registry_name": registry_name}
             pending.setdefault(key, []).append(index)
 
         if pending:
@@ -415,8 +627,23 @@ class Session:
         # keep their isolation and data-only contracts even for a single
         # job or max_workers=1.
         if executor == "serial":
+            limit = self.auto_trim_nodes
             for key in keys:
-                results[key] = self._solve_in_process(payloads[key])
+                payload = payloads[key]
+                name = payload.get("registry_name")
+                if name is not None and name in self._relations:
+                    # Re-resolve from the registry so earlier trims in
+                    # this batch cannot leave the payload holding stale
+                    # node ids, then trim if the engine grew too big.
+                    relation = self._relations[name]
+                    payload["relation"] = relation
+                    if (limit is not None
+                            and relation.mgr.num_nodes > limit):
+                        payload["relation"] = self._trim_manager(
+                            relation.mgr, keep=relation,
+                            extra_reports=results.values(),
+                            extra_payloads=[payloads[k] for k in keys])
+                results[key] = self._solve_in_process(payload)
             return results
 
         if executor == "thread":
@@ -427,7 +654,7 @@ class Session:
                 futures = {key: pool.submit(
                     _solve_payload,
                     {k: v for k, v in payloads[key].items()
-                     if k != "relation"})
+                     if k not in ("relation", "registry_name")})
                     for key in keys}
                 for key, future in futures.items():
                     results[key] = future.result()
@@ -438,7 +665,7 @@ class Session:
                 futures = {key: pool.submit(
                     _solve_payload,
                     {k: v for k, v in payloads[key].items()
-                     if k != "relation"})
+                     if k not in ("relation", "registry_name")})
                     for key in keys}
                 for key, future in futures.items():
                     try:

@@ -16,13 +16,21 @@ variable order).  Key algebraic identity: ``constrain(f, c) & c == f & c``.
 the care set any variable the function does not depend on, which avoids the
 variable-introduction anomaly of ``constrain``.  Same agreement identity on
 the care set.
+
+Both operators run an explicit frame stack (no Python recursion), so they
+work on BDDs of any depth under the default interpreter recursion limit.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 from .manager import FALSE, TRUE, BddManager
+
+# Phases of the explicit-stack walks below.
+_EXPAND = 0     # inspect an (f, c) pair, push sub-pairs
+_COMBINE = 1    # both cofactor results done, rebuild with ITE
+_STORE = 2      # single sub-result passthrough: cache under this pair's key
 
 
 def constrain(mgr: BddManager, f: int, c: int) -> int:
@@ -33,32 +41,49 @@ def constrain(mgr: BddManager, f: int, c: int) -> int:
     if c == FALSE:
         raise ValueError("constrain is undefined for an empty care set")
     cache: Dict[Tuple[int, int], int] = {}
-
-    def rec(func: int, care: int) -> int:
-        if care == TRUE or func <= TRUE:
-            return func
-        if func == care:
-            return TRUE
-        key = (func, care)
-        hit = cache.get(key)
-        if hit is not None:
-            return hit
-        var = min(mgr.level(func), mgr.level(care))
-        care0 = mgr.cofactor(care, var, False)
-        care1 = mgr.cofactor(care, var, True)
-        func0 = mgr.cofactor(func, var, False)
-        func1 = mgr.cofactor(func, var, True)
-        if care0 == FALSE:
-            result = rec(func1, care1)
-        elif care1 == FALSE:
-            result = rec(func0, care0)
-        else:
-            result = mgr.ite(mgr.var(var), rec(func1, care1),
-                             rec(func0, care0))
-        cache[key] = result
-        return result
-
-    return rec(f, c)
+    results: List[int] = []
+    tasks: List[tuple] = [(_EXPAND, f, c)]
+    while tasks:
+        frame = tasks.pop()
+        phase = frame[0]
+        if phase == _EXPAND:
+            func, care = frame[1], frame[2]
+            if care == TRUE or func <= TRUE:
+                results.append(func)
+                continue
+            if func == care:
+                results.append(TRUE)
+                continue
+            key = (func, care)
+            hit = cache.get(key)
+            if hit is not None:
+                results.append(hit)
+                continue
+            var = min(mgr.level(func), mgr.level(care))
+            care0 = mgr.cofactor(care, var, False)
+            care1 = mgr.cofactor(care, var, True)
+            func0 = mgr.cofactor(func, var, False)
+            func1 = mgr.cofactor(func, var, True)
+            if care0 == FALSE:
+                tasks.append((_STORE, key))
+                tasks.append((_EXPAND, func1, care1))
+            elif care1 == FALSE:
+                tasks.append((_STORE, key))
+                tasks.append((_EXPAND, func0, care0))
+            else:
+                tasks.append((_COMBINE, key, var))
+                tasks.append((_EXPAND, func1, care1))
+                tasks.append((_EXPAND, func0, care0))
+        elif phase == _COMBINE:
+            key, var = frame[1], frame[2]
+            r1 = results.pop()
+            r0 = results.pop()
+            result = mgr.ite(mgr.var(var), r1, r0)
+            cache[key] = result
+            results.append(result)
+        else:  # _STORE: the sub-result on top doubles as this pair's result.
+            cache[frame[1]] = results[-1]
+    return results[0]
 
 
 def restrict(mgr: BddManager, f: int, c: int) -> int:
@@ -66,39 +91,56 @@ def restrict(mgr: BddManager, f: int, c: int) -> int:
     if c == FALSE:
         raise ValueError("restrict is undefined for an empty care set")
     cache: Dict[Tuple[int, int], int] = {}
-
-    def rec(func: int, care: int) -> int:
-        if care == TRUE or func <= TRUE:
-            return func
-        key = (func, care)
-        hit = cache.get(key)
-        if hit is not None:
-            return hit
-        level_f = mgr.level(func)
-        level_c = mgr.level(care)
-        if level_c < level_f:
-            # The care set constrains a variable the function ignores:
-            # drop it from the care set instead of introducing it.
-            reduced = mgr.or_(mgr.cofactor(care, level_c, False),
-                              mgr.cofactor(care, level_c, True))
-            result = rec(func, reduced)
-        else:
+    results: List[int] = []
+    tasks: List[tuple] = [(_EXPAND, f, c)]
+    while tasks:
+        frame = tasks.pop()
+        phase = frame[0]
+        if phase == _EXPAND:
+            func, care = frame[1], frame[2]
+            if care == TRUE or func <= TRUE:
+                results.append(func)
+                continue
+            key = (func, care)
+            hit = cache.get(key)
+            if hit is not None:
+                results.append(hit)
+                continue
+            level_f = mgr.level(func)
+            level_c = mgr.level(care)
+            if level_c < level_f:
+                # The care set constrains a variable the function ignores:
+                # drop it from the care set instead of introducing it.
+                reduced = mgr.or_(mgr.cofactor(care, level_c, False),
+                                  mgr.cofactor(care, level_c, True))
+                tasks.append((_STORE, key))
+                tasks.append((_EXPAND, func, reduced))
+                continue
             var = level_f
             care0 = mgr.cofactor(care, var, False)
             care1 = mgr.cofactor(care, var, True)
             func0 = mgr.cofactor(func, var, False)
             func1 = mgr.cofactor(func, var, True)
             if care0 == FALSE:
-                result = rec(func1, care1)
+                tasks.append((_STORE, key))
+                tasks.append((_EXPAND, func1, care1))
             elif care1 == FALSE:
-                result = rec(func0, care0)
+                tasks.append((_STORE, key))
+                tasks.append((_EXPAND, func0, care0))
             else:
-                result = mgr.ite(mgr.var(var), rec(func1, care1),
-                                 rec(func0, care0))
-        cache[key] = result
-        return result
-
-    return rec(f, c)
+                tasks.append((_COMBINE, key, var))
+                tasks.append((_EXPAND, func1, care1))
+                tasks.append((_EXPAND, func0, care0))
+        elif phase == _COMBINE:
+            key, var = frame[1], frame[2]
+            r1 = results.pop()
+            r0 = results.pop()
+            result = mgr.ite(mgr.var(var), r1, r0)
+            cache[key] = result
+            results.append(result)
+        else:
+            cache[frame[1]] = results[-1]
+    return results[0]
 
 
 def minimize_with_constrain(mgr: BddManager, on: int, dc: int) -> int:

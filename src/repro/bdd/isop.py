@@ -6,6 +6,10 @@ prime cover ``F`` with ``lower <= F <= upper`` together with the BDD of the
 cover.  This is the workhorse ISF minimiser the paper selects in
 Section 7.5 after comparing it with constrain/restrict and LICompact
 (Table 1).
+
+The expansion runs on an explicit frame stack (a three-phase state machine
+per interval) so cover extraction works on BDDs of any depth under the
+default interpreter recursion limit.
 """
 
 from __future__ import annotations
@@ -16,6 +20,11 @@ from .manager import FALSE, TRUE, BddManager
 
 #: A cube is a variable -> polarity mapping; missing variables are don't care.
 Cube = Dict[int, bool]
+
+# Phases of the explicit-stack expansion.
+_EXPAND = 0     # inspect an interval, push its polarised halves
+_MERGE = 1      # polarised halves done, push the don't-care interval
+_COMBINE = 2    # all three sub-covers done, build this interval's cover
 
 
 def isop(mgr: BddManager, lower: int, upper: int) -> Tuple[List[Cube], int]:
@@ -37,49 +46,81 @@ def isop(mgr: BddManager, lower: int, upper: int) -> Tuple[List[Cube], int]:
     """
     if not mgr.implies(lower, upper):
         raise ValueError("isop requires lower <= upper")
-    cache: Dict[Tuple[int, int], Tuple[Tuple[Tuple[Tuple[int, bool], ...], ...], int]] = {}
+    cache: Dict[Tuple[int, int],
+                Tuple[Tuple[Tuple[Tuple[int, bool], ...], ...], int]] = {}
+    # results holds (cubes, node) pairs, one per completed sub-interval;
+    # tasks is a flat mixed stack (operands pushed, phase tag popped first).
+    results: List[Tuple[Tuple[Tuple[Tuple[int, bool], ...], ...], int]] = []
+    tasks: list = [upper, lower, _EXPAND]
+    push = tasks.append
+    pop = tasks.pop
+    while tasks:
+        phase = pop()
+        if phase == _EXPAND:
+            low = pop()
+            upp = pop()
+            if low == FALSE:
+                results.append(((), FALSE))
+                continue
+            if upp == TRUE:
+                results.append((((),), TRUE))
+                continue
+            key = (low, upp)
+            hit = cache.get(key)
+            if hit is not None:
+                results.append(hit)
+                continue
+            var = min(mgr.level(low), mgr.level(upp))
+            low0 = mgr.cofactor(low, var, False)
+            low1 = mgr.cofactor(low, var, True)
+            upp0 = mgr.cofactor(upp, var, False)
+            upp1 = mgr.cofactor(upp, var, True)
 
-    def rec(low: int, upp: int) -> Tuple[Tuple[Tuple[Tuple[int, bool], ...], ...], int]:
-        if low == FALSE:
-            return (), FALSE
-        if upp == TRUE:
-            return ((),), TRUE
-        key = (low, upp)
-        hit = cache.get(key)
-        if hit is not None:
-            return hit
-        var = min(mgr.level(low), mgr.level(upp))
-        low0 = mgr.cofactor(low, var, False)
-        low1 = mgr.cofactor(low, var, True)
-        upp0 = mgr.cofactor(upp, var, False)
-        upp1 = mgr.cofactor(upp, var, True)
+            # Vertices of the 0-half that the 1-half cannot absorb must be
+            # covered by cubes carrying the literal ~var (and dually).
+            need0 = mgr.diff(low0, upp1)
+            need1 = mgr.diff(low1, upp0)
+            tasks.extend((upp1, upp0, low1, low0, var, key, _MERGE,
+                          upp1, need1, _EXPAND,
+                          upp0, need0, _EXPAND))
+        elif phase == _MERGE:
+            key = pop()
+            var = pop()
+            low0 = pop()
+            low1 = pop()
+            upp0 = pop()
+            upp1 = pop()
+            cubes1, f1 = results.pop()
+            cubes0, f0 = results.pop()
+            # What is still uncovered may be captured by cubes without var.
+            rest = mgr.or_(mgr.diff(low0, f0), mgr.diff(low1, f1))
+            upp_dc = mgr.and_(upp0, upp1)
+            push(var)
+            push(key)
+            push(_COMBINE)
+            push(upp_dc)
+            push(rest)
+            push(_EXPAND)
+            results.append((cubes0, f0, cubes1, f1))  # parked for _COMBINE
+        else:
+            key = pop()
+            var = pop()
+            cubes_dc, f_dc = results.pop()
+            cubes0, f0, cubes1, f1 = results.pop()
+            node = mgr.or_(
+                mgr.ite(mgr.var(var), f1, f0),
+                f_dc,
+            )
+            cubes = tuple(
+                [((var, False),) + cube for cube in cubes0]
+                + [((var, True),) + cube for cube in cubes1]
+                + list(cubes_dc)
+            )
+            result = (cubes, node)
+            cache[key] = result
+            results.append(result)
 
-        # Vertices of the 0-half that the 1-half cannot absorb must be
-        # covered by cubes carrying the literal ~var (and dually).
-        need0 = mgr.diff(low0, upp1)
-        need1 = mgr.diff(low1, upp0)
-        cubes0, f0 = rec(need0, upp0)
-        cubes1, f1 = rec(need1, upp1)
-
-        # What is still uncovered may be captured by cubes without var.
-        rest = mgr.or_(mgr.diff(low0, f0), mgr.diff(low1, f1))
-        upp_dc = mgr.and_(upp0, upp1)
-        cubes_dc, f_dc = rec(rest, upp_dc)
-
-        node = mgr.or_(
-            mgr.ite(mgr.var(var), f1, f0),
-            f_dc,
-        )
-        cubes = tuple(
-            [((var, False),) + cube for cube in cubes0]
-            + [((var, True),) + cube for cube in cubes1]
-            + list(cubes_dc)
-        )
-        result = (cubes, node)
-        cache[key] = result
-        return result
-
-    raw_cubes, node = rec(lower, upper)
+    raw_cubes, node = results[0]
     return [dict(cube) for cube in raw_cubes], node
 
 

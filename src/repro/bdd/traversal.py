@@ -5,6 +5,10 @@ the BDD* of the conflict set: the path with the fewest literals, i.e. the
 largest cube of adjacent conflicting vertices.  This module provides that
 extraction plus cube/minterm enumeration used by covers, printing, and the
 test oracles.
+
+All walks are iterative (explicit work stacks): like the manager itself,
+nothing here depends on the interpreter recursion limit, so arbitrarily
+deep BDDs are traversable.
 """
 
 from __future__ import annotations
@@ -28,27 +32,33 @@ def shortest_path_cube(mgr: BddManager, f: int) -> Optional[Dict[int, bool]]:
     """
     if f == FALSE:
         return None
-    memo: Dict[int, Tuple[float, Optional[bool]]] = {}
-
-    def cost(node: int) -> float:
-        """Fewest literals needed from ``node`` to reach TRUE."""
-        if node == TRUE:
-            return 0
-        if node == FALSE:
-            return _INFINITY
-        hit = memo.get(node)
-        if hit is not None:
-            return hit[0]
-        low_cost = cost(mgr.low(node))
-        high_cost = cost(mgr.high(node))
+    # Post-order sweep: memo[node] = (fewest literals to TRUE, branch).
+    memo: Dict[int, Tuple[float, Optional[bool]]] = {
+        TRUE: (0, None), FALSE: (_INFINITY, None)}
+    stack = [f]
+    while stack:
+        node = stack[-1]
+        if node in memo:
+            stack.pop()
+            continue
+        lo, hi = mgr.low(node), mgr.high(node)
+        ready = True
+        if lo not in memo:
+            stack.append(lo)
+            ready = False
+        if hi not in memo:
+            stack.append(hi)
+            ready = False
+        if not ready:
+            continue
+        stack.pop()
+        low_cost = memo[lo][0]
+        high_cost = memo[hi][0]
         if low_cost <= high_cost:
-            entry = (1 + low_cost, False)
+            memo[node] = (1 + low_cost, False)
         else:
-            entry = (1 + high_cost, True)
-        memo[node] = entry
-        return entry[0]
+            memo[node] = (1 + high_cost, True)
 
-    cost(f)
     cube: Dict[int, bool] = {}
     node = f
     while node > TRUE:
@@ -58,6 +68,12 @@ def shortest_path_cube(mgr: BddManager, f: int) -> Optional[Dict[int, bool]]:
     return cube
 
 
+# Op-codes for the iter_cubes walk below.
+_VISIT = 0
+_SET = 1
+_UNSET = 2
+
+
 def iter_cubes(mgr: BddManager, f: int) -> Iterator[Dict[int, bool]]:
     """Yield every root-to-TRUE path of ``f`` as a cube (var -> polarity).
 
@@ -65,22 +81,30 @@ def iter_cubes(mgr: BddManager, f: int) -> Iterator[Dict[int, bool]]:
     is exactly ``f``.  Variables skipped along a path do not appear in the
     cube: they are don't-cares.
     """
+    # One shared path dict mutated by SET/UNSET ops interleaved with node
+    # visits; stack memory stays linear in the BDD depth.
     path: Dict[int, bool] = {}
-
-    def walk(node: int) -> Iterator[Dict[int, bool]]:
-        if node == FALSE:
-            return
-        if node == TRUE:
+    stack: List[Tuple[int, int, bool]] = [(_VISIT, f, False)]
+    while stack:
+        op, arg, polarity = stack.pop()
+        if op == _SET:
+            path[arg] = polarity
+            continue
+        if op == _UNSET:
+            del path[arg]
+            continue
+        if arg == FALSE:
+            continue
+        if arg == TRUE:
             yield dict(path)
-            return
-        var = mgr.level(node)
-        path[var] = False
-        yield from walk(mgr.low(node))
-        path[var] = True
-        yield from walk(mgr.high(node))
-        del path[var]
-
-    yield from walk(f)
+            continue
+        var = mgr.level(arg)
+        # Reverse execution order: low branch first, then high, then tidy.
+        stack.append((_UNSET, var, False))
+        stack.append((_VISIT, mgr.high(arg), False))
+        stack.append((_SET, var, True))
+        stack.append((_VISIT, mgr.low(arg), False))
+        stack.append((_SET, var, False))
 
 
 def pick_minterm(mgr: BddManager, f: int,
@@ -104,16 +128,24 @@ def cube_to_node(mgr: BddManager, cube: Dict[int, bool]) -> int:
 def count_paths(mgr: BddManager, f: int) -> int:
     """Number of distinct root-to-TRUE paths (cubes in the path cover)."""
     memo: Dict[int, int] = {TRUE: 1, FALSE: 0}
-
-    def walk(node: int) -> int:
-        hit = memo.get(node)
-        if hit is not None:
-            return hit
-        result = walk(mgr.low(node)) + walk(mgr.high(node))
-        memo[node] = result
-        return result
-
-    return walk(f)
+    stack = [f]
+    while stack:
+        node = stack[-1]
+        if node in memo:
+            stack.pop()
+            continue
+        lo, hi = mgr.low(node), mgr.high(node)
+        ready = True
+        if lo not in memo:
+            stack.append(lo)
+            ready = False
+        if hi not in memo:
+            stack.append(hi)
+            ready = False
+        if ready:
+            stack.pop()
+            memo[node] = memo[lo] + memo[hi]
+    return memo[f]
 
 
 def truth_table(mgr: BddManager, f: int, variables: Sequence[int]) -> List[bool]:

@@ -128,6 +128,7 @@ class BrelSolver:
                           else None)
         stats = SolverStats()
         options = self.options
+        engine_before = relation.mgr.stats()
 
         # Initial solution: QuickSolver guarantees one compatible function
         # exists before any pruning can truncate the search (§7.2).
@@ -144,6 +145,12 @@ class BrelSolver:
             best = self._solve_bfs(relation, best, stats, symmetry)
 
         stats.runtime_seconds = time.perf_counter() - start
+        engine_after = relation.mgr.stats()
+        stats.bdd_nodes = engine_after["nodes"]
+        stats.bdd_cache_hits = (engine_after["cache_hits"]
+                                - engine_before["cache_hits"])
+        stats.bdd_cache_misses = (engine_after["cache_misses"]
+                                  - engine_before["cache_misses"])
         return BrelResult(best, stats)
 
     # ------------------------------------------------------------------

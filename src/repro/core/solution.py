@@ -85,6 +85,11 @@ class SolverStats:
     compatible_found: int = 0
     frontier_overflow: int = 0
     runtime_seconds: float = 0.0
+    # BDD-engine counters for the run (deltas over the solve, except
+    # bdd_nodes which is the manager's node count when the solve ended).
+    bdd_nodes: int = 0
+    bdd_cache_hits: int = 0
+    bdd_cache_misses: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict view for table printing."""
@@ -98,4 +103,7 @@ class SolverStats:
             "compatible_found": self.compatible_found,
             "frontier_overflow": self.frontier_overflow,
             "runtime_seconds": self.runtime_seconds,
+            "bdd_nodes": self.bdd_nodes,
+            "bdd_cache_hits": self.bdd_cache_hits,
+            "bdd_cache_misses": self.bdd_cache_misses,
         }

@@ -1,0 +1,129 @@
+"""Regression tests: the engine must not depend on deep Python recursion.
+
+The seed engine raised ``sys.setrecursionlimit(100000)`` from the manager
+constructor (a process-wide side effect) and still risked C-stack crashes.
+These tests pin the fixed behaviour: constructing a manager leaves the
+interpreter limit untouched, and every core operation handles BDDs far
+deeper than the default recursion limit.
+"""
+
+from __future__ import annotations
+
+import sys
+from contextlib import contextmanager
+
+import pytest
+
+from repro.bdd import (BddManager, FALSE, TRUE, count_paths, isop,
+                       iter_cubes, shortest_path_cube, squeeze)
+from repro.bdd.gencof import constrain, restrict
+
+#: Deep enough that any recursive walk would overflow the default stack.
+DEEP = 5000
+
+
+@contextmanager
+def default_recursion_limit(limit: int = 1000):
+    """Clamp the interpreter to the stock limit for the duration."""
+    previous = sys.getrecursionlimit()
+    sys.setrecursionlimit(limit)
+    try:
+        yield
+    finally:
+        sys.setrecursionlimit(previous)
+
+
+def build_chain(mgr: BddManager, variables) -> int:
+    """Balanced conjunction of all ``variables`` (depth == len(variables))."""
+    nodes = [mgr.var(v) for v in variables]
+    while len(nodes) > 1:
+        nodes = [mgr.and_(nodes[i], nodes[i + 1])
+                 if i + 1 < len(nodes) else nodes[i]
+                 for i in range(0, len(nodes), 2)]
+    return nodes[0]
+
+
+def test_constructor_leaves_recursion_limit_untouched():
+    with default_recursion_limit(1000):
+        BddManager(["a", "b", "c"])
+        assert sys.getrecursionlimit() == 1000
+        # Several managers, with and without variables.
+        BddManager()
+        BddManager(["x%d" % i for i in range(64)])
+        assert sys.getrecursionlimit() == 1000
+
+
+def test_deep_chain_conjunction_under_default_limit():
+    with default_recursion_limit(1000):
+        mgr = BddManager()
+        variables = mgr.add_vars(DEEP)
+        chain = build_chain(mgr, variables)
+        assert mgr.size(chain) == DEEP
+        assert mgr.sat_count(chain, variables) == 1
+
+
+def test_deep_chain_operations_under_default_limit():
+    mgr = BddManager()
+    variables = mgr.add_vars(DEEP)
+    chain = build_chain(mgr, variables)
+    with default_recursion_limit(1000):
+        negated = mgr.not_(chain)
+        assert mgr.not_(negated) == chain
+        assert mgr.sat_count(negated, variables) == (1 << DEEP) - 1
+        # Cofactor at the very bottom of the order forces a full descent.
+        assert mgr.cofactor(chain, DEEP - 1, True) != FALSE
+        assert mgr.cofactor(chain, DEEP - 1, False) == FALSE
+        assert mgr.exists(chain, [DEEP - 1]) == \
+            mgr.cofactor(chain, DEEP - 1, True)
+        assert mgr.forall(chain, [0]) == FALSE
+        assert mgr.diff(chain, FALSE) == chain
+        assert mgr.implies(chain, chain)
+        assert mgr.ite(chain, TRUE, FALSE) == chain
+
+
+def test_deep_chain_traversals_under_default_limit():
+    mgr = BddManager()
+    variables = mgr.add_vars(DEEP)
+    chain = build_chain(mgr, variables)
+    with default_recursion_limit(1000):
+        cube = shortest_path_cube(mgr, chain)
+        assert cube is not None and len(cube) == DEEP
+        cubes = list(iter_cubes(mgr, chain))
+        assert len(cubes) == 1 and all(cubes[0].values())
+        assert count_paths(mgr, chain) == 1
+        minterms = list(mgr.minterms(chain, variables))
+        assert minterms == [(1 << DEEP) - 1]
+
+
+def test_deep_chain_minimizers_under_default_limit():
+    mgr = BddManager()
+    variables = mgr.add_vars(DEEP)
+    chain = build_chain(mgr, variables)
+    with default_recursion_limit(1000):
+        cover, node = isop(mgr, chain, chain)
+        assert node == chain
+        assert len(cover) == 1 and len(cover[0]) == DEEP
+        assert squeeze(mgr, chain, chain) == chain
+        assert constrain(mgr, chain, chain) == TRUE
+        assert restrict(mgr, chain, TRUE) == chain
+
+
+def test_deep_vector_compose_and_permute_under_default_limit():
+    mgr = BddManager()
+    variables = mgr.add_vars(DEEP)
+    chain = build_chain(mgr, variables)
+    with default_recursion_limit(1000):
+        same = mgr.permute(chain, {0: 0})
+        assert same == chain
+        swapped = mgr.swap_vars(chain, 0, 1)
+        assert swapped == chain  # conjunction is symmetric
+        composed = mgr.vector_compose(chain, {0: TRUE})
+        assert composed == mgr.cofactor(chain, 0, True)
+
+
+def test_module_never_calls_setrecursionlimit():
+    """Guards against the setrecursionlimit hack sneaking back in."""
+    import repro.bdd.manager as manager_module
+    source = open(manager_module.__file__, "r", encoding="utf-8").read()
+    assert "sys.setrecursionlimit(" not in source
+    assert "import sys" not in source
