@@ -1,0 +1,174 @@
+"""Exploration-strategy comparison on the Table 2 suite.
+
+Not a paper table: the paper only ships the bounded-FIFO heuristic
+(Section 7.2) and the exact recursion (§7.6).  This bench compares every
+registered exploration strategy — ``bfs``, ``dfs``, ``best-first``,
+``beam`` — on the Table 2 benchmark relations under one shared
+exploration budget, tracking the *anytime trajectory* (cost after each
+improving solution, against subrelations explored) that the strategy
+redesign makes observable.
+
+Outputs:
+
+* a plain-text table (final cost / improvements / explored / prunes per
+  strategy, geometric-mean cost ratio vs ``bfs``) published to
+  ``benchmarks/results/``;
+* a JSON artefact with the full cost-vs-explored curves for plotting.
+
+Besides the pytest-benchmark entry point, the module runs standalone
+for CI smoke checks::
+
+    python benchmarks/bench_strategies.py --quick
+
+which runs a three-instance subset, checks every strategy returns a
+verified-compatible solution with a sane improvement trajectory, and
+fails loudly otherwise.
+"""
+
+import json
+import sys
+import time
+
+import pytest
+
+from repro.api import Session, SolveRequest, strategy_names
+from repro.benchdata.brsuite import SUITE
+
+from _util import (RESULTS_DIR, bench_explored_limit, format_table,
+                   geometric_mean, publish)
+
+#: Exploration budget shared by every strategy (Table 2 uses 10; the
+#: comparison is more informative with room to climb).
+EXPLORED = bench_explored_limit(60)
+
+QUICK_INSTANCES = ("int1", "int5", "vtx")
+
+
+def run_matrix(instances, explored_limit):
+    """Solve every instance under every strategy; return result rows.
+
+    Each row: ``{instance, strategy, cost, compatible, explored,
+    improvements: [{cost, explored, elapsed_seconds}, ...], runtime}``.
+    """
+    session = Session()
+    for instance in instances:
+        session.add_benchmark(instance.name)
+    rows = []
+    for instance in instances:
+        for strategy in strategy_names():
+            request = SolveRequest(relation=instance.name,
+                                   strategy=strategy,
+                                   max_explored=explored_limit,
+                                   label="%s/%s" % (instance.name,
+                                                    strategy))
+            report = session.solve(request).raise_for_error()
+            rows.append({
+                "instance": instance.name,
+                "strategy": strategy,
+                "cost": report.cost,
+                "compatible": report.compatible,
+                "explored": int(report.stats["relations_explored"]),
+                "cost_prunes": int(report.stats["cost_prunes"]),
+                "frontier_overflow": int(
+                    report.stats["frontier_overflow"]),
+                "frontier_prunes": int(report.stats["frontier_prunes"]),
+                "improvements": report.improvements,
+                "runtime_seconds": report.stats["runtime_seconds"],
+            })
+    return rows
+
+
+def summarize(rows, budget=EXPLORED):
+    """Per-strategy aggregate: final costs and mean ratio vs bfs."""
+    by_key = {(row["instance"], row["strategy"]): row for row in rows}
+    instances = sorted({row["instance"] for row in rows},
+                       key=lambda name: [row["instance"]
+                                         for row in rows].index(name))
+    strategies = strategy_names()
+    table_rows = []
+    for name in instances:
+        base = by_key[(name, "bfs")]["cost"]
+        cells = [name]
+        for strategy in strategies:
+            row = by_key[(name, strategy)]
+            cells.append("%.0f/%d" % (row["cost"],
+                                      len(row["improvements"])))
+        cells.append("%.0f" % base)
+        table_rows.append(cells)
+    ratio_cells = ["geo-mean vs bfs"]
+    for strategy in strategies:
+        ratios = [by_key[(name, strategy)]["cost"]
+                  / by_key[(name, "bfs")]["cost"]
+                  for name in instances
+                  if by_key[(name, "bfs")]["cost"] > 0]
+        ratio_cells.append("%.3f" % geometric_mean(ratios))
+    ratio_cells.append("1")
+    table_rows.append(ratio_cells)
+    headers = (["instance"]
+               + ["%s cost/impr" % s for s in strategies]
+               + ["bfs cost"])
+    return format_table(headers, table_rows,
+                        title="Strategy comparison, budget=%d "
+                              "subrelations (cost/number of improving "
+                              "solutions)" % budget)
+
+
+@pytest.mark.benchmark(group="strategies")
+def test_strategy_matrix(benchmark):
+    rows = benchmark.pedantic(run_matrix, args=(list(SUITE), EXPLORED),
+                              rounds=1, iterations=1)
+    publish("bench_strategies.txt", summarize(rows))
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "bench_strategies.json").write_text(
+        json.dumps(rows, indent=2, sort_keys=True) + "\n")
+    # Shape claims, not absolute numbers: every run must end compatible,
+    # and every anytime trajectory must be strictly decreasing.
+    for row in rows:
+        assert row["compatible"], row
+        costs = [imp["cost"] for imp in row["improvements"]]
+        assert costs == sorted(costs, reverse=True), row
+        assert len(set(costs)) == len(costs), row
+
+
+# ----------------------------------------------------------------------
+# Quick mode: dependency-free smoke run for CI
+# ----------------------------------------------------------------------
+def run_quick() -> int:
+    """Three instances, every strategy; verify and print the table.
+
+    Returns a process exit code: non-zero when any strategy produces an
+    incompatible solution or a non-monotone improvement trajectory.
+    """
+    instances = [instance for instance in SUITE
+                 if instance.name in QUICK_INSTANCES]
+    start = time.perf_counter()
+    rows = run_matrix(instances, explored_limit=25)
+    elapsed = time.perf_counter() - start
+    print(summarize(rows, budget=25))
+    print()
+    failures = 0
+    for row in rows:
+        if not row["compatible"]:
+            print("FAIL: %s/%s solution is not compatible"
+                  % (row["instance"], row["strategy"]), file=sys.stderr)
+            failures += 1
+        costs = [imp["cost"] for imp in row["improvements"]]
+        if costs != sorted(costs, reverse=True) \
+                or len(set(costs)) != len(costs):
+            print("FAIL: %s/%s improvements not strictly decreasing: %s"
+                  % (row["instance"], row["strategy"], costs),
+                  file=sys.stderr)
+            failures += 1
+    if failures:
+        return 1
+    print("quick mode ok: %d runs in %.2fs" % (len(rows), elapsed))
+    return 0
+
+
+if __name__ == "__main__":
+    if "--quick" in sys.argv[1:]:
+        sys.exit(run_quick())
+    print("usage: python benchmarks/bench_strategies.py --quick\n"
+          "(or run under pytest with pytest-benchmark for full numbers)",
+          file=sys.stderr)
+    sys.exit(2)

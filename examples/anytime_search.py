@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Anytime solving: stream improving solutions from a live search.
+
+The recursive paradigm is a branch-and-bound, so it always holds a
+*compatible* incumbent (QuickSolver seeds one before any pruning can
+truncate the tree, §7.2) and only ever replaces it with a strictly
+better one.  :meth:`Session.solve_iter` exposes that trajectory as a
+generator: each yielded :class:`~repro.core.Improvement` is a solution
+you could ship immediately if the time budget ran out — the paper's
+"stop after a runtime time-out" completion criterion (§7.6) turned
+into an API.
+
+The demo solves one Table 2-scale benchmark relation under every
+registered strategy, printing each improving solution with its cost
+and elapsed time, then shows a cooperative mid-search cancellation via
+:class:`~repro.core.CancelToken`.
+
+Run:  python examples/anytime_search.py
+"""
+
+from repro import CancelToken, Session, SolveRequest, strategy_names
+
+
+def stream_one(session, strategy):
+    print("strategy %-10s" % strategy)
+    gen = session.solve_iter(SolveRequest(relation="vtx", strategy=strategy,
+                                          max_explored=60, cost="size"))
+    try:
+        while True:
+            imp = next(gen)
+            print("  cost %4.0f  after %6.3fs  (%d subrelations explored)"
+                  % (imp.cost, imp.elapsed_seconds, imp.explored))
+    except StopIteration as stop:
+        report = stop.value
+    print("  -> final cost %.0f, stopped: %s, compatible: %s"
+          % (report.cost, report.stopped, report.compatible))
+    print()
+    return report
+
+
+def cancelled_run(session):
+    """Stop the search after two improvements; the report still
+    carries the best solution found so far."""
+    token = CancelToken()
+    gen = session.solve_iter(
+        SolveRequest(relation="vtx", strategy="best-first",
+                     max_explored=None, fifo_capacity=None),
+        cancel=token)
+    improvements = 0
+    try:
+        while True:
+            imp = next(gen)
+            improvements += 1
+            if improvements >= 2:
+                token.cancel()  # enough: stop at the next node boundary
+    except StopIteration as stop:
+        report = stop.value
+    print("cancelled after %d improvements: cost %.0f, stopped: %s"
+          % (improvements, report.cost, report.stopped))
+
+
+def main() -> None:
+    session = Session()
+    session.add_benchmark("vtx")
+    relation = session.relation("vtx")
+    print("benchmark 'vtx': %d inputs, %d outputs, %d (x, y) pairs"
+          % (len(relation.inputs), len(relation.outputs),
+             relation.pair_count()))
+    print()
+    for strategy in strategy_names():
+        stream_one(session, strategy)
+    cancelled_run(session)
+
+
+if __name__ == "__main__":
+    main()

@@ -49,13 +49,15 @@ The lower-level entry points remain available::
 
 from .bdd import Bdd, BddManager
 from .core import (BooleanRelation, BrelOptions, BrelResult, BrelSolver,
-                   Isf, Misf, NotWellDefinedError, Solution, SolverStats,
-                   bdd_size_cost, bdd_size_squared_cost, cube_count_cost,
-                   exact_solve, literal_count_cost, quick_solve,
-                   solve_exactly, solve_relation, weighted_cost)
+                   CancelToken, ExplorationStrategy, Improvement, Isf,
+                   Misf, NotWellDefinedError, Solution, SolveEvent,
+                   SolverStats, bdd_size_cost, bdd_size_squared_cost,
+                   cube_count_cost, exact_solve, literal_count_cost,
+                   quick_solve, solve_exactly, solve_relation,
+                   weighted_cost)
 from .equations import BooleanEquation, BooleanSystem
 from .api import (Session, SolveReport, SolveRequest, register_cost,
-                  register_minimizer)
+                  register_minimizer, register_strategy, strategy_names)
 
 __version__ = "1.1.0"
 

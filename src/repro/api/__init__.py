@@ -21,11 +21,23 @@ Quickstart::
     # The same solve as wire-ready JSON:
     text = SolveRequest(relation="fig1").to_json()
     again = SolveRequest.from_json(text)
+
+Anytime solving: :meth:`Session.solve_iter` yields each strictly
+improving solution as the search finds it, honours a
+:class:`CancelToken`, and returns the final :class:`SolveReport` as
+the generator's return value::
+
+    gen = session.solve_iter(SolveRequest(relation="fig1",
+                                          strategy="best-first"))
+    for improvement in gen:
+        print(improvement.cost, improvement.elapsed_seconds)
 """
 
+from ..core.explore import CancelToken, Improvement, SolveEvent
 from .registry import (COSTS, Registry, cost_names, cost_registry, get_cost,
-                       get_minimizer, minimizer_names, minimizer_registry,
-                       register_cost, register_minimizer)
+                       get_minimizer, get_strategy, minimizer_names,
+                       minimizer_registry, register_cost, register_minimizer,
+                       register_strategy, strategy_names, strategy_registry)
 from .report import REPORT_SCHEMA_VERSION, SolveReport
 from .request import (RelationSpec, SolveRequest, build_relation,
                       normalize_relation_spec)
@@ -33,11 +45,14 @@ from .session import RelationLike, Session
 
 __all__ = [
     "COSTS",
+    "CancelToken",
+    "Improvement",
     "REPORT_SCHEMA_VERSION",
     "Registry",
     "RelationLike",
     "RelationSpec",
     "Session",
+    "SolveEvent",
     "SolveReport",
     "SolveRequest",
     "build_relation",
@@ -45,9 +60,13 @@ __all__ = [
     "cost_registry",
     "get_cost",
     "get_minimizer",
+    "get_strategy",
     "minimizer_names",
     "minimizer_registry",
     "normalize_relation_spec",
     "register_cost",
     "register_minimizer",
+    "register_strategy",
+    "strategy_names",
+    "strategy_registry",
 ]

@@ -3,14 +3,18 @@
 The declarative :class:`~repro.api.request.SolveRequest` names its cost
 function and ISF minimiser by *string key* so a solve can be described as
 pure data (JSON), replayed, batched, and shipped to worker processes.
-This module owns the two registries behind those keys:
+This module owns the three registries behind those keys:
 
 * the **cost registry**, promoted from the old ``repro.cli.COSTS`` table
   (paper Section 7.3 objectives plus the shared-DAG variant);
 * the **minimiser registry**, wrapping the same dict as
   :data:`repro.core.minimize.MINIMIZERS` (paper Section 7.5 / Table 1) so
   registrations made here are visible to :func:`repro.core.get_minimizer`
-  and vice versa.
+  and vice versa;
+* the **strategy registry**, wrapping
+  :data:`repro.core.explore.STRATEGIES` (the exploration disciplines of
+  the solver loop: ``bfs``, ``dfs``, ``best-first``, ``beam``), kept in
+  sync with :func:`repro.core.make_strategy` the same way.
 
 Users plug in custom objectives without touching ``repro.core``::
 
@@ -31,6 +35,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple, TypeVar
 from ..core.cost import (CostFunction, bdd_size_cost, bdd_size_squared_cost,
                          cube_count_cost, literal_count_cost,
                          shared_bdd_size_cost)
+from ..core.explore import STRATEGIES, StrategyFactory, suggest
 from ..core.minimize import MINIMIZERS, IsfMinimizer
 
 T = TypeVar("T")
@@ -53,12 +58,14 @@ class Registry:
 
     # -- lookup --------------------------------------------------------
     def get(self, name: str) -> T:
-        """Resolve ``name``; unknown names raise with the valid choices."""
+        """Resolve ``name``; unknown names raise a did-you-mean error
+        listing the valid choices."""
         try:
             return self._entries[name]
         except KeyError:
-            raise KeyError("unknown %s %r (registered: %s)"
+            raise KeyError("unknown %s %r%s (registered: %s)"
                            % (self.kind, name,
+                              suggest(name, self._entries),
                               ", ".join(sorted(self._entries)) or "none")
                            ) from None
 
@@ -126,6 +133,11 @@ cost_registry: Registry = Registry("cost function", COSTS)
 #: :data:`repro.core.minimize.MINIMIZERS` so the two stay consistent.
 minimizer_registry: Registry = Registry("minimizer", MINIMIZERS)
 
+#: The registry of exploration strategies.  Backs onto the *same* dict
+#: as :data:`repro.core.explore.STRATEGIES` so strategies registered
+#: here are resolvable by :class:`repro.core.BrelOptions` and the CLI.
+strategy_registry: Registry = Registry("strategy", STRATEGIES)
+
 
 def register_cost(name: str, func: Optional[CostFunction] = None, *,
                   overwrite: bool = False):
@@ -137,6 +149,26 @@ def register_minimizer(name: str, func: Optional[IsfMinimizer] = None, *,
                        overwrite: bool = False):
     """Register a custom ISF minimiser (decorator or direct call)."""
     return minimizer_registry.register(name, func, overwrite=overwrite)
+
+
+def register_strategy(name: str, factory: Optional[StrategyFactory] = None,
+                      *, overwrite: bool = False):
+    """Register an exploration-strategy factory (decorator or direct).
+
+    The factory receives the live :class:`repro.core.BrelOptions` of a
+    solve and must return a fresh
+    :class:`~repro.core.explore.ExplorationStrategy`::
+
+        from repro.api import register_strategy
+        from repro.core import FifoStrategy
+
+        @register_strategy("narrow-bfs")
+        def narrow_bfs(options):
+            return FifoStrategy(capacity=4)
+
+        SolveRequest(relation="fig1", strategy="narrow-bfs")
+    """
+    return strategy_registry.register(name, factory, overwrite=overwrite)
 
 
 def get_cost(name: str) -> CostFunction:
@@ -157,3 +189,13 @@ def cost_names() -> List[str]:
 def minimizer_names() -> List[str]:
     """Sorted names of the registered minimisers."""
     return minimizer_registry.names()
+
+
+def get_strategy(name: str) -> StrategyFactory:
+    """Resolve an exploration-strategy name to its factory."""
+    return strategy_registry.get(name)
+
+
+def strategy_names() -> List[str]:
+    """Sorted names of the registered exploration strategies."""
+    return strategy_registry.names()

@@ -26,7 +26,9 @@ from ..core.relio import write_relation
 from ..core.solution import Solution
 
 #: Bumped when the report schema changes shape.
-REPORT_SCHEMA_VERSION = 1
+#: 2: added ``improvements`` (anytime trajectory), ``trace`` (optional
+#: per-event search trace) and ``stopped`` (completion reason).
+REPORT_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -48,6 +50,15 @@ class SolveReport:
     sop: Optional[str] = None
     pla: Optional[str] = None
     stats: Dict[str, float] = field(default_factory=dict)
+    #: Anytime trajectory: one ``{cost, elapsed_seconds, explored}``
+    #: entry per strictly improving incumbent, in discovery order.
+    improvements: List[Dict[str, Any]] = field(default_factory=list)
+    #: Full event trace (``SolveEvent.as_dict()`` rows) when the
+    #: request set ``record_trace``; ``None`` otherwise.
+    trace: Optional[List[Dict[str, Any]]] = None
+    #: Why the search ended: ``exhausted``, ``budget``, ``timeout``,
+    #: or ``cancelled`` (``None`` for failed jobs).
+    stopped: Optional[str] = None
     cached: bool = False
     schema_version: int = REPORT_SCHEMA_VERSION
     #: Live solution when solved in-process; never serialised.
@@ -87,6 +98,10 @@ class SolveReport:
             sop=solution.describe(),
             pla=None,
             stats=result.stats.as_dict(),
+            improvements=[imp.as_dict() for imp in result.improvements],
+            trace=([event.as_dict() for event in result.events]
+                   if result.events is not None else None),
+            stopped=result.stopped,
             solution=solution,
             _inputs=tuple(relation.inputs),
             _outputs=tuple(relation.outputs))
@@ -160,6 +175,9 @@ class SolveReport:
             stats=dict(self.stats),
             request=dict(self.request) if self.request is not None
             else None,
+            improvements=[dict(imp) for imp in self.improvements],
+            trace=([dict(event) for event in self.trace]
+                   if self.trace is not None else None),
             solution=self.solution)
         fresh.update(changes)
         return dataclasses.replace(self, **fresh)

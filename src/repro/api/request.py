@@ -178,12 +178,16 @@ class SolveRequest:
     cost: str = "size"
     minimizer: str = "isop"
     mode: str = "bfs"
+    strategy: Optional[str] = None
     max_explored: Optional[int] = 10
     fifo_capacity: Optional[int] = 64
-    quick_on_subrelations: bool = True
+    #: Tri-state like the BrelOptions field: None = strategy default
+    #: (on for bfs/best-first/beam, off for dfs).
+    quick_on_subrelations: Optional[bool] = None
     symmetry_pruning: bool = False
     symmetry_max_depth: int = 2
     time_limit_seconds: Optional[float] = None
+    record_trace: bool = False
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -199,18 +203,25 @@ class SolveRequest:
         self.to_options()
 
     # -- conversion ----------------------------------------------------
+    def exploration_strategy(self) -> str:
+        """The effective strategy name (``strategy`` wins over the
+        deprecated ``mode`` alias)."""
+        return self.strategy if self.strategy is not None else self.mode
+
     def to_options(self) -> BrelOptions:
         """Resolve the registry names into live :class:`BrelOptions`."""
         return BrelOptions(
             cost_function=cost_registry.get(self.cost),
             minimizer=minimizer_registry.get(self.minimizer),
             mode=self.mode,
+            strategy=self.strategy,
             max_explored=self.max_explored,
             fifo_capacity=self.fifo_capacity,
             quick_on_subrelations=self.quick_on_subrelations,
             symmetry_pruning=self.symmetry_pruning,
             symmetry_max_depth=self.symmetry_max_depth,
-            time_limit_seconds=self.time_limit_seconds)
+            time_limit_seconds=self.time_limit_seconds,
+            record_trace=self.record_trace)
 
     @classmethod
     def from_options(cls, options: BrelOptions,
@@ -234,12 +245,14 @@ class SolveRequest:
                              % getattr(options.minimizer, "__name__",
                                        options.minimizer))
         return cls(relation=relation, cost=cost, minimizer=minimizer,
-                   mode=options.mode, max_explored=options.max_explored,
+                   mode=options.mode, strategy=options.strategy,
+                   max_explored=options.max_explored,
                    fifo_capacity=options.fifo_capacity,
                    quick_on_subrelations=options.quick_on_subrelations,
                    symmetry_pruning=options.symmetry_pruning,
                    symmetry_max_depth=options.symmetry_max_depth,
                    time_limit_seconds=options.time_limit_seconds,
+                   record_trace=options.record_trace,
                    label=label)
 
     # -- serialisation -------------------------------------------------
@@ -252,13 +265,26 @@ class SolveRequest:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SolveRequest":
-        """Build a request from a dict, rejecting unknown keys."""
+        """Build a request from a dict, rejecting unknown keys.
+
+        Pre-strategy-era dicts (no ``strategy`` key — every dict this
+        class now emits has one) always carried
+        ``quick_on_subrelations: true``, the old field default, which
+        the old solver *ignored* under ``mode="dfs"``.  Replaying such
+        a dict must not silently opt the DFS into per-subrelation
+        QuickSolver runs, so the legacy combination maps back to the
+        tri-state default.
+        """
         fields = {f.name for f in dataclasses.fields(cls)}
         unknown = set(data) - fields
         if unknown:
             raise ValueError("unknown SolveRequest fields: %s"
                              % ", ".join(sorted(unknown)))
-        return cls(**dict(data))
+        data = dict(data)
+        if ("strategy" not in data and data.get("mode") == "dfs"
+                and data.get("quick_on_subrelations") is True):
+            data["quick_on_subrelations"] = None
+        return cls(**data)
 
     def to_json(self, indent: Optional[int] = None) -> str:
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)

@@ -27,12 +27,14 @@ from __future__ import annotations
 
 import json
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import (Any, Dict, Iterable, List, Mapping, Optional, Sequence,
-                    Tuple, Union)
+from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
+                                ThreadPoolExecutor, wait)
+from typing import (Any, Dict, Generator, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple, Union)
 
 from ..bdd.manager import BddManager
 from ..core.brel import BrelSolver
+from ..core.explore import CancelToken, Improvement, Observer
 from ..core.relation import BooleanRelation
 from ..core.relio import parse_relation, peek_shape, write_relation
 from .report import SolveReport
@@ -53,19 +55,22 @@ DEFAULT_MAX_SNAPSHOT_INPUTS = 16
 DEFAULT_AUTO_TRIM_NODES = 500_000
 
 
-def _solve_payload(payload: Dict[str, Any]) -> SolveReport:
+def _solve_payload(payload: Dict[str, Any],
+                   cancel: Optional[CancelToken] = None) -> SolveReport:
     """Execute one self-contained batch job (runs in worker processes).
 
     Never raises: any failure — malformed request, unparsable relation,
     solver error — comes back as a failed report so one bad job cannot
-    poison a batch.
+    poison a batch.  ``cancel`` reaches thread workers (shared memory);
+    process workers cannot share a token and stop only between jobs.
     """
     label = payload.get("label")
     request_dict = payload.get("request")
     try:
         request = SolveRequest.from_dict(request_dict)
         relation = parse_relation(payload["pla"])
-        result = BrelSolver(request.to_options()).solve(relation)
+        result = BrelSolver(request.to_options()).solve(relation,
+                                                        cancel=cancel)
         report = SolveReport.from_result(relation, result,
                                          request=request_dict, label=label)
         # BDD handles must not cross back over the process boundary:
@@ -367,10 +372,15 @@ class Session:
     # Solving
     # ------------------------------------------------------------------
     def _options_key(self, request: SolveRequest) -> Tuple[Any, ...]:
-        return (request.cost, request.minimizer, request.mode,
+        # The *effective* strategy keys the entry, so mode="dfs" and
+        # strategy="dfs" share a slot; record_trace is keyed because it
+        # changes the report's content (the trace field).
+        return (request.cost, request.minimizer,
+                request.exploration_strategy(),
                 request.max_explored, request.fifo_capacity,
                 request.quick_on_subrelations, request.symmetry_pruning,
-                request.symmetry_max_depth, request.time_limit_seconds)
+                request.symmetry_max_depth, request.time_limit_seconds,
+                request.record_trace)
 
     def _cache_key(self, pla: str, request: SolveRequest
                    ) -> Tuple[Any, ...]:
@@ -421,27 +431,25 @@ class Session:
         self._cache.clear()
         self.cache_hits = 0
 
-    def solve(self, request: Optional[SolveRequest] = None,
-              relation: Optional[RelationLike] = None) -> SolveReport:
-        """Run one solve and return its report.
+    def _prepare_solve(self, request: SolveRequest,
+                       relation: Optional[RelationLike]
+                       ) -> Tuple[Optional[BooleanRelation],
+                                  Optional[Dict[str, Any]],
+                                  Tuple[Any, ...], bool]:
+        """Resolve the relation source into ``(resolved, spec, key,
+        from_registry)`` without materialising spec-built relations.
 
-        The relation comes from the explicit ``relation`` argument or,
-        failing that, the request's ``relation`` spec.  Unlike
-        :meth:`solve_many` this raises on failure — single solves are
-        interactive.
+        The cache key is picked *before* materialising anything: session
+        names and caller objects key by identity; self-contained specs
+        key by content (file specs become inline PLA text so on-disk
+        edits invalidate), which lets repeated spec solves hit the
+        cache instead of minting a fresh manager per call.
         """
-        request = request or SolveRequest()
         if relation is None:
             if request.relation is None:
                 raise ValueError("no relation: pass relation= or set "
                                  "request.relation")
             relation = request.relation
-
-        # Pick the cache key *before* materialising anything: session
-        # names and caller objects key by identity; self-contained specs
-        # key by content (file specs become inline PLA text so on-disk
-        # edits invalidate), which lets repeated spec solves hit the
-        # cache instead of minting a fresh manager per call.
         resolved: Optional[BooleanRelation] = None
         spec: Optional[Dict[str, Any]] = None
         from_registry = False
@@ -460,14 +468,14 @@ class Session:
                               encoding="ascii") as handle:
                         spec = {"kind": "pla", "text": handle.read()}
                 key = self._spec_key(spec, request)
-        cached = self._cache.get(key)
-        # A worker-produced cache entry has its solution stripped; this
-        # path promises a live solution, so re-solve (and upgrade the
-        # cache entry) rather than serve it.
-        if cached is not None and cached.solution is not None:
-            self.cache_hits += 1
-            return cached.copy(label=request.label,
-                               request=request.to_dict(), cached=True)
+        return resolved, spec, key, from_registry
+
+    def _materialize(self, resolved: Optional[BooleanRelation],
+                     spec: Optional[Dict[str, Any]],
+                     key: Tuple[Any, ...], from_registry: bool,
+                     request: SolveRequest
+                     ) -> Tuple[BooleanRelation, Tuple[Any, ...]]:
+        """Build (or trim around) the relation a solve will run on."""
         if resolved is None:
             # Spec-built relations get a fresh manager per call; there is
             # nothing from earlier solves to reclaim in it.
@@ -482,20 +490,125 @@ class Session:
                 # The trim remapped node ids; re-key on the fresh object.
                 resolved = trimmed
                 key = self._live_key(resolved, request)
-        result = BrelSolver(request.to_options()).solve(resolved)
+        return resolved, key
+
+    def solve(self, request: Optional[SolveRequest] = None,
+              relation: Optional[RelationLike] = None, *,
+              cancel: Optional[CancelToken] = None,
+              observer: Optional[Observer] = None) -> SolveReport:
+        """Run one solve and return its report.
+
+        The relation comes from the explicit ``relation`` argument or,
+        failing that, the request's ``relation`` spec.  Unlike
+        :meth:`solve_many` this raises on failure — single solves are
+        interactive.
+
+        ``cancel`` stops an in-flight search cooperatively (the report
+        then carries the best-so-far solution with
+        ``stopped="cancelled"``); ``observer`` receives every
+        :class:`~repro.core.SolveEvent` of a fresh run (cache hits
+        emit no events).
+        """
+        request = request or SolveRequest()
+        resolved, spec, key, from_registry = \
+            self._prepare_solve(request, relation)
+        cached = self._cache.get(key)
+        # A worker-produced cache entry has its solution stripped; this
+        # path promises a live solution, so re-solve (and upgrade the
+        # cache entry) rather than serve it.
+        if cached is not None and cached.solution is not None:
+            self.cache_hits += 1
+            return cached.copy(label=request.label,
+                               request=request.to_dict(), cached=True)
+        resolved, key = self._materialize(resolved, spec, key,
+                                          from_registry, request)
+        result = BrelSolver(request.to_options()).solve(
+            resolved, cancel=cancel, observer=observer)
         report = SolveReport.from_result(resolved, result,
                                          request=request.to_dict(),
                                          label=request.label)
-        self._cache[key] = report.copy()
+        # A cancelled solve is a partial result of *this call's* token,
+        # which is not part of the cache key — caching it would serve
+        # the truncated answer to future uncancelled calls.
+        if result.stopped != "cancelled":
+            self._cache[key] = report.copy()
+        return report
+
+    def solve_iter(self, request: Optional[SolveRequest] = None,
+                   relation: Optional[RelationLike] = None, *,
+                   cancel: Optional[CancelToken] = None,
+                   observer: Optional[Observer] = None
+                   ) -> Generator[Improvement, None, SolveReport]:
+        """Anytime solve: yield each strictly improving solution.
+
+        A generator over :class:`~repro.core.Improvement`\\ s — the
+        first is QuickSolver's initial incumbent, every later one
+        strictly beats its predecessor.  The generator's *return value*
+        (``report = yield from session.solve_iter(...)``, or
+        ``StopIteration.value`` when driving it by hand) is the final
+        :class:`SolveReport`, which lands in the session cache exactly
+        like a :meth:`solve` result.  Cancelling mid-iteration (via
+        ``cancel``) or exceeding the request's ``time_limit_seconds``
+        ends the stream early; the report still carries the best
+        solution found so far.
+
+        A cache hit with a live solution yields that single solution
+        and returns the cached report immediately.
+
+        Input validation is eager, matching :meth:`solve`: unknown
+        relation names and unreadable files raise *here*, not at the
+        first ``next()`` — only the search itself runs lazily.
+        """
+        request = request or SolveRequest()
+        resolved, spec, key, from_registry = \
+            self._prepare_solve(request, relation)
+        return self._solve_iter(request, resolved, spec, key,
+                                from_registry, cancel, observer)
+
+    def _solve_iter(self, request: SolveRequest,
+                    resolved: Optional[BooleanRelation],
+                    spec: Optional[Dict[str, Any]],
+                    key: Tuple[Any, ...], from_registry: bool,
+                    cancel: Optional[CancelToken],
+                    observer: Optional[Observer]
+                    ) -> Generator[Improvement, None, SolveReport]:
+        """The lazy half of :meth:`solve_iter` (inputs already vetted)."""
+        cached = self._cache.get(key)
+        if cached is not None and cached.solution is not None:
+            self.cache_hits += 1
+            report = cached.copy(label=request.label,
+                                 request=request.to_dict(), cached=True)
+            yield Improvement(report.solution, report.cost, 0.0, 0)
+            return report
+        resolved, key = self._materialize(resolved, spec, key,
+                                          from_registry, request)
+        solver = BrelSolver(request.to_options())
+        result = yield from solver.iter_solve(resolved, cancel=cancel,
+                                              observer=observer)
+        report = SolveReport.from_result(resolved, result,
+                                         request=request.to_dict(),
+                                         label=request.label)
+        # Same rule as solve(): never cache a cancelled partial result.
+        if result.stopped != "cancelled":
+            self._cache[key] = report.copy()
         return report
 
     def solve_many(self, requests: Sequence[SolveRequest],
                    max_workers: Optional[int] = None,
-                   executor: str = "process") -> List[SolveReport]:
+                   executor: str = "process",
+                   cancel: Optional[CancelToken] = None
+                   ) -> List[SolveReport]:
         """Solve a batch of requests; one report per request, in order.
 
         * Failures (bad relation names, malformed inputs, solver errors)
           are captured in the corresponding report, never raised.
+        * ``cancel`` propagates to workers as each executor allows:
+          serial and thread jobs share the token, so in-flight searches
+          stop cooperatively and report their best-so-far solution
+          (``stopped="cancelled"``); process workers cannot share a
+          token, so cancellation stops dispatch — queued jobs are
+          cancelled and come back as failed ``cancelled before start``
+          reports while already-running workers finish their job.
         * Identical jobs — same relation (snapshot content for pool
           executors, object identity for serial), same options — are
           solved once and shared through the session cache, which also
@@ -588,9 +701,12 @@ class Session:
 
         if pending:
             fresh = self._run_jobs(list(pending), payloads, max_workers,
-                                   executor)
+                                   executor, cancel)
             for key, report in fresh.items():
-                if report.ok:
+                # Cancelled in-flight jobs report ok with a best-so-far
+                # solution; like solve(), that partial answer must not
+                # be served to future uncancelled calls.
+                if report.ok and report.stopped != "cancelled":
                     self._cache[key] = report.copy()
                 first, *rest = pending[key]
                 reports[first] = report.copy(
@@ -611,10 +727,19 @@ class Session:
         return [report for report in reports if report is not None]
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _cancelled_report(payload: Dict[str, Any]) -> SolveReport:
+        """The failed report of a job cancelled before it started."""
+        return SolveReport.from_error(
+            RuntimeError("cancelled before start"),
+            request=payload["request"], label=payload["label"])
+
     def _run_jobs(self, keys: List[Tuple[Any, ...]],
                   payloads: Dict[Tuple[Any, ...], Dict[str, Any]],
                   max_workers: Optional[int],
-                  executor: str) -> Dict[Tuple[Any, ...], SolveReport]:
+                  executor: str,
+                  cancel: Optional[CancelToken] = None
+                  ) -> Dict[Tuple[Any, ...], SolveReport]:
         """Execute the unique jobs, serially or on an executor pool."""
         if max_workers is None:
             max_workers = self.default_max_workers
@@ -630,6 +755,11 @@ class Session:
             limit = self.auto_trim_nodes
             for key in keys:
                 payload = payloads[key]
+                if cancel is not None and cancel.cancelled:
+                    # In-flight jobs stopped themselves (best-so-far);
+                    # jobs not yet started are skipped outright.
+                    results[key] = self._cancelled_report(payload)
+                    continue
                 name = payload.get("registry_name")
                 if name is not None and name in self._relations:
                     # Re-resolve from the registry so earlier trims in
@@ -643,18 +773,21 @@ class Session:
                             relation.mgr, keep=relation,
                             extra_reports=results.values(),
                             extra_payloads=[payloads[k] for k in keys])
-                results[key] = self._solve_in_process(payload)
+                results[key] = self._solve_in_process(payload, cancel)
             return results
 
         if executor == "thread":
             # BddManager is not thread-safe and session relations of the
             # same shape share one, so each thread job solves its own
             # PLA snapshot in a fresh manager (like a process worker).
+            # Threads share the cancel token: in-flight searches stop
+            # cooperatively and report best-so-far.
             with ThreadPoolExecutor(max_workers=max_workers) as pool:
                 futures = {key: pool.submit(
                     _solve_payload,
                     {k: v for k, v in payloads[key].items()
-                     if k not in ("relation", "registry_name")})
+                     if k not in ("relation", "registry_name")},
+                    cancel)
                     for key in keys}
                 for key, future in futures.items():
                     results[key] = future.result()
@@ -667,7 +800,25 @@ class Session:
                     {k: v for k, v in payloads[key].items()
                      if k not in ("relation", "registry_name")})
                     for key in keys}
+                # A CancelToken cannot cross the process boundary, so
+                # cancellation here stops dispatch: queued futures are
+                # cancelled, running workers finish their current job.
+                outstanding = set(futures.values())
+                while outstanding:
+                    done, outstanding = wait(
+                        outstanding,
+                        timeout=0.1 if cancel is not None else None,
+                        return_when=FIRST_COMPLETED)
+                    if (cancel is not None and cancel.cancelled
+                            and outstanding):
+                        for future in outstanding:
+                            future.cancel()
+                        break
                 for key, future in futures.items():
+                    if future.cancelled():
+                        results[key] = self._cancelled_report(
+                            payloads[key])
+                        continue
                     try:
                         results[key] = future.result()
                     except Exception as exc:  # pool/pickling breakage
@@ -679,10 +830,17 @@ class Session:
             # back to in-process execution in restricted sandboxes.
             for key in keys:
                 if key not in results:
-                    results[key] = self._solve_in_process(payloads[key])
+                    if cancel is not None and cancel.cancelled:
+                        results[key] = self._cancelled_report(
+                            payloads[key])
+                    else:
+                        results[key] = self._solve_in_process(
+                            payloads[key], cancel)
         return results
 
-    def _solve_in_process(self, payload: Dict[str, Any]) -> SolveReport:
+    def _solve_in_process(self, payload: Dict[str, Any],
+                          cancel: Optional[CancelToken] = None
+                          ) -> SolveReport:
         """In-process execution: same contract as the worker, but solves
         the live relation object (keeping ``Solution`` handles valid in
         the caller's managers)."""
@@ -693,7 +851,8 @@ class Session:
             relation = payload.get("relation")
             if relation is None:
                 relation = parse_relation(payload["pla"])
-            result = BrelSolver(request.to_options()).solve(relation)
+            result = BrelSolver(request.to_options()).solve(relation,
+                                                            cancel=cancel)
             return SolveReport.from_result(relation, result,
                                            request=request_dict,
                                            label=label)

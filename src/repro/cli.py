@@ -33,7 +33,8 @@ import os
 import sys
 from typing import Any, Dict, List, Optional
 
-from .api.registry import COSTS, cost_names, minimizer_names
+from .api.registry import (COSTS, cost_names, minimizer_names,
+                           strategy_names)
 from .api.request import SolveRequest
 from .api.session import Session
 
@@ -47,19 +48,40 @@ def _request_from_args(args: argparse.Namespace,
         cost=args.cost,
         minimizer=args.minimizer,
         mode=args.mode,
+        strategy=args.strategy,
         max_explored=args.max_explored,
+        fifo_capacity=args.fifo_capacity,
+        quick_on_subrelations=False if args.no_quick else None,
         symmetry_pruning=args.symmetries,
-        time_limit_seconds=args.time_limit)
+        time_limit_seconds=args.time_limit,
+        record_trace=args.trace)
+
+
+def _progress_printer(stream):
+    """An event observer that renders the solve stream one line each."""
+    def observer(event):
+        parts = ["[%7.3fs]" % event.elapsed_seconds,
+                 "%-14s" % event.kind,
+                 "explored=%d" % event.explored]
+        if event.cost is not None:
+            parts.append("cost=%.0f" % event.cost)
+        if event.best_cost is not None:
+            parts.append("best=%.0f" % event.best_cost)
+        if event.detail:
+            parts.append("(%s)" % event.detail)
+        print(" ".join(parts), file=stream)
+    return observer
 
 
 def _cmd_solve(args: argparse.Namespace) -> int:
     from .core.relation import NotWellDefinedError
     from .core.relio import RelationFormatError
 
+    observer = _progress_printer(sys.stderr) if args.progress else None
     try:
         request = _request_from_args(
             args, {"kind": "file", "path": args.relation})
-        report = Session().solve(request)
+        report = Session().solve(request, observer=observer)
     except (OSError, ValueError, KeyError, RelationFormatError,
             NotWellDefinedError) as exc:
         print("error: %s" % exc, file=sys.stderr)
@@ -69,9 +91,13 @@ def _cmd_solve(args: argparse.Namespace) -> int:
         return 0 if report.compatible else 1
     print("# inputs=%d outputs=%d pairs=%d"
           % (report.num_inputs, report.num_outputs, report.pairs))
-    print("# cost=%.0f explored=%d splits=%d runtime=%.3fs"
-          % (report.cost, report.stats["relations_explored"],
+    print("# strategy=%s cost=%.0f explored=%d splits=%d runtime=%.3fs"
+          % (request.exploration_strategy(), report.cost,
+             report.stats["relations_explored"],
              report.stats["splits"], report.stats["runtime_seconds"]))
+    if len(report.improvements) > 1:
+        print("# improvements: %s" % " -> ".join(
+            "%.0f" % imp["cost"] for imp in report.improvements))
     print(report.sop)
     print("# compatible=%s" % report.compatible)
     return 0 if report.compatible else 1
@@ -203,10 +229,27 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--cost", choices=cost_names(), default="size")
     solve.add_argument("--minimizer", choices=minimizer_names(),
                        default="isop")
-    solve.add_argument("--mode", choices=["bfs", "dfs"], default="bfs")
+    solve.add_argument("--strategy", choices=strategy_names(),
+                       default=None,
+                       help="exploration strategy (default: bfs; "
+                            "overrides --mode)")
+    solve.add_argument("--mode", choices=["bfs", "dfs"], default="bfs",
+                       help="deprecated alias of --strategy")
     solve.add_argument("--max-explored", type=int, default=10)
+    solve.add_argument("--fifo-capacity", type=int, default=64,
+                       help="frontier bound for bfs (FIFO) and beam "
+                            "(width) strategies")
+    solve.add_argument("--no-quick", action="store_true",
+                       help="skip QuickSolver on explored subrelations "
+                            "(quick_on_subrelations=False)")
     solve.add_argument("--symmetries", action="store_true")
     solve.add_argument("--time-limit", type=float, default=None)
+    solve.add_argument("--progress", action="store_true",
+                       help="stream solve events to stderr as they "
+                            "happen")
+    solve.add_argument("--trace", action="store_true",
+                       help="record the full event trace in the report "
+                            "(visible with --json)")
     solve.add_argument("--json", action="store_true",
                        help="emit the structured SolveReport as JSON")
     solve.set_defaults(func=_cmd_solve)

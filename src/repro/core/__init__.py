@@ -5,6 +5,11 @@ from .cost import (bdd_size_cost, bdd_size_squared_cost, cube_count_cost,
                    literal_count_cost, shared_bdd_size_cost, weighted_cost)
 from .exact import (assignment_to_functions, count_compatible_functions,
                     enumerate_compatible_functions, exact_solve)
+from .explore import (EVENT_KINDS, STRATEGIES, BeamStrategy,
+                      BestFirstStrategy, CancelToken, ExplorationStrategy,
+                      FifoStrategy, Improvement, LifoStrategy, SearchNode,
+                      SolveEvent, get_strategy_factory, make_strategy,
+                      strategy_names)
 from .isf import Isf, Misf
 from .minimize import (MINIMIZERS, eliminate_nonessential_variables,
                        get_minimizer, minimize_constrain, minimize_exact_cubes,
@@ -20,11 +25,22 @@ from .symmetry import (E, NE, SymmetryCache, output_symmetries,
                        symmetric_images)
 
 __all__ = [
+    "BeamStrategy",
+    "BestFirstStrategy",
     "BrelOptions",
     "BrelResult",
     "BrelSolver",
     "BooleanRelation",
+    "CancelToken",
     "E",
+    "EVENT_KINDS",
+    "ExplorationStrategy",
+    "FifoStrategy",
+    "Improvement",
+    "LifoStrategy",
+    "STRATEGIES",
+    "SearchNode",
+    "SolveEvent",
     "Isf",
     "MINIMIZERS",
     "Misf",
@@ -43,6 +59,9 @@ __all__ = [
     "enumerate_compatible_functions",
     "exact_solve",
     "get_minimizer",
+    "get_strategy_factory",
+    "make_strategy",
+    "strategy_names",
     "literal_count_cost",
     "minimize_constrain",
     "minimize_exact_cubes",

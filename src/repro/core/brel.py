@@ -10,32 +10,45 @@ sequence of unate MISF minimisations:
    *split* the relation into two strictly smaller well-defined relations
    (Definition 5.4, Theorem 5.2) that partition the solution space
    (Property 5.4);
-4. recurse under branch-and-bound pruning: a candidate whose relaxed-MISF
-   cost already exceeds the best known solution cannot improve any
-   descendant (Fig. 6, line 6).
+4. explore the subrelation tree under branch-and-bound pruning: a
+   candidate whose relaxed-MISF cost already exceeds the best known
+   solution cannot improve any descendant (Fig. 6, line 6).
 
-Two exploration strategies are provided:
+Exploration order is delegated to a pluggable
+:class:`~repro.core.explore.ExplorationStrategy` — the frontier
+discipline is the *only* difference between the paper's two modes:
 
-* ``mode="dfs"`` — the literal recursion of Fig. 6.  With an exact ISF
-  minimiser and no exploration bound this is the paper's *exact mode*
-  (Section 7.6).
-* ``mode="bfs"`` — the heuristic of Section 7.2: subrelations go through a
-  *bounded FIFO*; QuickSolver runs on every dequeued relation so a
-  compatible solution always exists no matter how aggressively the bound
-  truncates the tree; breadth-first order diversifies the exploration and
-  enables the hill-climbing behaviour Section 9 credits for beating
-  gyocro.
+* ``strategy="dfs"`` — the literal recursion order of Fig. 6 (no
+  per-subrelation QuickSolver unless explicitly enabled).  With an
+  exact ISF minimiser and no exploration bound this is the paper's
+  *exact mode* (Section 7.6; see :func:`solve_exactly`).
+* ``strategy="bfs"`` — the heuristic of Section 7.2: subrelations go
+  through a *bounded FIFO*; QuickSolver runs on every dequeued relation
+  so a compatible solution always exists no matter how aggressively the
+  bound truncates the tree; breadth-first order diversifies the
+  exploration and enables the hill-climbing behaviour Section 9 credits
+  for beating gyocro.
+* ``strategy="best-first"`` / ``strategy="beam"`` — branch-and-bound
+  frontiers prioritised by the relaxed-MISF cost bound (unbounded /
+  width-bounded); see :mod:`repro.core.explore`.
+
+The solver is *anytime*: it emits typed :class:`SolveEvent`\\ s to
+registered observers, honours a cooperative
+:class:`~repro.core.explore.CancelToken` plus the wall-clock deadline,
+and :meth:`BrelSolver.iter_solve` yields every strictly improving
+:class:`~repro.core.explore.Improvement` as it is found.
 """
 
 from __future__ import annotations
 
 import time
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Optional, Tuple
+from typing import Generator, Iterable, List, Optional, Tuple
 
 from ..bdd.manager import FALSE
 from .cost import CostFunction, bdd_size_cost
+from .explore import (CancelToken, Improvement, Observer, SearchNode,
+                      SolveEvent, get_strategy_factory, make_strategy)
 from .minimize import IsfMinimizer, minimize_isop, solve_misf
 from .quick import quick_solve
 from .relation import BooleanRelation
@@ -54,40 +67,69 @@ class BrelOptions:
         The user-defined objective (Section 7.3).
     minimizer:
         ISF minimisation back-end (Section 7.5 / Table 1).
+    strategy:
+        Name of the exploration strategy
+        (:data:`repro.core.explore.STRATEGIES`): ``"bfs"``, ``"dfs"``,
+        ``"best-first"``, ``"beam"``, or any name registered through
+        :func:`repro.api.register_strategy`.  ``None`` falls back to
+        the deprecated ``mode`` alias.
     mode:
-        ``"bfs"`` (heuristic, bounded FIFO — the mode used for all the
-        paper's experiments) or ``"dfs"`` (the literal Fig. 6 recursion).
+        Deprecated alias of ``strategy`` kept for pre-strategy callers;
+        ``strategy`` wins when both are set.
     max_explored:
         Maximum number of subrelations dequeued/visited; ``None`` means
         unbounded.  Table 2 uses 10, Table 3 uses 200.
     fifo_capacity:
-        Bound on the BFS frontier (Section 7.2).  ``None`` = unbounded.
+        Bound on the frontier for capacity-bounded strategies:
+        the BFS FIFO (Section 7.2) and the beam width.  ``None`` =
+        unbounded FIFO (the beam falls back to width 64).
     quick_on_subrelations:
         Run QuickSolver on every explored subrelation (Section 7.2
-        guarantees at least one solution per subrelation; also the source
-        of solution diversity).  BFS mode only.
+        guarantees at least one solution per subrelation; also the
+        source of solution diversity).  Strategy-generic tri-state:
+        ``None`` (default) follows the strategy's own default — on for
+        the frontier-truncating disciplines (bfs, best-first, beam),
+        off for the literal Fig. 6 ``dfs`` recursion, exactly the
+        pre-strategy behaviour; an explicit ``True``/``False`` applies
+        to any strategy.
     symmetry_pruning / symmetry_max_depth:
         Enable the Section 7.7 symmetric-relation cache, limited to the
         first ``symmetry_max_depth`` levels of the tree.
     time_limit_seconds:
-        Wall-clock budget; the search stops (keeping the best solution so
-        far) once exceeded.  This is the paper's "stop after a runtime
-        time-out" completion criterion (§6.3, §7.6).  ``None`` = no limit.
+        Wall-clock budget; the search stops (keeping the best solution
+        so far) once exceeded.  This is the paper's "stop after a
+        runtime time-out" completion criterion (§6.3, §7.6).  ``None``
+        = no limit.  For caller-triggered early stops pass a
+        :class:`~repro.core.explore.CancelToken` to the solve call.
+    record_trace:
+        Keep every emitted :class:`SolveEvent` on the result
+        (``BrelResult.events``) for post-mortem inspection; off by
+        default because traces grow with the tree.
     """
 
     cost_function: CostFunction = bdd_size_cost
     minimizer: IsfMinimizer = minimize_isop
     mode: str = "bfs"
+    strategy: Optional[str] = None
     max_explored: Optional[int] = 10
     fifo_capacity: Optional[int] = 64
-    quick_on_subrelations: bool = True
+    quick_on_subrelations: Optional[bool] = None
     symmetry_pruning: bool = False
     symmetry_max_depth: int = 2
     time_limit_seconds: Optional[float] = None
+    record_trace: bool = False
+
+    def exploration_strategy(self) -> str:
+        """The effective strategy name (``strategy`` wins over ``mode``)."""
+        return self.strategy if self.strategy is not None else self.mode
 
     def __post_init__(self) -> None:
-        if self.mode not in ("bfs", "dfs"):
-            raise ValueError("mode must be 'bfs' or 'dfs'")
+        try:
+            get_strategy_factory(self.exploration_strategy())
+        except KeyError as exc:
+            # Surface as ValueError: a bad name is an invalid option
+            # value, and pre-strategy callers matched ValueError.
+            raise ValueError(str(exc).strip('"')) from None
         if (self.time_limit_seconds is not None
                 and self.time_limit_seconds < 0):
             raise ValueError("time_limit_seconds must be non-negative")
@@ -97,38 +139,135 @@ class BrelOptions:
         if self.fifo_capacity is not None and self.fifo_capacity < 0:
             raise ValueError("fifo_capacity must be non-negative or None "
                              "(negative values would disable exploration)")
+        if self.symmetry_max_depth < 0:
+            raise ValueError("symmetry_max_depth must be non-negative "
+                             "(0 disables the symmetry cache entirely)")
+        # Option combinations a shipped strategy cannot honour must
+        # fail here, where batch manifests are loaded, not mid-solve.
+        # Checked directly rather than by constructing the strategy:
+        # options are built several times per solve (request validation,
+        # to_options, the solve itself) and registered custom factories
+        # are owed exactly one invocation per search.
+        if self.exploration_strategy() == "beam" \
+                and self.fifo_capacity == 0:
+            raise ValueError("beam width must be >= 1: fifo_capacity=0 "
+                             "leaves the beam frontier no room (use "
+                             "None for the default width of 64)")
 
 
 @dataclass
 class BrelResult:
-    """Best solution found plus run statistics."""
+    """Best solution found plus run statistics.
+
+    ``improvements`` records every strictly improving incumbent in
+    order (the anytime trajectory); ``events`` carries the full search
+    trace when ``record_trace`` was set; ``stopped`` says why the
+    search ended (``"exhausted"``, ``"budget"``, ``"timeout"``,
+    ``"cancelled"``).
+    """
 
     solution: Solution
     stats: SolverStats
+    improvements: List[Improvement] = field(default_factory=list)
+    events: Optional[List[SolveEvent]] = None
+    stopped: str = "exhausted"
 
 
 class BrelSolver:
-    """The recursive BR solver.  See module docstring for the algorithm."""
+    """The strategy-driven BR solver.  See module docstring.
 
-    def __init__(self, options: Optional[BrelOptions] = None) -> None:
+    Observers registered through :meth:`add_observer` (or passed to the
+    solve calls) receive every :class:`SolveEvent` of a run, in order.
+    """
+
+    def __init__(self, options: Optional[BrelOptions] = None,
+                 observers: Iterable[Observer] = ()) -> None:
         self.options = options or BrelOptions()
-        self._deadline: Optional[float] = None
+        self._observers: List[Observer] = list(observers)
 
-    def _out_of_time(self) -> bool:
-        return (self._deadline is not None
-                and time.perf_counter() > self._deadline)
+    # -- observers ------------------------------------------------------
+    def add_observer(self, observer: Observer) -> Observer:
+        """Register an event observer; returns it for symmetry."""
+        self._observers.append(observer)
+        return observer
+
+    def remove_observer(self, observer: Observer) -> None:
+        """Drop a registered observer (no-op when absent)."""
+        if observer in self._observers:
+            self._observers.remove(observer)
+
+    def _notify(self, extra: Optional[Observer]) -> List[Observer]:
+        observers = list(self._observers)
+        if extra is not None:
+            observers.append(extra)
+        return observers
 
     # ------------------------------------------------------------------
-    def solve(self, relation: BooleanRelation) -> BrelResult:
-        """Solve a well-defined relation; raises if it is not left-total."""
+    def solve(self, relation: BooleanRelation,
+              cancel: Optional[CancelToken] = None,
+              observer: Optional[Observer] = None) -> BrelResult:
+        """Solve a well-defined relation; raises if it is not left-total.
+
+        Drives :meth:`iter_events` to completion, dispatching events to
+        the registered observers (plus the per-call ``observer``).
+        """
+        observers = self._notify(observer)
+        events = self.iter_events(relation, cancel=cancel)
+        while True:
+            try:
+                event = next(events)
+            except StopIteration as stop:
+                return stop.value
+            for fn in observers:
+                fn(event)
+
+    def iter_solve(self, relation: BooleanRelation,
+                   cancel: Optional[CancelToken] = None,
+                   observer: Optional[Observer] = None
+                   ) -> Generator[Improvement, None, BrelResult]:
+        """Anytime API: yield each strictly improving solution.
+
+        A generator over :class:`~repro.core.explore.Improvement`\\ s —
+        the first is QuickSolver's initial incumbent, every later one
+        strictly beats its predecessor.  The generator's *return value*
+        (``StopIteration.value``, or ``result = yield from ...``) is
+        the final :class:`BrelResult`.  Cancelling mid-iteration (via
+        ``cancel``) ends the stream with the best-so-far result intact.
+        """
+        observers = self._notify(observer)
+        events = self.iter_events(relation, cancel=cancel)
+        while True:
+            try:
+                event = next(events)
+            except StopIteration as stop:
+                return stop.value
+            for fn in observers:
+                fn(event)
+            if event.kind == "new-best" and event.solution is not None:
+                yield Improvement(event.solution, event.cost,
+                                  event.elapsed_seconds, event.explored)
+
+    # ------------------------------------------------------------------
+    def iter_events(self, relation: BooleanRelation,
+                    cancel: Optional[CancelToken] = None
+                    ) -> Generator[SolveEvent, None, BrelResult]:
+        """The solver loop as a typed event stream.
+
+        Yields every :class:`SolveEvent` of the search; the generator's
+        return value is the final :class:`BrelResult`.  This is the
+        single implementation behind :meth:`solve` and
+        :meth:`iter_solve`.
+        """
         relation.require_well_defined()
-        start = time.perf_counter()
-        self._deadline = (start + self.options.time_limit_seconds
-                          if self.options.time_limit_seconds is not None
-                          else None)
-        stats = SolverStats()
         options = self.options
+        start = time.perf_counter()
+        deadline = (start + options.time_limit_seconds
+                    if options.time_limit_seconds is not None else None)
+        stats = SolverStats()
         engine_before = relation.mgr.stats()
+        trace: Optional[List[SolveEvent]] = \
+            [] if options.record_trace else None
+        improvements: List[Improvement] = []
 
         # Initial solution: QuickSolver guarantees one compatible function
         # exists before any pruning can truncate the search (§7.2).
@@ -136,13 +275,114 @@ class BrelSolver:
                            options.cost_function)
         stats.quick_solutions += 1
 
+        def event(kind: str, **kw: object) -> SolveEvent:
+            ev = SolveEvent(kind, explored=stats.relations_explored,
+                            best_cost=best.cost,
+                            elapsed_seconds=time.perf_counter() - start,
+                            **kw)  # type: ignore[arg-type]
+            if trace is not None:
+                trace.append(ev)
+            return ev
+
+        def improved_events(solution: Solution, depth: int):
+            """The event pair of a new incumbent: ``new-best``, then a
+            ``bound`` prune when it makes queued nodes hopeless."""
+            improvements.append(Improvement(
+                solution, solution.cost, time.perf_counter() - start,
+                stats.relations_explored))
+            yield event("new-best", cost=solution.cost,
+                        solution=solution, depth=depth)
+            pruned = strategy.prune(solution.cost)
+            if pruned:
+                stats.frontier_prunes += pruned
+                yield event("prune", detail="bound", depth=depth)
+
         symmetry = (SymmetryCache(relation, options.symmetry_max_depth)
                     if options.symmetry_pruning else None)
+        strategy = make_strategy(options.exploration_strategy(), options)
+        quick_on_subrelations = (options.quick_on_subrelations
+                                 if options.quick_on_subrelations
+                                 is not None
+                                 else strategy.quick_by_default)
 
-        if options.mode == "dfs":
-            best = self._solve_dfs(relation, best, stats, symmetry)
-        else:
-            best = self._solve_bfs(relation, best, stats, symmetry)
+        yield event("quick-solution", cost=best.cost, depth=0)
+        improvements.append(Improvement(best, best.cost,
+                                        time.perf_counter() - start, 0))
+        yield event("new-best", cost=best.cost, solution=best, depth=0)
+
+        seq = 0
+        strategy.seed(SearchNode(relation, 0, float("-inf"), seq))
+        stopped = "exhausted"
+        while not strategy.done():
+            if cancel is not None and cancel.cancelled:
+                stopped = "cancelled"
+                yield event("cancelled")
+                break
+            if deadline is not None and time.perf_counter() > deadline:
+                stopped = "timeout"
+                yield event("timeout")
+                break
+            if (options.max_explored is not None
+                    and stats.relations_explored >= options.max_explored):
+                stopped = "budget"
+                yield event("budget")
+                break
+            node = strategy.pop()
+            current, depth = node.relation, node.depth
+            stats.relations_explored += 1
+
+            if current.is_function():
+                functions = tuple(current.function_vector())
+                cost = options.cost_function(current.mgr, functions)
+                if cost < best.cost:
+                    best = Solution(current.mgr, functions, cost)
+                    stats.compatible_found += 1
+                    yield from improved_events(best, depth)
+                continue
+
+            # §7.2: every dequeued subrelation gets a quick compatible
+            # solution so that truncating the frontier can never lose
+            # solvability, and the exploration diversity turns
+            # QuickSolver into a hill climber.
+            if quick_on_subrelations and depth > 0:
+                quick = quick_solve(current, options.minimizer,
+                                    options.cost_function)
+                stats.quick_solutions += 1
+                yield event("quick-solution", cost=quick.cost, depth=depth)
+                if quick.cost < best.cost:
+                    best = quick
+                    stats.compatible_found += 1
+                    yield from improved_events(best, depth)
+
+            candidate, conflicts = self._evaluate(current, stats)
+            if candidate.cost >= best.cost:
+                stats.cost_prunes += 1
+                yield event("prune", detail="cost", cost=candidate.cost,
+                            depth=depth)
+                continue
+            if conflicts == FALSE:
+                best = candidate
+                stats.compatible_found += 1
+                yield from improved_events(best, depth)
+                continue
+            left, right = self._children(current, conflicts, stats)
+            yield event("branch", cost=candidate.cost, depth=depth)
+            children: List[SearchNode] = []
+            for child in (left, right):
+                if symmetry is not None and symmetry.should_prune(
+                        child, depth + 1):
+                    stats.symmetry_prunes += 1
+                    yield event("prune", detail="symmetry",
+                                depth=depth + 1)
+                    continue
+                seq += 1
+                children.append(SearchNode(child, depth + 1,
+                                           candidate.cost, seq))
+            dropped = strategy.push_children(children)
+            if dropped:
+                stats.frontier_overflow += dropped
+                yield event("prune", detail="frontier-overflow",
+                            depth=depth + 1)
 
         stats.runtime_seconds = time.perf_counter() - start
         engine_after = relation.mgr.stats()
@@ -151,7 +391,9 @@ class BrelSolver:
                                 - engine_before["cache_hits"])
         stats.bdd_cache_misses = (engine_after["cache_misses"]
                                   - engine_before["cache_misses"])
-        return BrelResult(best, stats)
+        yield event("done", cost=best.cost)
+        return BrelResult(best, stats, improvements=improvements,
+                          events=trace, stopped=stopped)
 
     # ------------------------------------------------------------------
     def _evaluate(self, relation: BooleanRelation, stats: SolverStats
@@ -171,105 +413,6 @@ class BrelSolver:
         stats.splits += 1
         return relation.split(choice.vertex_dict(), choice.position)
 
-    # ------------------------------------------------------------------
-    def _solve_dfs(self, relation: BooleanRelation, best: Solution,
-                   stats: SolverStats,
-                   symmetry: Optional[SymmetryCache]) -> Solution:
-        options = self.options
-
-        def rec(current: BooleanRelation, depth: int) -> None:
-            nonlocal best
-            if self._out_of_time():
-                return
-            if (options.max_explored is not None
-                    and stats.relations_explored >= options.max_explored):
-                return
-            stats.relations_explored += 1
-
-            if current.is_function():
-                functions = tuple(current.function_vector())
-                cost = options.cost_function(current.mgr, functions)
-                if cost < best.cost:
-                    best = Solution(current.mgr, functions, cost)
-                    stats.compatible_found += 1
-                return
-
-            candidate, conflicts = self._evaluate(current, stats)
-            if candidate.cost >= best.cost:
-                stats.cost_prunes += 1
-                return
-            if conflicts == FALSE:
-                best = candidate
-                stats.compatible_found += 1
-                return
-            left, right = self._children(current, conflicts, stats)
-            for child in (left, right):
-                if symmetry is not None and symmetry.should_prune(
-                        child, depth + 1):
-                    stats.symmetry_prunes += 1
-                    continue
-                rec(child, depth + 1)
-
-        rec(relation, 0)
-        return best
-
-    # ------------------------------------------------------------------
-    def _solve_bfs(self, relation: BooleanRelation, best: Solution,
-                   stats: SolverStats,
-                   symmetry: Optional[SymmetryCache]) -> Solution:
-        options = self.options
-        frontier: Deque[Tuple[BooleanRelation, int]] = deque()
-        frontier.append((relation, 0))
-
-        while frontier:
-            if self._out_of_time():
-                break
-            if (options.max_explored is not None
-                    and stats.relations_explored >= options.max_explored):
-                break
-            current, depth = frontier.popleft()
-            stats.relations_explored += 1
-
-            if current.is_function():
-                functions = tuple(current.function_vector())
-                cost = options.cost_function(current.mgr, functions)
-                if cost < best.cost:
-                    best = Solution(current.mgr, functions, cost)
-                    stats.compatible_found += 1
-                continue
-
-            # §7.2: every subrelation gets a quick compatible solution so
-            # that truncating the frontier can never lose solvability, and
-            # the BFS diversity turns QuickSolver into a hill climber.
-            if options.quick_on_subrelations and depth > 0:
-                quick = quick_solve(current, options.minimizer,
-                                    options.cost_function)
-                stats.quick_solutions += 1
-                if quick.cost < best.cost:
-                    best = quick
-                    stats.compatible_found += 1
-
-            candidate, conflicts = self._evaluate(current, stats)
-            if candidate.cost >= best.cost:
-                stats.cost_prunes += 1
-                continue
-            if conflicts == FALSE:
-                best = candidate
-                stats.compatible_found += 1
-                continue
-            left, right = self._children(current, conflicts, stats)
-            for child in (left, right):
-                if symmetry is not None and symmetry.should_prune(
-                        child, depth + 1):
-                    stats.symmetry_prunes += 1
-                    continue
-                if (options.fifo_capacity is not None
-                        and len(frontier) >= options.fifo_capacity):
-                    stats.frontier_overflow += 1
-                    continue
-                frontier.append((child, depth + 1))
-        return best
-
 
 def solve_relation(relation: BooleanRelation,
                    options: Optional[BrelOptions] = None) -> BrelResult:
@@ -282,11 +425,14 @@ def solve_exactly(relation: BooleanRelation,
                   minimizer: IsfMinimizer = minimize_isop) -> BrelResult:
     """Run BREL in exhaustive DFS mode (paper's exact mode, §7.6).
 
-    Exactness holds modulo the ISF minimiser, exactly as in the paper; for
-    a ground-truth optimum on tiny relations use
-    :func:`repro.core.exact.exact_solve`.
+    Exactness holds modulo the ISF minimiser, exactly as in the paper;
+    for a ground-truth optimum on tiny relations use
+    :func:`repro.core.exact.exact_solve`.  ``quick_on_subrelations`` is
+    pinned off (also the dfs strategy default): the exhaustive
+    recursion needs no per-subrelation incumbents.
     """
     options = BrelOptions(cost_function=cost_function, minimizer=minimizer,
-                          mode="dfs", max_explored=None,
-                          fifo_capacity=None)
+                          strategy="dfs", max_explored=None,
+                          fifo_capacity=None,
+                          quick_on_subrelations=False)
     return BrelSolver(options).solve(relation)

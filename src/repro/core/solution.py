@@ -84,6 +84,9 @@ class SolverStats:
     quick_solutions: int = 0
     compatible_found: int = 0
     frontier_overflow: int = 0
+    # Queued nodes dropped by the strategy when a new incumbent made
+    # their cost bound hopeless (best-first / beam frontiers).
+    frontier_prunes: int = 0
     runtime_seconds: float = 0.0
     # BDD-engine counters for the run (deltas over the solve, except
     # bdd_nodes which is the manager's node count when the solve ended).
@@ -102,6 +105,7 @@ class SolverStats:
             "quick_solutions": self.quick_solutions,
             "compatible_found": self.compatible_found,
             "frontier_overflow": self.frontier_overflow,
+            "frontier_prunes": self.frontier_prunes,
             "runtime_seconds": self.runtime_seconds,
             "bdd_nodes": self.bdd_nodes,
             "bdd_cache_hits": self.bdd_cache_hits,

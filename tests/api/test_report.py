@@ -14,7 +14,8 @@ FIG1_ROWS = [{0b01}, {0b01}, {0b00, 0b11}, {0b10, 0b11}]
 EXPECTED_KEYS = {
     "ok", "label", "error", "request", "num_inputs", "num_outputs",
     "pairs", "cost", "compatible", "bdd_sizes", "cube_count",
-    "literal_count", "sop", "pla", "stats", "cached", "schema_version",
+    "literal_count", "sop", "pla", "stats", "improvements", "trace",
+    "stopped", "cached", "schema_version",
 }
 
 

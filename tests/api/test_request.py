@@ -57,6 +57,67 @@ class TestRoundTrip:
         assert SolveRequest.from_dict(request.to_dict()) == request
 
 
+class TestStrategyField:
+    def test_json_round_trip(self):
+        request = SolveRequest(relation=fig1_spec(),
+                               strategy="best-first", label="bf")
+        text = request.to_json()
+        again = SolveRequest.from_json(text)
+        assert again == request
+        assert json.loads(text)["strategy"] == "best-first"
+
+    def test_default_strategy_is_none_mode_wins(self):
+        request = SolveRequest(relation=fig1_spec(), mode="dfs")
+        assert request.strategy is None
+        assert request.exploration_strategy() == "dfs"
+        assert request.to_options().exploration_strategy() == "dfs"
+
+    def test_strategy_overrides_mode(self):
+        request = SolveRequest(relation=fig1_spec(), mode="dfs",
+                               strategy="beam")
+        assert request.exploration_strategy() == "beam"
+
+    def test_unknown_strategy_did_you_mean(self):
+        with pytest.raises(ValueError, match="did you mean"):
+            SolveRequest(strategy="best-frist")
+
+    def test_pre_strategy_json_still_loads(self):
+        # A schema-1 era request dict (no strategy/record_trace keys)
+        # must keep deserialising.
+        request = SolveRequest(relation=fig1_spec(), mode="dfs")
+        old = request.to_dict()
+        del old["strategy"]
+        del old["record_trace"]
+        assert SolveRequest.from_dict(old).exploration_strategy() == "dfs"
+
+    def test_legacy_dfs_dict_does_not_opt_into_quick(self):
+        # Pre-strategy dicts always serialised the old field default
+        # quick_on_subrelations=true, which the old solver ignored
+        # under mode="dfs"; replaying one must keep that behaviour.
+        legacy = {"relation": fig1_spec(), "mode": "dfs",
+                  "quick_on_subrelations": True}
+        request = SolveRequest.from_dict(legacy)
+        assert request.quick_on_subrelations is None
+        # A new-era dict (has the strategy key) keeps an explicit True.
+        explicit = dict(legacy, strategy="dfs")
+        assert SolveRequest.from_dict(
+            explicit).quick_on_subrelations is True
+        # And legacy bfs dicts keep True (the old solver honoured it).
+        legacy_bfs = {"relation": fig1_spec(), "mode": "bfs",
+                      "quick_on_subrelations": True}
+        assert SolveRequest.from_dict(
+            legacy_bfs).quick_on_subrelations is True
+
+    def test_from_options_carries_strategy(self):
+        options = BrelOptions(strategy="beam", record_trace=True)
+        request = SolveRequest.from_options(options)
+        assert request.strategy == "beam"
+        assert request.record_trace is True
+        rebuilt = request.to_options()
+        assert rebuilt.exploration_strategy() == "beam"
+        assert rebuilt.record_trace is True
+
+
 class TestValidation:
     def test_unknown_cost_rejected(self):
         with pytest.raises(KeyError, match="unknown cost function"):

@@ -1,0 +1,304 @@
+"""The exploration layer: strategies, events, cancellation, anytime API."""
+
+import pytest
+
+from repro.benchdata.brsuite import instance_by_name
+from repro.core import (BeamStrategy, BestFirstStrategy, BooleanRelation,
+                        BrelOptions, BrelSolver, CancelToken, EVENT_KINDS,
+                        FifoStrategy, LifoStrategy, SearchNode,
+                        get_strategy_factory, make_strategy,
+                        strategy_names)
+
+FIG1_ROWS = [{0b01}, {0b01}, {0b00, 0b11}, {0b10, 0b11}]
+
+
+def node(bound, seq, depth=1):
+    """A frontier entry; strategies never look at the relation itself."""
+    return SearchNode(relation=None, depth=depth, bound=bound, seq=seq)
+
+
+class TestFifoStrategy:
+    def test_fifo_order(self):
+        strategy = FifoStrategy()
+        for seq in range(3):
+            assert strategy.push(node(0.0, seq))
+        assert [strategy.pop().seq for _ in range(3)] == [0, 1, 2]
+        assert strategy.done()
+
+    def test_capacity_rejects_push(self):
+        strategy = FifoStrategy(capacity=1)
+        assert strategy.push(node(0.0, 0))
+        assert not strategy.push(node(0.0, 1))
+        assert len(strategy) == 1
+
+    def test_seed_bypasses_capacity(self):
+        strategy = FifoStrategy(capacity=0)
+        strategy.seed(node(0.0, 0))
+        assert len(strategy) == 1 and strategy.pop().seq == 0
+
+    def test_prune_is_noop(self):
+        # BFS keeps pre-redesign semantics: queued nodes are only
+        # cost-checked when dequeued.
+        strategy = FifoStrategy()
+        strategy.push(node(100.0, 0))
+        assert strategy.prune(1.0) == 0
+        assert len(strategy) == 1
+
+
+class TestLifoStrategy:
+    def test_children_pop_left_first(self):
+        # The Fig. 6 recursion explores the left child (and its whole
+        # subtree) before the right child.
+        strategy = LifoStrategy()
+        strategy.seed(node(0.0, 0, depth=0))
+        root = strategy.pop()
+        assert strategy.push_children([node(1.0, 1), node(1.0, 2)]) == 0
+        first = strategy.pop()
+        assert first.seq == 1
+        # Grandchildren of the left child still precede the right child.
+        strategy.push_children([node(2.0, 3), node(2.0, 4)])
+        assert [strategy.pop().seq for _ in range(3)] == [3, 4, 2]
+
+
+class TestBestFirstStrategy:
+    def test_pops_lowest_bound(self):
+        strategy = BestFirstStrategy()
+        strategy.push(node(5.0, 0))
+        strategy.push(node(2.0, 1))
+        strategy.push(node(9.0, 2))
+        assert [strategy.pop().bound for _ in range(3)] == [2.0, 5.0, 9.0]
+
+    def test_ties_break_by_insertion_order(self):
+        strategy = BestFirstStrategy()
+        strategy.push(node(3.0, 1))
+        strategy.push(node(3.0, 0))
+        assert strategy.pop().seq == 0
+
+    def test_prune_drops_hopeless_bounds(self):
+        strategy = BestFirstStrategy()
+        for seq, bound in enumerate((1.0, 5.0, 10.0)):
+            strategy.push(node(bound, seq))
+        assert strategy.prune(5.0) == 2  # bounds 5 and 10 cannot win
+        assert len(strategy) == 1 and strategy.pop().bound == 1.0
+
+
+class TestBeamStrategy:
+    def test_width_validated(self):
+        with pytest.raises(ValueError):
+            BeamStrategy(width=0)
+
+    def test_evicts_worst_when_full(self):
+        strategy = BeamStrategy(width=2)
+        assert strategy.push(node(5.0, 0))
+        assert strategy.push(node(3.0, 1))
+        # A better node displaces the bound-5 entry; the push still
+        # reports an overflow because something was dropped.
+        assert not strategy.push(node(1.0, 2))
+        bounds = sorted(strategy.pop().bound for _ in range(2))
+        assert bounds == [1.0, 3.0]
+
+    def test_rejects_worse_than_worst(self):
+        strategy = BeamStrategy(width=1)
+        strategy.push(node(1.0, 0))
+        assert not strategy.push(node(2.0, 1))
+        assert strategy.pop().bound == 1.0 and strategy.done()
+
+
+class TestStrategyTable:
+    def test_shipped_names(self):
+        assert set(strategy_names()) >= {"bfs", "dfs", "best-first",
+                                         "beam"}
+
+    def test_make_strategy_stamps_name(self):
+        strategy = make_strategy("beam", BrelOptions())
+        assert strategy.name == "beam"
+        assert isinstance(strategy, BeamStrategy)
+
+    def test_unknown_name_did_you_mean(self):
+        with pytest.raises(KeyError, match="did you mean 'best-first'"):
+            get_strategy_factory("best-frist")
+
+    def test_fifo_capacity_reaches_strategies(self):
+        options = BrelOptions(fifo_capacity=3)
+        assert make_strategy("bfs", options).capacity == 3
+        assert make_strategy("beam", options).width == 3
+        # None = unbounded FIFO, default beam width.
+        unbounded = BrelOptions(fifo_capacity=None)
+        assert make_strategy("bfs", unbounded).capacity is None
+        assert make_strategy("beam", unbounded).width == 64
+
+    def test_beam_rejects_zero_capacity(self):
+        # fifo_capacity=0 is a legal FIFO edge case but cannot be a
+        # beam width; it must fail loudly, not fall back to 64 — and
+        # at option construction, not mid-solve.
+        with pytest.raises(ValueError, match="beam width"):
+            BrelOptions(strategy="beam", fifo_capacity=0)
+        bfs_options = BrelOptions(fifo_capacity=0)  # still legal for bfs
+        with pytest.raises(ValueError, match="beam width"):
+            make_strategy("beam", bfs_options)
+
+    def test_option_validation_never_runs_factories(self):
+        # Custom factories are owed exactly one invocation per solve;
+        # building/validating options must not call them.
+        from repro.core.explore import STRATEGIES
+        calls = []
+
+        def counting_factory(options):
+            calls.append(1)
+            return FifoStrategy()
+
+        STRATEGIES["counting-test"] = counting_factory
+        try:
+            options = BrelOptions(strategy="counting-test")
+            assert calls == []
+            relation = BooleanRelation.from_output_sets(FIG1_ROWS, 2, 2)
+            BrelSolver(options).solve(relation)
+            assert len(calls) == 1
+        finally:
+            del STRATEGIES["counting-test"]
+
+
+class TestCancelToken:
+    def test_lifecycle(self):
+        token = CancelToken()
+        assert not token.cancelled and not token
+        token.cancel()
+        token.cancel()  # idempotent
+        assert token.cancelled and token
+
+
+@pytest.fixture
+def fig1():
+    return BooleanRelation.from_output_sets(FIG1_ROWS, 2, 2)
+
+
+class TestEvents:
+    def test_event_stream_shape(self, fig1):
+        events = []
+        solver = BrelSolver(BrelOptions())
+        solver.add_observer(events.append)
+        result = solver.solve(fig1)
+        kinds = [event.kind for event in events]
+        assert kinds[0] == "quick-solution"
+        assert kinds[1] == "new-best"
+        assert kinds[-1] == "done"
+        assert set(kinds) <= set(EVENT_KINDS)
+        # Observers see the same stream a trace would record.
+        assert result.events is None  # record_trace off by default
+
+    def test_trace_recorded_on_request(self, fig1):
+        result = BrelSolver(BrelOptions(record_trace=True)).solve(fig1)
+        assert result.events is not None
+        assert [e.kind for e in result.events][0] == "quick-solution"
+        data = result.events[0].as_dict()
+        assert data["kind"] == "quick-solution"
+        assert "solution" not in data
+
+    def test_remove_observer(self, fig1):
+        events = []
+        solver = BrelSolver(BrelOptions())
+        solver.add_observer(events.append)
+        solver.remove_observer(events.append)
+        solver.solve(fig1)
+        assert events == []
+
+    def test_bound_prunes_emit_events(self):
+        # Incumbent-driven frontier prunes (best-first/beam) must be
+        # visible in the event stream, not only in the counters.
+        relation = instance_by_name("int6").build()
+        events = []
+        options = BrelOptions(strategy="best-first", max_explored=60)
+        result = BrelSolver(options).solve(relation,
+                                           observer=events.append)
+        bound_prunes = [e for e in events
+                        if e.kind == "prune" and e.detail == "bound"]
+        assert result.stats.frontier_prunes > 0
+        assert bound_prunes, "frontier prunes happened with no event"
+
+    def test_new_best_events_carry_live_solutions(self):
+        relation = instance_by_name("vtx").build()
+        solutions = []
+
+        def capture(event):
+            if event.kind == "new-best":
+                solutions.append((event.solution, event.cost))
+
+        BrelSolver(BrelOptions(max_explored=60)).solve(
+            relation, observer=capture)
+        assert len(solutions) >= 2
+        costs = [cost for _, cost in solutions]
+        assert costs == sorted(costs, reverse=True)
+        for solution, cost in solutions:
+            assert relation.is_compatible(solution.functions)
+            assert solution.cost == cost
+
+
+class TestIterSolve:
+    def test_yields_strictly_improving(self):
+        relation = instance_by_name("vtx").build()
+        gen = BrelSolver(BrelOptions(max_explored=60)).iter_solve(relation)
+        improvements = []
+        try:
+            while True:
+                improvements.append(next(gen))
+        except StopIteration as stop:
+            result = stop.value
+        assert len(improvements) >= 2
+        costs = [imp.cost for imp in improvements]
+        assert costs == sorted(costs, reverse=True)
+        assert len(set(costs)) == len(costs)
+        assert result.solution.cost == costs[-1]
+        assert result.improvements and \
+            [imp.cost for imp in result.improvements] == costs
+
+    def test_result_improvements_match_solve(self):
+        relation = instance_by_name("int5").build()
+        result = BrelSolver(BrelOptions(max_explored=60)).solve(relation)
+        assert len(result.improvements) >= 2
+        assert result.improvements[-1].cost == result.solution.cost
+
+    def test_cancellation_returns_best_so_far(self):
+        relation = instance_by_name("vtx").build()
+        token = CancelToken()
+        options = BrelOptions(strategy="best-first", max_explored=None,
+                              fifo_capacity=None)
+        gen = BrelSolver(options).iter_solve(relation, cancel=token)
+        first = next(gen)
+        token.cancel()
+        try:
+            while True:
+                next(gen)
+        except StopIteration as stop:
+            result = stop.value
+        assert result.stopped == "cancelled"
+        assert result.solution.cost <= first.cost
+        assert relation.is_compatible(result.solution.functions)
+
+    def test_pre_cancelled_token_stops_after_quick(self, fig1):
+        token = CancelToken()
+        token.cancel()
+        result = BrelSolver(BrelOptions()).solve(fig1, cancel=token)
+        assert result.stopped == "cancelled"
+        assert result.stats.relations_explored == 0
+        assert fig1.is_compatible(result.solution.functions)
+
+    def test_timeout_reason(self):
+        relation = instance_by_name("int10").build()
+        options = BrelOptions(max_explored=None, fifo_capacity=None,
+                              time_limit_seconds=0.0)
+        result = BrelSolver(options).solve(relation)
+        assert result.stopped == "timeout"
+        assert relation.is_compatible(result.solution.functions)
+
+    def test_budget_reason_and_event(self):
+        relation = instance_by_name("int5").build()
+        kinds = []
+        result = BrelSolver(BrelOptions(max_explored=3)).solve(
+            relation, observer=lambda event: kinds.append(event.kind))
+        assert result.stopped == "budget"
+        assert kinds[-2:] == ["budget", "done"]
+
+    def test_exhausted_reason(self, fig1):
+        result = BrelSolver(BrelOptions(max_explored=None,
+                                        fifo_capacity=None)).solve(fig1)
+        assert result.stopped == "exhausted"

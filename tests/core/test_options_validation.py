@@ -21,10 +21,19 @@ class TestBudgetValidation:
         BrelOptions(fifo_capacity=None, max_explored=None)
 
     def test_existing_validation_still_active(self):
-        with pytest.raises(ValueError, match="mode"):
+        with pytest.raises(ValueError, match="unknown strategy"):
             BrelOptions(mode="sideways")
         with pytest.raises(ValueError, match="time_limit_seconds"):
             BrelOptions(time_limit_seconds=-0.5)
+
+    def test_negative_symmetry_max_depth_rejected(self):
+        with pytest.raises(ValueError, match="symmetry_max_depth"):
+            BrelOptions(symmetry_max_depth=-1)
+        BrelOptions(symmetry_max_depth=0)  # 0 disables the cache
+
+    def test_unknown_strategy_gets_did_you_mean(self):
+        with pytest.raises(ValueError, match="did you mean"):
+            BrelOptions(strategy="best-frist")
 
     def test_valid_options_still_solve(self):
         relation = BooleanRelation.from_output_sets(

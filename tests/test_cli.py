@@ -56,6 +56,55 @@ class TestSolveCommand:
         assert main(["solve", relation_file,
                      "--minimizer", "restrict"]) == 0
 
+    def test_solve_every_strategy(self, relation_file):
+        from repro.api import strategy_names
+        for strategy in strategy_names():
+            assert main(["solve", relation_file,
+                         "--strategy", strategy]) == 0
+
+    def test_solve_strategy_best_first_end_to_end(self, relation_file,
+                                                  capsys):
+        assert main(["solve", relation_file, "--strategy", "best-first",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] and report["compatible"]
+        assert report["request"]["strategy"] == "best-first"
+        assert report["improvements"]
+        assert report["stopped"] in ("exhausted", "budget")
+
+    def test_solve_unknown_strategy_rejected(self, relation_file,
+                                             capsys):
+        with pytest.raises(SystemExit):
+            main(["solve", relation_file, "--strategy", "dijkstra"])
+        assert "--strategy" in capsys.readouterr().err
+
+    def test_solve_fifo_capacity_and_no_quick(self, relation_file,
+                                              capsys):
+        assert main(["solve", relation_file, "--fifo-capacity", "2",
+                     "--no-quick", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["request"]["fifo_capacity"] == 2
+        assert report["request"]["quick_on_subrelations"] is False
+
+    def test_solve_progress_streams_events(self, relation_file, capsys):
+        assert main(["solve", relation_file, "--progress"]) == 0
+        err = capsys.readouterr().err
+        assert "quick-solution" in err
+        assert "new-best" in err
+        assert "done" in err
+
+    def test_solve_trace_in_json_report(self, relation_file, capsys):
+        assert main(["solve", relation_file, "--trace", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["trace"] is not None
+        assert report["trace"][0]["kind"] == "quick-solution"
+
+    def test_solve_without_trace_has_no_trace(self, relation_file,
+                                              capsys):
+        assert main(["solve", relation_file, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["trace"] is None
+
 
 class TestBatchCommand:
     def _write_manifest(self, tmp_path, relation_file, jobs=None):
@@ -78,6 +127,19 @@ class TestBatchCommand:
         reports = json.loads(capsys.readouterr().out)
         assert [r["label"] for r in reports] == ["rel-size", "rel-cubes"]
         assert all(r["ok"] and r["compatible"] for r in reports)
+
+    def test_batch_manifest_strategy_field(self, relation_file, tmp_path,
+                                           capsys):
+        path = self._write_manifest(tmp_path, relation_file, jobs=[
+            {"label": "job-%s" % strategy, "strategy": strategy,
+             "relation": {"kind": "file", "path": relation_file}}
+            for strategy in ("bfs", "dfs", "best-first", "beam")])
+        assert main(["batch", path, "--executor", "serial",
+                     "--quiet"]) == 0
+        reports = json.loads(capsys.readouterr().out)
+        assert all(r["ok"] and r["compatible"] for r in reports)
+        assert [r["request"]["strategy"] for r in reports] == \
+            ["bfs", "dfs", "best-first", "beam"]
 
     def test_batch_failure_sets_exit_code(self, relation_file, tmp_path,
                                           capsys):
