@@ -34,6 +34,7 @@ the generator's return value::
 """
 
 from ..core.explore import CancelToken, Improvement, SolveEvent
+from ..core.memo import MemoStore
 from .registry import (COSTS, Registry, cost_names, cost_registry, get_cost,
                        get_minimizer, get_strategy, minimizer_names,
                        minimizer_registry, register_cost, register_minimizer,
@@ -47,6 +48,7 @@ __all__ = [
     "COSTS",
     "CancelToken",
     "Improvement",
+    "MemoStore",
     "REPORT_SCHEMA_VERSION",
     "Registry",
     "RelationLike",

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
 
@@ -188,12 +189,25 @@ class SolveRequest:
     symmetry_max_depth: int = 2
     time_limit_seconds: Optional[float] = None
     record_trace: bool = False
+    #: Subproblem-memoisation tri-state: ``None`` follows the session's
+    #: default (enabled unless :meth:`Session.disable_memo` was called),
+    #: ``True`` forces the session's store, ``False`` opts this solve
+    #: out.  Results are byte-identical either way; only the stats
+    #: (``memo_hits`` etc.) and the wall clock differ.
+    memo: Optional[bool] = None
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.relation is not None:
             object.__setattr__(self, "relation",
                                normalize_relation_spec(self.relation))
+        if self.mode != "bfs":
+            # The request warns here, once; to_options() deliberately
+            # does not (it runs on every solve of the same request).
+            warnings.warn(
+                "the 'mode' field is a deprecated alias; pass "
+                "strategy=%r instead" % self.mode,
+                DeprecationWarning, stacklevel=3)
         if self.cost not in cost_registry:
             cost_registry.get(self.cost)  # raises with the valid names
         if self.minimizer not in minimizer_registry:
@@ -209,19 +223,31 @@ class SolveRequest:
         return self.strategy if self.strategy is not None else self.mode
 
     def to_options(self) -> BrelOptions:
-        """Resolve the registry names into live :class:`BrelOptions`."""
-        return BrelOptions(
+        """Resolve the registry names into live :class:`BrelOptions`.
+
+        The options are constructed with the *effective* strategy (so
+        every validation — including strategy-specific combinations —
+        runs against what will actually explore), then the
+        ``strategy``/``mode`` fields are restored verbatim.  Routing the
+        deprecated alias around ``BrelOptions.__post_init__`` keeps its
+        DeprecationWarning from re-firing on every solve of a request
+        that already warned at construction.
+        """
+        options = BrelOptions(
             cost_function=cost_registry.get(self.cost),
             minimizer=minimizer_registry.get(self.minimizer),
-            mode=self.mode,
-            strategy=self.strategy,
+            strategy=self.exploration_strategy(),
             max_explored=self.max_explored,
             fifo_capacity=self.fifo_capacity,
             quick_on_subrelations=self.quick_on_subrelations,
             symmetry_pruning=self.symmetry_pruning,
             symmetry_max_depth=self.symmetry_max_depth,
             time_limit_seconds=self.time_limit_seconds,
-            record_trace=self.record_trace)
+            record_trace=self.record_trace,
+            memo=self.memo)
+        options.strategy = self.strategy
+        options.mode = self.mode
+        return options
 
     @classmethod
     def from_options(cls, options: BrelOptions,
@@ -253,6 +279,7 @@ class SolveRequest:
                    symmetry_max_depth=options.symmetry_max_depth,
                    time_limit_seconds=options.time_limit_seconds,
                    record_trace=options.record_trace,
+                   memo=options.memo,
                    label=label)
 
     # -- serialisation -------------------------------------------------

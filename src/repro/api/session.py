@@ -35,6 +35,7 @@ from typing import (Any, Dict, Generator, Iterable, List, Mapping, Optional,
 from ..bdd.manager import BddManager
 from ..core.brel import BrelSolver
 from ..core.explore import CancelToken, Improvement, Observer
+from ..core.memo import DEFAULT_MEMO_CAPACITY, MemoStore
 from ..core.relation import BooleanRelation
 from ..core.relio import parse_relation, peek_shape, write_relation
 from .report import SolveReport
@@ -54,6 +55,25 @@ DEFAULT_MAX_SNAPSHOT_INPUTS = 16
 #: solves (None disables auto-trimming).
 DEFAULT_AUTO_TRIM_NODES = 500_000
 
+#: Most-recent memo entries a batch ships to each worker process; keeps
+#: the initializer payload bounded no matter how full the parent store
+#: is.
+DEFAULT_MEMO_EXPORT_LIMIT = 2048
+
+#: Per-worker-process memo store, installed by :func:`_init_worker_memo`
+#: (the process-pool initializer).  Jobs flagged ``memo_shared`` solve
+#: through it, so the seed entries are pickled once per worker — not
+#: once per job — and every job reuses what earlier jobs in the same
+#: worker learned.  Stays ``None`` in the parent process.
+_worker_memo: Optional[MemoStore] = None
+
+
+def _init_worker_memo(entries: List[Tuple[Any, Any]],
+                      capacity: Optional[int]) -> None:
+    """Process-pool initializer: seed this worker's shared memo store."""
+    global _worker_memo
+    _worker_memo = MemoStore(capacity=capacity, entries=entries)
+
 
 def _solve_payload(payload: Dict[str, Any],
                    cancel: Optional[CancelToken] = None) -> SolveReport:
@@ -63,14 +83,32 @@ def _solve_payload(payload: Dict[str, Any],
     solver error — comes back as a failed report so one bad job cannot
     poison a batch.  ``cancel`` reaches thread workers (shared memory);
     process workers cannot share a token and stop only between jobs.
+
+    Memoisation: process jobs set ``payload["memo_shared"]`` and solve
+    through the worker-global store installed by
+    :func:`_init_worker_memo`; thread jobs carry the exported
+    parent-store entries in ``payload["memo"]`` and build a private
+    seeded store (``MemoStore`` is not thread-safe, so thread workers
+    must not share one).  Either way the templates are
+    manager-independent, so they instantiate cleanly into the worker's
+    fresh manager, and the hit/miss counters travel back inside the
+    report's stats for the parent to merge.
     """
     label = payload.get("label")
     request_dict = payload.get("request")
     try:
         request = SolveRequest.from_dict(request_dict)
         relation = parse_relation(payload["pla"])
-        result = BrelSolver(request.to_options()).solve(relation,
-                                                        cancel=cancel)
+        if payload.get("memo_shared"):
+            memo = _worker_memo
+        else:
+            memo_entries = payload.get("memo")
+            memo = (MemoStore(capacity=payload.get("memo_capacity",
+                                                   DEFAULT_MEMO_CAPACITY),
+                              entries=memo_entries)
+                    if memo_entries is not None else None)
+        result = BrelSolver(request.to_options(),
+                            memo=memo).solve(relation, cancel=cancel)
         report = SolveReport.from_result(relation, result,
                                          request=request_dict, label=label)
         # BDD handles must not cross back over the process boundary:
@@ -100,7 +138,9 @@ class Session:
 
     def __init__(self, max_workers: Optional[int] = None,
                  max_snapshot_inputs: int = DEFAULT_MAX_SNAPSHOT_INPUTS,
-                 auto_trim_nodes: Optional[int] = DEFAULT_AUTO_TRIM_NODES
+                 auto_trim_nodes: Optional[int] = DEFAULT_AUTO_TRIM_NODES,
+                 memo_enabled: bool = True,
+                 memo_capacity: Optional[int] = DEFAULT_MEMO_CAPACITY
                  ) -> None:
         self._relations: Dict[str, BooleanRelation] = {}
         self._managers: Dict[Tuple[int, int], BddManager] = {}
@@ -110,6 +150,12 @@ class Session:
         self.max_snapshot_inputs = max_snapshot_inputs
         self.auto_trim_nodes = auto_trim_nodes
         self.trims = 0
+        #: The session-wide subproblem memo, shared by every solve and
+        #: relation (templates are manager-independent).  ``memo_enabled``
+        #: is the default for requests whose ``memo`` field is ``None``;
+        #: an explicit ``memo=True``/``False`` on a request wins.
+        self.memo = MemoStore(capacity=memo_capacity)
+        self.memo_enabled = memo_enabled
 
     # ------------------------------------------------------------------
     # Managers
@@ -145,7 +191,8 @@ class Session:
         as ``"adopted:N"``, numbered by sorted relation name; the labels
         are positional and recomputed per call, so they can shift when
         relations are added or removed — treat each call's result as a
-        self-contained snapshot.
+        self-contained snapshot.  The subproblem memo's counters appear
+        under the ``"memo"`` key (see :meth:`memo_stats`).
         """
         out: Dict[str, Dict[str, Any]] = {}
         seen = set()
@@ -159,7 +206,45 @@ class Session:
                 seen.add(id(mgr))
                 out["adopted:%d" % adopted] = mgr.stats()
                 adopted += 1
+        out["memo"] = self.memo.stats()
         return out
+
+    # ------------------------------------------------------------------
+    # Subproblem memoisation
+    # ------------------------------------------------------------------
+    def enable_memo(self) -> None:
+        """Restore the default: solves use the session memo store."""
+        self.memo_enabled = True
+
+    def disable_memo(self) -> None:
+        """Stop consulting the memo store (entries are kept).
+
+        Per-request ``memo=True`` still opts back in.  The report cache
+        keys on the effective memo decision, so reports solved while
+        the store was on are not served to post-toggle solves (whose
+        memo_* stats must read zero) and vice versa.  Disable the store
+        when solving relations through a *custom registered cost
+        function* that is sensitive to variable identities beyond their
+        order — the store recognises subproblems up to order-preserving
+        renamings, so such a cost could price a cross-renaming hit
+        differently than a fresh solve (the built-in costs and
+        minimisers are all renaming-invariant).
+        """
+        self.memo_enabled = False
+
+    def clear_memo(self) -> None:
+        """Drop every memoised subproblem (counters are kept)."""
+        self.memo.clear()
+
+    def memo_stats(self) -> Dict[str, Any]:
+        """Hit/miss/eviction counters and size of the session memo."""
+        return self.memo.stats()
+
+    def _memo_for(self, request: SolveRequest) -> Optional[MemoStore]:
+        """The store a request's solve should use (or ``None``)."""
+        use = (request.memo if request.memo is not None
+               else self.memo_enabled)
+        return self.memo if use else None
 
     # ------------------------------------------------------------------
     # Memory management
@@ -170,11 +255,15 @@ class Session:
         Registered relations survive (they are pinned and remapped);
         everything unreachable — solver scratch, deregistered relations —
         is collected.  Live solutions handed out by earlier solves become
-        invalid; their reports' data fields stay correct.  Returns
+        invalid; their reports' data fields stay correct.  The memo
+        store is evicted down to half capacity (its templates are
+        manager-independent, so the engine GC itself never invalidates
+        them — trimming it just returns memory).  Returns
         :meth:`engine_stats` after the collection.
         """
         for mgr in self._session_managers():
             self._trim_manager(mgr)
+        self.memo.trim()
         return self.engine_stats()
 
     def _strip_solution(self, report: SolveReport) -> None:
@@ -374,13 +463,22 @@ class Session:
     def _options_key(self, request: SolveRequest) -> Tuple[Any, ...]:
         # The *effective* strategy keys the entry, so mode="dfs" and
         # strategy="dfs" share a slot; record_trace is keyed because it
-        # changes the report's content (the trace field).
+        # changes the report's content (the trace field).  Memoisation
+        # keys by its *effective* decision (the tri-state resolved
+        # against the session toggle), so memo=True and memo=None share
+        # a slot while the session default is on, and flipping
+        # disable_memo()/enable_memo() stops earlier reports (whose
+        # memo_* stats reflect the other setting) from being served.
+        # Every future request field that can alter a report's content
+        # MUST join this tuple — the schema-evolution regression test
+        # (tests/api/test_session_memo.py::TestCacheKeySchemaGuard)
+        # enumerates the dataclass fields to catch omissions.
         return (request.cost, request.minimizer,
                 request.exploration_strategy(),
                 request.max_explored, request.fifo_capacity,
                 request.quick_on_subrelations, request.symmetry_pruning,
                 request.symmetry_max_depth, request.time_limit_seconds,
-                request.record_trace)
+                request.record_trace, self._memo_for(request) is not None)
 
     def _cache_key(self, pla: str, request: SolveRequest
                    ) -> Tuple[Any, ...]:
@@ -522,7 +620,8 @@ class Session:
                                request=request.to_dict(), cached=True)
         resolved, key = self._materialize(resolved, spec, key,
                                           from_registry, request)
-        result = BrelSolver(request.to_options()).solve(
+        result = BrelSolver(request.to_options(),
+                            memo=self._memo_for(request)).solve(
             resolved, cancel=cancel, observer=observer)
         report = SolveReport.from_result(resolved, result,
                                          request=request.to_dict(),
@@ -582,7 +681,8 @@ class Session:
             return report
         resolved, key = self._materialize(resolved, spec, key,
                                           from_registry, request)
-        solver = BrelSolver(request.to_options())
+        solver = BrelSolver(request.to_options(),
+                            memo=self._memo_for(request))
         result = yield from solver.iter_solve(resolved, cancel=cancel,
                                               observer=observer)
         report = SolveReport.from_result(resolved, result,
@@ -626,6 +726,13 @@ class Session:
         only opportunistically (fresh serial runs whose manager matches)
         and may be ``None`` on cache hits.  Use :meth:`solve` when a
         live ``Solution`` is required.
+
+        Memoisation: serial jobs share the session's live
+        :class:`~repro.core.memo.MemoStore` directly; pool jobs are
+        pre-seeded with the parent store's most recent entries
+        (templates are manager-independent) and their hit/miss counters
+        are merged back into the session's store afterwards.  Entries a
+        worker learns stay in the worker — only the counters return.
         """
         if executor not in ("process", "thread", "serial"):
             raise ValueError("executor must be 'process', 'thread' "
@@ -635,6 +742,7 @@ class Session:
         payloads: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
         resolved_by_index: List[Optional[BooleanRelation]] = \
             [None] * len(requests)
+        memo_export: Optional[List[Tuple[Any, Any]]] = None
 
         for index, request in enumerate(requests):
             label = request.label or "job-%d" % index
@@ -692,11 +800,24 @@ class Session:
                 elif (isinstance(source, Mapping)
                         and source.get("kind") == "name"):
                     registry_name = source.get("name")
+                # Serial jobs use the live store; pool jobs get a seed
+                # export (computed once per batch, shared read-only by
+                # every payload) to rebuild a private store from.
+                memo_store = self._memo_for(request)
+                memo_entries = None
+                if memo_store is not None and pla is not None:
+                    if memo_export is None:
+                        memo_export = self.memo.export_entries(
+                            limit=DEFAULT_MEMO_EXPORT_LIMIT)
+                    memo_entries = memo_export
                 payloads[key] = {"pla": pla,
                                  "request": request.to_dict(),
                                  "label": label,
                                  "relation": resolved,
-                                 "registry_name": registry_name}
+                                 "registry_name": registry_name,
+                                 "memo_store": memo_store,
+                                 "memo": memo_entries,
+                                 "memo_capacity": self.memo.capacity}
             pending.setdefault(key, []).append(index)
 
         if pending:
@@ -727,6 +848,21 @@ class Session:
         return [report for report in reports if report is not None]
 
     # ------------------------------------------------------------------
+    def _absorb_memo_stats(self, report: SolveReport) -> None:
+        """Merge a pool worker's memo counters into the session store.
+
+        Only the counters travel back — worker-learned entries die with
+        the worker.  Serial (and pool-fallback) jobs solve against the
+        live store, so their counters are already counted and must not
+        pass through here.
+        """
+        if not report.ok:
+            return
+        self.memo.absorb_counters(
+            hits=int(report.stats.get("memo_hits", 0)),
+            misses=int(report.stats.get("memo_misses", 0)),
+            stores=int(report.stats.get("memo_stores", 0)))
+
     @staticmethod
     def _cancelled_report(payload: Dict[str, Any]) -> SolveReport:
         """The failed report of a job cancelled before it started."""
@@ -779,26 +915,47 @@ class Session:
         if executor == "thread":
             # BddManager is not thread-safe and session relations of the
             # same shape share one, so each thread job solves its own
-            # PLA snapshot in a fresh manager (like a process worker).
-            # Threads share the cancel token: in-flight searches stop
-            # cooperatively and report best-so-far.
+            # PLA snapshot in a fresh manager (like a process worker) —
+            # and, for the same reason, a private seeded memo store
+            # whose counters merge back below.  Threads share the cancel
+            # token: in-flight searches stop cooperatively and report
+            # best-so-far.
             with ThreadPoolExecutor(max_workers=max_workers) as pool:
                 futures = {key: pool.submit(
                     _solve_payload,
                     {k: v for k, v in payloads[key].items()
-                     if k not in ("relation", "registry_name")},
+                     if k not in ("relation", "registry_name",
+                                  "memo_store")},
                     cancel)
                     for key in keys}
                 for key, future in futures.items():
                     results[key] = future.result()
+                    self._absorb_memo_stats(results[key])
             return results
 
+        # One worker-global store per process, seeded through the pool
+        # initializer: the export pickles once per worker instead of
+        # once per job, and jobs co-located on a worker share what the
+        # earlier ones learned.  Per-job payloads carry only a flag.
+        memo_seed = next((payloads[key]["memo"] for key in keys
+                          if payloads[key].get("memo") is not None), None)
+        pool_kwargs: Dict[str, Any] = {"max_workers": max_workers}
+        if memo_seed is not None:
+            pool_kwargs["initializer"] = _init_worker_memo
+            pool_kwargs["initargs"] = (memo_seed, self.memo.capacity)
+
+        def process_payload(key: Tuple[Any, ...]) -> Dict[str, Any]:
+            payload = {k: v for k, v in payloads[key].items()
+                       if k not in ("relation", "registry_name",
+                                    "memo_store", "memo",
+                                    "memo_capacity")}
+            payload["memo_shared"] = payloads[key].get("memo") is not None
+            return payload
+
         try:
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                futures = {key: pool.submit(
-                    _solve_payload,
-                    {k: v for k, v in payloads[key].items()
-                     if k not in ("relation", "registry_name")})
+            with ProcessPoolExecutor(**pool_kwargs) as pool:
+                futures = {key: pool.submit(_solve_payload,
+                                            process_payload(key))
                     for key in keys}
                 # A CancelToken cannot cross the process boundary, so
                 # cancellation here stops dispatch: queued futures are
@@ -821,6 +978,7 @@ class Session:
                         continue
                     try:
                         results[key] = future.result()
+                        self._absorb_memo_stats(results[key])
                     except Exception as exc:  # pool/pickling breakage
                         results[key] = SolveReport.from_error(
                             exc, request=payloads[key]["request"],
@@ -851,8 +1009,9 @@ class Session:
             relation = payload.get("relation")
             if relation is None:
                 relation = parse_relation(payload["pla"])
-            result = BrelSolver(request.to_options()).solve(relation,
-                                                            cancel=cancel)
+            result = BrelSolver(request.to_options(),
+                                memo=payload.get("memo_store")).solve(
+                relation, cancel=cancel)
             return SolveReport.from_result(relation, result,
                                            request=request_dict,
                                            label=label)

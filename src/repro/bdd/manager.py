@@ -97,6 +97,30 @@ _TERMINAL_RULES = {
 _APPLY_NAMES = {"and": _OP_AND, "or": _OP_OR, "xor": _OP_XOR,
                 "andnot": _OP_ANDNOT}
 
+# ----------------------------------------------------------------------
+# Structural fingerprints
+# ----------------------------------------------------------------------
+# 64-bit content hashes of BDD structure: fp(node) mixes the node's
+# (possibly renumbered) variable level with the fingerprints of its two
+# children.  The mixing is a fixed splitmix64-style finalizer, NOT
+# Python's randomised hash(), so fingerprints are deterministic across
+# processes — a requirement for memo stores pre-seeded into worker
+# processes (Session.solve_many) and for cross-manager equality.
+_FP_MASK = (1 << 64) - 1
+#: Fingerprints of the terminal nodes (arbitrary fixed odd constants).
+_FP_FALSE = 0x9AE16A3B2F90404F
+_FP_TRUE = 0xC2B2AE3D27D4EB4F
+
+
+def _fp_mix(level: int, lo: int, hi: int) -> int:
+    """Combine a variable level and two child fingerprints into one."""
+    h = (level * 0x9E3779B97F4A7C15 + 0x632BE59BD9B4E019) & _FP_MASK
+    h ^= (lo * 0xBF58476D1CE4E5B9) & _FP_MASK
+    h = (h ^ (h >> 27)) * 0x94D049BB133111EB & _FP_MASK
+    h ^= (hi * 0xFF51AFD7ED558CCD) & _FP_MASK
+    h = (h ^ (h >> 29)) * 0xC4CEB9FE1A85EC53 & _FP_MASK
+    return h ^ (h >> 32)
+
 
 class BddManager:
     """A reduced ordered BDD manager with hash-consing.
@@ -144,6 +168,9 @@ class BddManager:
         self._gc_runs = 0
         self._gc_reclaimed = 0
         self._peak_nodes = 2
+        # Structural-fingerprint memo (node id -> 64-bit content hash);
+        # values are id-independent, keys are remapped by collect().
+        self._fp_memo: Dict[int, int] = {FALSE: _FP_FALSE, TRUE: _FP_TRUE}
         self._var_nodes: List[int] = []
         self._names: List[str] = []
         # Levels >= this may recurse (bounded depth); levels below it have
@@ -395,6 +422,11 @@ class BddManager:
         self._var_nodes = [mapping[node] for node in self._var_nodes]
         self._pins = {mapping[node]: pins
                       for node, pins in self._pins.items()}
+        # Fingerprints are content hashes (id-independent values), so
+        # surviving entries stay valid under their remapped ids.
+        self._fp_memo = {mapping[node]: fp
+                         for node, fp in self._fp_memo.items()
+                         if node in mapping}
         self._gc_runs += 1
         self._gc_reclaimed += count - len(new_level)
         return mapping
@@ -1317,6 +1349,96 @@ class BddManager:
     def swap_vars(self, f: int, var_a: int, var_b: int) -> int:
         """Exchange two variables of ``f`` (used by symmetry detection)."""
         return self.permute(f, {var_a: var_b, var_b: var_a})
+
+    # ------------------------------------------------------------------
+    # Structural fingerprints
+    # ------------------------------------------------------------------
+    def _fp_walk(self, f: int, memo: Dict[int, int],
+                 var_map: Optional[Dict[int, int]]) -> int:
+        """Post-order fingerprint walk shared by every fingerprint API.
+
+        ``memo`` must contain the terminal seeds; ``var_map`` (level ->
+        level) is applied before mixing, ``None`` meaning identity.
+        Being the single copy of the walk is deliberate: renamed and
+        unrenamed fingerprints must come from the same algorithm.
+        """
+        level, low, high = self._level, self._low, self._high
+        map_get = var_map.get if var_map is not None else None
+        stack = [f]
+        push = stack.append
+        while stack:
+            node = stack[-1]
+            if node in memo:
+                stack.pop()
+                continue
+            lo, hi = low[node], high[node]
+            lo_fp = memo.get(lo)
+            hi_fp = memo.get(hi)
+            if lo_fp is None:
+                push(lo)
+            if hi_fp is None:
+                push(hi)
+            if lo_fp is not None and hi_fp is not None:
+                stack.pop()
+                lvl = level[node]
+                if map_get is not None:
+                    lvl = map_get(lvl, lvl)
+                memo[node] = _fp_mix(lvl, lo_fp, hi_fp)
+        return memo[f]
+
+    def fingerprint(self, f: int) -> int:
+        """64-bit canonical content hash of the function ``f``.
+
+        Two nodes have equal fingerprints exactly when their reduced
+        BDDs are structurally identical over the *same* variable levels
+        (modulo the vanishing 64-bit collision probability) — including
+        nodes living in **different managers**, as long as those
+        managers assign the function's variables the same levels.  The
+        hash mixes only levels and child hashes with fixed constants,
+        so it is stable across processes and interpreter runs (unlike
+        ``hash()``).  Results are memoised per manager and survive
+        :meth:`collect` (remapped alongside the node ids).
+        """
+        hit = self._fp_memo.get(f)
+        if hit is not None:
+            return hit
+        return self._fp_walk(f, self._fp_memo, None)
+
+    def fingerprints(self, functions: Sequence[int],
+                     var_map: Optional[Dict[int, int]] = None
+                     ) -> Tuple[int, ...]:
+        """Fingerprints of several functions under one level renaming.
+
+        ``var_map`` maps variable levels to replacement levels before
+        mixing (it must be order-preserving on the combined support for
+        the result to describe a realisable BDD; levels not mapped keep
+        their own value).  With a shared renaming, functions that are
+        identical *up to that renaming* — e.g. the same structure
+        shifted to a different support — hash identically.  Uncached:
+        renamed walks depend on the map, so results are memoised only
+        for the duration of the call.  ``var_map=None`` delegates to the
+        cached :meth:`fingerprint`.
+        """
+        if var_map is None:
+            return tuple(self.fingerprint(f) for f in functions)
+        memo: Dict[int, int] = {FALSE: _FP_FALSE, TRUE: _FP_TRUE}
+        return tuple(self._fp_walk(f, memo, var_map)
+                     for f in functions)
+
+    def support_fingerprint(self, f: int) -> int:
+        """Fingerprint of ``f`` with its support renumbered to ``0..k-1``.
+
+        The canonicalisation is order-preserving (sorted support ranks),
+        so semantically identical functions whose supports differ only
+        by a level *shift or gap pattern* — not a reordering — hash
+        identically.  Convenience form of the normalisation the
+        cross-layer memo signatures apply: ``Isf.signature()`` and
+        ``BooleanRelation.signature()`` run :meth:`fingerprints` with
+        rank maps of their own (joint over several functions, or
+        role-tagged), this method is the single-function case.
+        """
+        ranks = {var: rank for rank, var in enumerate(self.support(f))}
+        return self.fingerprints((f,), ranks)[0]
 
     # ------------------------------------------------------------------
     # Structural queries

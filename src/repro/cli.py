@@ -54,7 +54,8 @@ def _request_from_args(args: argparse.Namespace,
         quick_on_subrelations=False if args.no_quick else None,
         symmetry_pruning=args.symmetries,
         time_limit_seconds=args.time_limit,
-        record_trace=args.trace)
+        record_trace=args.trace,
+        memo=args.memo)
 
 
 def _progress_printer(stream):
@@ -250,6 +251,14 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--trace", action="store_true",
                        help="record the full event trace in the report "
                             "(visible with --json)")
+    solve.add_argument("--memo", dest="memo", action="store_true",
+                       default=None,
+                       help="memoise solved subproblems across the "
+                            "search (the default; hit counts appear as "
+                            "memo_* stats in --json)")
+    solve.add_argument("--no-memo", dest="memo", action="store_false",
+                       help="disable subproblem memoisation (results "
+                            "are byte-identical either way)")
     solve.add_argument("--json", action="store_true",
                        help="emit the structured SolveReport as JSON")
     solve.set_defaults(func=_cmd_solve)

@@ -42,6 +42,7 @@ and :meth:`BrelSolver.iter_solve` yields every strictly improving
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Generator, Iterable, List, Optional, Tuple
 
@@ -49,7 +50,10 @@ from ..bdd.manager import FALSE
 from .cost import CostFunction, bdd_size_cost
 from .explore import (CancelToken, Improvement, Observer, SearchNode,
                       SolveEvent, get_strategy_factory, make_strategy)
-from .minimize import IsfMinimizer, minimize_isop, solve_misf
+from .memo import (MemoStore, instantiate_solution,
+                   template_from_var_cover)
+from .minimize import (IsfMinimizer, minimize_isop, minimize_with_cover,
+                       minimizer_memo_key, solve_misf)
 from .quick import quick_solve
 from .relation import BooleanRelation
 from .solution import Solution, SolverStats
@@ -105,6 +109,15 @@ class BrelOptions:
         Keep every emitted :class:`SolveEvent` on the result
         (``BrelResult.events``) for post-mortem inspection; off by
         default because traces grow with the tree.
+    memo:
+        Subproblem-memoisation tri-state.  ``None`` (default) uses a
+        :class:`~repro.core.memo.MemoStore` only when the caller
+        supplies one (``BrelSolver(options, memo=store)`` — the
+        :class:`~repro.api.Session` does); ``True`` additionally makes
+        a standalone solver mint a private store shared across its own
+        solves; ``False`` disables memoisation even when a store is
+        supplied.  Memoisation is transparent: results are
+        byte-identical with the store on or off.
     """
 
     cost_function: CostFunction = bdd_size_cost
@@ -118,12 +131,28 @@ class BrelOptions:
     symmetry_max_depth: int = 2
     time_limit_seconds: Optional[float] = None
     record_trace: bool = False
+    memo: Optional[bool] = None
 
     def exploration_strategy(self) -> str:
         """The effective strategy name (``strategy`` wins over ``mode``)."""
         return self.strategy if self.strategy is not None else self.mode
 
     def __post_init__(self) -> None:
+        if self.mode != "bfs":
+            # One warning per construction.  Note the default value
+            # never warns: there is no way to tell an explicit
+            # mode="bfs" from an untouched field, and the default is
+            # exactly what strategy=None falls back to anyway.
+            warnings.warn(
+                "the 'mode' option is a deprecated alias; pass "
+                "strategy=%r instead" % self.mode,
+                DeprecationWarning, stacklevel=3)
+        if not (self.memo is None or isinstance(self.memo, bool)):
+            # Strict identity matters downstream (`options.memo is
+            # False`), so 0/1 must not sneak past an equality check.
+            raise ValueError("memo must be True, False or None "
+                             "(None = use a store only when one is "
+                             "supplied)")
         try:
             get_strategy_factory(self.exploration_strategy())
         except KeyError as exc:
@@ -181,9 +210,19 @@ class BrelSolver:
     """
 
     def __init__(self, options: Optional[BrelOptions] = None,
-                 observers: Iterable[Observer] = ()) -> None:
+                 observers: Iterable[Observer] = (),
+                 memo: Optional[MemoStore] = None) -> None:
         self.options = options or BrelOptions()
         self._observers: List[Observer] = list(observers)
+        # Effective memo store: options.memo=False vetoes a supplied
+        # store, options.memo=True mints a private one when none was
+        # given (shared across this solver's solves), and the default
+        # None simply uses whatever the caller supplied.
+        if self.options.memo is False:
+            memo = None
+        elif memo is None and self.options.memo is True:
+            memo = MemoStore()
+        self.memo = memo
 
     # -- observers ------------------------------------------------------
     def add_observer(self, observer: Observer) -> Observer:
@@ -265,6 +304,8 @@ class BrelSolver:
                     if options.time_limit_seconds is not None else None)
         stats = SolverStats()
         engine_before = relation.mgr.stats()
+        memo = self.memo
+        memo_before = memo.counters() if memo is not None else None
         trace: Optional[List[SolveEvent]] = \
             [] if options.record_trace else None
         improvements: List[Improvement] = []
@@ -272,7 +313,7 @@ class BrelSolver:
         # Initial solution: QuickSolver guarantees one compatible function
         # exists before any pruning can truncate the search (§7.2).
         best = quick_solve(relation, options.minimizer,
-                           options.cost_function)
+                           options.cost_function, memo=memo)
         stats.quick_solutions += 1
 
         def event(kind: str, **kw: object) -> SolveEvent:
@@ -346,7 +387,7 @@ class BrelSolver:
             # QuickSolver into a hill climber.
             if quick_on_subrelations and depth > 0:
                 quick = quick_solve(current, options.minimizer,
-                                    options.cost_function)
+                                    options.cost_function, memo=memo)
                 stats.quick_solutions += 1
                 yield event("quick-solution", cost=quick.cost, depth=depth)
                 if quick.cost < best.cost:
@@ -391,6 +432,11 @@ class BrelSolver:
                                 - engine_before["cache_hits"])
         stats.bdd_cache_misses = (engine_after["cache_misses"]
                                   - engine_before["cache_misses"])
+        if memo_before is not None:
+            hits, misses, stores = memo.counters()
+            stats.memo_hits = hits - memo_before[0]
+            stats.memo_misses = misses - memo_before[1]
+            stats.memo_stores = stores - memo_before[2]
         yield event("done", cost=best.cost)
         return BrelResult(best, stats, improvements=improvements,
                           events=trace, stopped=stopped)
@@ -398,12 +444,57 @@ class BrelSolver:
     # ------------------------------------------------------------------
     def _evaluate(self, relation: BooleanRelation, stats: SolverStats
                   ) -> Tuple[Solution, int]:
-        """Minimise the covering MISF; return the candidate and conflicts."""
-        functions = tuple(solve_misf(relation.misf(),
-                                     self.options.minimizer))
+        """Minimise the covering MISF; return the candidate and conflicts.
+
+        The whole evaluation — projection of every output, per-output
+        minimisation, conflict computation — is a pure function of the
+        relation's structure and the minimiser, so it memoises under the
+        relation's canonical signature: a hit re-instantiates the stored
+        per-output covers (byte-identical to the fresh computation) and
+        only recomputes the conflict set when the recorded evaluation
+        was not an exactly-solved leaf.
+        """
+        memo = self.memo
+        options = self.options
+        key = None
+        sig = None
+        name = None
+        if memo is not None:
+            name = minimizer_memo_key(options.minimizer)
+            if name is not None:
+                sig = relation.signature()
+            if sig is not None:
+                key = ("eval", sig.key, name)
+                hit = memo.get(key)
+                if hit is not None:
+                    covers, conflict_free = hit
+                    functions = instantiate_solution(relation.mgr, covers,
+                                                     sig.support)
+                    cost = options.cost_function(relation.mgr, functions)
+                    conflicts = (FALSE if conflict_free
+                                 else relation.conflict_inputs(functions))
+                    return Solution(relation.mgr, functions, cost), \
+                        conflicts
+        if memo is not None and name is not None:
+            minimized = [minimize_with_cover(component, options.minimizer,
+                                             memo, name)
+                         for component in relation.misf()]
+            functions = tuple(node for node, _ in minimized)
+        else:
+            minimized = None
+            functions = tuple(solve_misf(relation.misf(),
+                                         options.minimizer))
         stats.misf_minimizations += 1
-        cost = self.options.cost_function(relation.mgr, functions)
+        cost = options.cost_function(relation.mgr, functions)
         conflicts = relation.conflict_inputs(functions)
+        if key is not None and minimized is not None:
+            rank_of_var = sig.rank_map()
+            conflict_free = conflicts == FALSE
+            memo.put_if_mappable(
+                key,
+                lambda: (tuple(template_from_var_cover(cover, rank_of_var)
+                               for _, cover in minimized),
+                         conflict_free))
         return Solution(relation.mgr, functions, cost), conflicts
 
     def _children(self, relation: BooleanRelation, conflicts: int,

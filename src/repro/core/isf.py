@@ -8,10 +8,11 @@ the input space.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
 
 from ..bdd.manager import FALSE, TRUE, BddManager
+from .memo import Signature
 
 
 @dataclass(frozen=True)
@@ -34,6 +35,13 @@ class Isf:
     on: int
     dc: int
     inputs: Tuple[int, ...]
+    #: Lazily cached ``on | dc`` (instances are immutable, so the union
+    #: is computed at most once per ISF instead of per ``upper`` access).
+    _upper: Optional[int] = field(default=None, init=False, repr=False,
+                                  compare=False)
+    #: Lazily cached :meth:`signature`.
+    _sig: Optional[Signature] = field(default=None, init=False,
+                                      repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.mgr.and_(self.on, self.dc) != FALSE:
@@ -41,8 +49,40 @@ class Isf:
 
     @property
     def upper(self) -> int:
-        """The maximum implementation ``on | dc``."""
-        return self.mgr.or_(self.on, self.dc)
+        """The maximum implementation ``on | dc`` (computed once).
+
+        ``admits`` / ``off`` sit on the solver's hottest minimisation
+        paths, and each used to re-issue the ``or_`` per access; the
+        one-shot computation caches the node on the instance so repeat
+        accesses never touch the manager at all.
+        """
+        upper = self._upper
+        if upper is None:
+            upper = self.mgr.or_(self.on, self.dc)
+            object.__setattr__(self, "_upper", upper)
+        return upper
+
+    def signature(self) -> Signature:
+        """Canonical subproblem identity of this ISF.
+
+        The combined support of ``on`` and ``dc`` is renumbered to
+        ``0..k-1`` (order-preserving), so ISFs identical up to such a
+        renaming — the same interval shifted to a different support —
+        share a signature and hence a
+        :class:`~repro.core.memo.MemoStore` slot.  ``inputs`` is
+        deliberately *not* part of the identity: no minimiser's result
+        depends on variables outside the interval's support.
+        """
+        sig = self._sig
+        if sig is None:
+            mgr = self.mgr
+            support = tuple(sorted(set(mgr.support(self.on))
+                                   | set(mgr.support(self.dc))))
+            ranks = {var: rank for rank, var in enumerate(support)}
+            fp_on, fp_dc = mgr.fingerprints((self.on, self.dc), ranks)
+            sig = Signature(("isf", len(support), fp_on, fp_dc), support)
+            object.__setattr__(self, "_sig", sig)
+        return sig
 
     @property
     def off(self) -> int:

@@ -18,13 +18,15 @@ i.e. a BDD node ``f`` with ``on <= f <= on + dc``.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..bdd.gencof import constrain, restrict
 from ..bdd.isop import isop
 from ..bdd.manager import FALSE, TRUE, BddManager
 from ..bdd.safemin import squeeze
 from .isf import Isf
+from .memo import (MemoStore, VarCover, instantiate_var_cover,
+                   template_from_var_cover, var_cover_from_template)
 
 #: Minimiser signature: ISF in, implementation node out.
 IsfMinimizer = Callable[[Isf], int]
@@ -49,12 +51,23 @@ def eliminate_nonessential_variables(isf: Isf) -> Isf:
     return Isf.from_interval(mgr, lower, upper, isf.inputs)
 
 
-def minimize_isop(isf: Isf, eliminate: bool = True) -> int:
-    """The paper's chosen pipeline: variable elimination then ISOP."""
+def _isop_pipeline(isf: Isf, eliminate: bool):
+    """The single implementation behind both ``isop`` minimisers.
+
+    Returns the full ``(cover, node)`` pair so the memo layer can store
+    the cover this pipeline computes anyway; :func:`minimize_isop`
+    keeps only the node.  Being the one copy is load-bearing: the memo
+    transparency invariant requires the memo-on miss path and the plain
+    path to run literally the same computation.
+    """
     if eliminate:
         isf = eliminate_nonessential_variables(isf)
-    _, node = isop(isf.mgr, isf.on, isf.upper)
-    return node
+    return isop(isf.mgr, isf.on, isf.upper)
+
+
+def minimize_isop(isf: Isf, eliminate: bool = True) -> int:
+    """The paper's chosen pipeline: variable elimination then ISOP."""
+    return _isop_pipeline(isf, eliminate)[1]
 
 
 def minimize_isop_no_elimination(isf: Isf) -> int:
@@ -130,6 +143,107 @@ def get_minimizer(name: str) -> IsfMinimizer:
                          % (name, ", ".join(sorted(MINIMIZERS)))) from None
 
 
-def solve_misf(misf, minimizer: IsfMinimizer = minimize_isop) -> List[int]:
-    """Minimise every component of an MISF independently (paper §5.3)."""
-    return [minimizer(component) for component in misf]
+#: Minimisers the memo store may serve across subproblem renamings.
+#: All of them are *structural* — they compute by Shannon recursion on
+#: the interval BDDs, so they commute with any order-preserving renaming
+#: of the support, which is exactly what makes a normalised-signature
+#: memo hit transparent.  Custom registered minimisers carry no such
+#: guarantee and therefore bypass the store.
+_STRUCTURAL_MINIMIZER_NAMES = ("isop", "isop-noelim", "constrain",
+                               "restrict", "licompact", "exact")
+
+
+def minimizer_memo_key(minimizer: IsfMinimizer) -> Optional[str]:
+    """The memo-key name of a minimiser, or ``None`` to bypass the memo.
+
+    Only the built-in structural minimisers are memo-safe (see
+    :data:`_STRUCTURAL_MINIMIZER_NAMES`); the identity check tolerates
+    re-registration under extra names because keys are resolved from
+    the callable, not the request string.
+    """
+    for name in _STRUCTURAL_MINIMIZER_NAMES:
+        if MINIMIZERS.get(name) is minimizer:
+            return name
+    return None
+
+
+def _run_with_cover(isf: Isf, minimizer: IsfMinimizer,
+                    minimizer_name: str) -> Tuple[int, VarCover]:
+    """Run a structural minimiser, also returning an ISOP cover.
+
+    The cover (at variable level) disjoins exactly to the returned node
+    — callers turn it into rank templates for the memo store without a
+    second cover extraction.  The ``isop`` minimisers share
+    :func:`_isop_pipeline`, which computes a cover anyway
+    (:func:`minimize_isop` normally discards it); the
+    generalized-cofactor/interval minimisers pay one ``isop`` over the
+    exact result, but only on memo misses.
+    """
+    if minimizer_name == "isop":
+        cover, node = _isop_pipeline(isf, eliminate=True)
+    elif minimizer_name == "isop-noelim":
+        cover, node = _isop_pipeline(isf, eliminate=False)
+    else:
+        node = minimizer(isf)
+        cover, _ = isop(isf.mgr, node, node)
+    return node, tuple(tuple(sorted(cube.items())) for cube in cover)
+
+
+def minimize_with_cover(isf: Isf, minimizer: IsfMinimizer,
+                        memo: MemoStore,
+                        minimizer_name: str) -> Tuple[int, VarCover]:
+    """Memoised minimisation returning ``(node, variable-level cover)``.
+
+    The cover lets callers assemble whole-solution templates (one cover
+    per output, renumbered to the *relation's* support) without
+    re-extracting anything.
+    """
+    sig = isf.signature()
+    key = ("isf", sig.key, minimizer_name)
+    template = memo.get(key)
+    if template is not None:
+        cover = var_cover_from_template(template, sig.support)
+        return instantiate_var_cover(isf.mgr, cover), cover
+    node, cover = _run_with_cover(isf, minimizer, minimizer_name)
+    rank_of_var = sig.rank_map()
+    memo.put_if_mappable(
+        key, lambda: template_from_var_cover(cover, rank_of_var))
+    return node, cover
+
+
+def minimize_memoised(isf: Isf, minimizer: IsfMinimizer,
+                      memo: Optional[MemoStore],
+                      minimizer_name: Optional[str] = None) -> int:
+    """Minimise one ISF through the shared memo store.
+
+    A hit re-instantiates the stored rank cover over the ISF's own
+    support — byte-identical to a fresh run of the (structural)
+    minimiser; a miss runs the minimiser and stores its result.
+    ``minimizer_name`` lets hot loops pre-resolve
+    :func:`minimizer_memo_key`; unnamed (custom) minimisers bypass the
+    store entirely.
+    """
+    if memo is None:
+        return minimizer(isf)
+    if minimizer_name is None:
+        minimizer_name = minimizer_memo_key(minimizer)
+        if minimizer_name is None:
+            return minimizer(isf)
+    return minimize_with_cover(isf, minimizer, memo, minimizer_name)[0]
+
+
+def solve_misf(misf, minimizer: IsfMinimizer = minimize_isop, *,
+               memo: Optional[MemoStore] = None) -> List[int]:
+    """Minimise every component of an MISF independently (paper §5.3).
+
+    ``memo`` threads each component minimisation through a shared
+    :class:`~repro.core.memo.MemoStore` so identical (up to renaming)
+    ISFs across subrelations, solves and sessions are minimised once.
+    """
+    if memo is None:
+        return [minimizer(component) for component in misf]
+    name = minimizer_memo_key(minimizer)
+    if name is None:
+        return [minimizer(component) for component in misf]
+    return [minimize_with_cover(component, minimizer, memo, name)[0]
+            for component in misf]

@@ -8,7 +8,11 @@ weakness that motivates the recursive paradigm.
 
 Within BREL it plays two roles (paper §7.2): the initial solution, and a
 guaranteed compatible solution for every subrelation dequeued from the
-bounded BFS frontier.
+bounded BFS frontier.  Both call sites run hot on repeated traffic, so
+the solver threads an optional :class:`~repro.core.memo.MemoStore`
+through here: a whole-relation hit skips the projection/minimisation
+sequence entirely, and on a miss each per-output minimisation still goes
+through the ISF-level memo before the full result is recorded.
 """
 
 from __future__ import annotations
@@ -16,7 +20,10 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from .cost import CostFunction, bdd_size_cost
-from .minimize import IsfMinimizer, minimize_isop
+from .memo import (MemoStore, VarCover, instantiate_solution,
+                   template_from_var_cover)
+from .minimize import (IsfMinimizer, minimize_isop, minimize_with_cover,
+                       minimizer_memo_key)
 from .relation import BooleanRelation
 from .solution import Solution
 
@@ -24,7 +31,8 @@ from .solution import Solution
 def quick_solve(relation: BooleanRelation,
                 minimizer: IsfMinimizer = minimize_isop,
                 cost_function: CostFunction = bdd_size_cost,
-                output_order: Optional[Sequence[int]] = None) -> Solution:
+                output_order: Optional[Sequence[int]] = None,
+                memo: Optional[MemoStore] = None) -> Solution:
     """Solve a well-defined BR with the sequential heuristic of Fig. 4.
 
     Parameters
@@ -33,6 +41,13 @@ def quick_solve(relation: BooleanRelation,
         Optional permutation of output positions; the paper notes the
         result depends on this order, which makes it a useful experiment
         knob.
+    memo:
+        Optional shared :class:`~repro.core.memo.MemoStore`.  Relations
+        whose canonical signature (and output order) was quick-solved
+        before — in this solve, an earlier solve, or another manager
+        entirely — are answered from the stored solution template
+        instead of re-projecting and re-minimising every output; the
+        reconstruction is byte-identical to a fresh run.
 
     Returns a :class:`Solution` that is always compatible with the
     relation (the projection of a well-defined relation is a valid ISF
@@ -45,13 +60,47 @@ def quick_solve(relation: BooleanRelation,
     if sorted(positions) != list(range(len(relation.outputs))):
         raise ValueError("output_order must permute the output positions")
 
+    minimizer_name = None
+    sig = None
+    key = None
+    if memo is not None:
+        minimizer_name = minimizer_memo_key(minimizer)
+        if minimizer_name is not None:
+            sig = relation.signature()
+        if sig is not None:
+            # Output *positions* are renaming-invariant, so a custom
+            # order keys cleanly; any spelling of the default order
+            # (omitted or explicit) keys as None so it shares one slot.
+            order_key = tuple(positions)
+            if order_key == tuple(range(len(relation.outputs))):
+                order_key = None
+            key = ("quick", sig.key, minimizer_name, order_key)
+            covers = memo.get(key)
+            if covers is not None:
+                functions = instantiate_solution(relation.mgr, covers,
+                                                 sig.support)
+                return Solution(relation.mgr, functions,
+                                cost_function(relation.mgr, functions))
+
+    memoising = memo is not None and minimizer_name is not None
     current = relation
     chosen: List[Optional[int]] = [None] * len(relation.outputs)
+    covers: List[Optional[VarCover]] = [None] * len(relation.outputs)
     for position in positions:
         isf = current.project(position)
-        function = minimizer(isf)
+        if memoising:
+            function, cover = minimize_with_cover(isf, minimizer, memo,
+                                                  minimizer_name)
+            covers[position] = cover
+        else:
+            function = minimizer(isf)
         chosen[position] = function
         current = current.restrict_output(position, function)
     functions = tuple(func for func in chosen if func is not None)
+    if key is not None:
+        rank_of_var = sig.rank_map()
+        memo.put_if_mappable(
+            key, lambda: tuple(template_from_var_cover(cover, rank_of_var)
+                               for cover in covers))
     cost = cost_function(relation.mgr, functions)
     return Solution(relation.mgr, functions, cost)

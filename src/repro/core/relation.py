@@ -17,10 +17,16 @@ from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, 
 
 from ..bdd.manager import FALSE, TRUE, BddManager
 from .isf import Isf, Misf
+from .memo import Signature
 
 
 class NotWellDefinedError(ValueError):
     """Raised when an operation requires a left-total (well-defined) BR."""
+
+
+#: Sentinel cached by :meth:`BooleanRelation.signature` for relations
+#: whose characteristic function mentions out-of-frame variables.
+_NO_SIGNATURE = Signature((), ())
 
 
 class BooleanRelation:
@@ -31,7 +37,7 @@ class BooleanRelation:
     out in Section 7.1).
     """
 
-    __slots__ = ("mgr", "inputs", "outputs", "node")
+    __slots__ = ("mgr", "inputs", "outputs", "node", "_sig")
 
     def __init__(self, mgr: BddManager, inputs: Sequence[int],
                  outputs: Sequence[int], node: int) -> None:
@@ -39,6 +45,7 @@ class BooleanRelation:
         self.inputs: Tuple[int, ...] = tuple(inputs)
         self.outputs: Tuple[int, ...] = tuple(outputs)
         self.node = node
+        self._sig: Optional[Signature] = None
         if set(self.inputs) & set(self.outputs):
             raise ValueError("input and output variables must be disjoint")
 
@@ -135,6 +142,47 @@ class BooleanRelation:
     def __repr__(self) -> str:
         return ("BooleanRelation(inputs=%d, outputs=%d, pairs=%d)"
                 % (len(self.inputs), len(self.outputs), self.pair_count()))
+
+    def signature(self) -> Optional[Signature]:
+        """Canonical subproblem identity of this relation.
+
+        The characteristic function's support is renumbered to
+        ``0..k-1`` (order-preserving), and each rank is tagged with its
+        *role* — input, or output position ``j`` — so relations that
+        are identical up to an order-preserving renaming of their
+        support share a signature, while relations whose outputs play
+        different positions (or whose frames differ in output count) do
+        not.  Input identities beyond "is an input" are irrelevant: the
+        solver only ever distinguishes inputs through the BDD order,
+        which the renumbering preserves.
+
+        Returns ``None`` (unmemoisable) when the node mentions a
+        variable outside the relation's frame.  The result is cached on
+        the instance (relations are immutable).
+        """
+        sig = self._sig
+        if sig is None:
+            mgr = self.mgr
+            support = mgr.support(self.node)
+            input_set = set(self.inputs)
+            output_position = {var: position
+                               for position, var in enumerate(self.outputs)}
+            roles: List[int] = []
+            ranks: Dict[int, int] = {}
+            for rank, var in enumerate(support):
+                ranks[var] = rank
+                if var in input_set:
+                    roles.append(-1)
+                elif var in output_position:
+                    roles.append(output_position[var])
+                else:
+                    self._sig = _NO_SIGNATURE
+                    return None
+            fingerprint = mgr.fingerprints((self.node,), ranks)[0]
+            sig = Signature(("rel", len(self.outputs), tuple(roles),
+                             fingerprint), support)
+            self._sig = sig
+        return None if sig is _NO_SIGNATURE else sig
 
     # ------------------------------------------------------------------
     # Set algebra

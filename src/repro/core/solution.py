@@ -93,6 +93,11 @@ class SolverStats:
     bdd_nodes: int = 0
     bdd_cache_hits: int = 0
     bdd_cache_misses: int = 0
+    # Subproblem-memo counters for the run (deltas on the MemoStore the
+    # solve used; all zero when memoisation was off).
+    memo_hits: int = 0
+    memo_misses: int = 0
+    memo_stores: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         """Plain-dict view for table printing."""
@@ -110,4 +115,7 @@ class SolverStats:
             "bdd_nodes": self.bdd_nodes,
             "bdd_cache_hits": self.bdd_cache_hits,
             "bdd_cache_misses": self.bdd_cache_misses,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+            "memo_stores": self.memo_stores,
         }

@@ -1,6 +1,7 @@
 """SolveRequest: serialisation round-trips and eager validation."""
 
 import json
+import warnings
 
 import pytest
 
@@ -245,3 +246,50 @@ class TestBuildRelation:
     def test_name_needs_session(self):
         with pytest.raises(ValueError, match="session name"):
             build_relation("registered-somewhere")
+
+
+class TestModeDeprecationOnRequests:
+    def test_request_mode_warns_exactly_once_per_construction(self):
+        """The deprecated alias warns once — not twice, even though the
+        request's eager validation constructs BrelOptions internally."""
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            SolveRequest(relation=fig1_spec(), mode="dfs")
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "mode" in str(deprecations[0].message)
+
+    def test_default_request_never_warns(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            SolveRequest(relation=fig1_spec())
+            SolveRequest(relation=fig1_spec(), strategy="dfs")
+        assert not [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+
+    def test_strategy_wins_over_mode_on_requests(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            request = SolveRequest(relation=fig1_spec(), mode="dfs",
+                                   strategy="bfs")
+        assert request.exploration_strategy() == "bfs"
+        assert request.to_options().exploration_strategy() == "bfs"
+        assert [w for w in caught
+                if issubclass(w.category, DeprecationWarning)]
+
+    def test_to_options_does_not_rewarn(self):
+        """A request warns at construction; replaying it through
+        to_options() (every Session.solve does) must stay silent."""
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            request = SolveRequest(relation=fig1_spec(), mode="dfs")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            options = request.to_options()
+            request.to_options()
+        assert not [w for w in caught
+                    if issubclass(w.category, DeprecationWarning)]
+        # The alias fields survive the round-trip untouched.
+        assert options.mode == "dfs" and options.strategy is None
+        assert options.exploration_strategy() == "dfs"

@@ -1,0 +1,100 @@
+"""Structural fingerprints: canonicity, renaming, GC survival."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd.manager import FALSE, TRUE, BddManager
+
+from ..conftest import bdd_from_tt, tt_strategy
+
+
+def fresh_manager(num_vars=6, prefix="v"):
+    return BddManager(["%s%d" % (prefix, i) for i in range(num_vars)])
+
+
+class TestFingerprint:
+    def test_terminals_are_distinct_constants(self):
+        mgr = fresh_manager()
+        assert mgr.fingerprint(FALSE) != mgr.fingerprint(TRUE)
+
+    @settings(max_examples=60, deadline=None)
+    @given(tt_strategy(4), tt_strategy(4))
+    def test_equal_iff_same_function(self, table_a, table_b):
+        """Hash-consing makes node equality semantic equality; the
+        fingerprint must agree with it (collisions are 2^-64 events)."""
+        mgr = fresh_manager()
+        f = bdd_from_tt(mgr, [0, 1, 2, 3], table_a)
+        g = bdd_from_tt(mgr, [0, 1, 2, 3], table_b)
+        assert (mgr.fingerprint(f) == mgr.fingerprint(g)) \
+            == (table_a == table_b)
+
+    @settings(max_examples=40, deadline=None)
+    @given(tt_strategy(4))
+    def test_stable_across_managers(self, table):
+        """Same function, same levels, different managers: equal prints."""
+        mgr_a = fresh_manager(prefix="a")
+        mgr_b = fresh_manager(prefix="b")  # names don't matter, levels do
+        f = bdd_from_tt(mgr_a, [0, 1, 2, 3], table)
+        g = bdd_from_tt(mgr_b, [0, 1, 2, 3], table)
+        assert mgr_a.fingerprint(f) == mgr_b.fingerprint(g)
+
+    def test_deterministic_constant(self):
+        """The mixing uses fixed constants, not hash(): a literal value
+        pins cross-process stability (solve_many ships fingerprint-keyed
+        entries to workers)."""
+        mgr = fresh_manager()
+        f = mgr.and_(mgr.var(0), mgr.not_(mgr.var(2)))
+        assert mgr.fingerprint(f) == mgr.fingerprint(f)
+        again = fresh_manager()
+        g = again.and_(again.var(0), again.not_(again.var(2)))
+        assert again.fingerprint(g) == mgr.fingerprint(f)
+
+    def test_memo_survives_collect(self):
+        mgr = fresh_manager()
+        f = mgr.and_(mgr.var(1), mgr.or_(mgr.var(3), mgr.var(5)))
+        before = mgr.fingerprint(f)
+        mgr.pin(f)
+        # Dead scratch to make the collection move node ids around.
+        for i in range(4):
+            mgr.xor_(mgr.var(i), mgr.var(i + 1))
+        mapping = mgr.collect()
+        assert mgr.fingerprint(mapping[f]) == before
+
+
+class TestRenumberedFingerprints:
+    def test_shifted_support_matches_under_ranks(self):
+        """f(x0,x1) and the same structure over (x2,x3) hash identically
+        once both supports are renumbered to 0..k-1."""
+        mgr = fresh_manager()
+        low = mgr.and_(mgr.var(0), mgr.not_(mgr.var(1)))
+        high = mgr.and_(mgr.var(2), mgr.not_(mgr.var(3)))
+        assert mgr.fingerprint(low) != mgr.fingerprint(high)
+        assert mgr.support_fingerprint(low) == mgr.support_fingerprint(high)
+
+    def test_reordering_is_not_canonicalised(self):
+        """Only order-preserving renamings match: swapping variable
+        roles changes BDD structure and must change the print."""
+        mgr = fresh_manager()
+        f = mgr.or_(mgr.var(0), mgr.and_(mgr.var(1), mgr.var(2)))
+        g = mgr.or_(mgr.var(2), mgr.and_(mgr.var(0), mgr.var(1)))
+        assert mgr.support_fingerprint(f) != mgr.support_fingerprint(g)
+
+    def test_joint_map_keeps_functions_aligned(self):
+        """fingerprints() hashes several functions under one shared
+        renaming, so (on, dc) pairs stay distinguishable."""
+        mgr = fresh_manager()
+        a = mgr.var(2)
+        b = mgr.and_(mgr.var(3), mgr.var(4))
+        ranks = {2: 0, 3: 1, 4: 2}
+        fp_ab = mgr.fingerprints((a, b), ranks)
+        fp_ba = mgr.fingerprints((b, a), ranks)
+        assert fp_ab == (fp_ba[1], fp_ba[0])
+        assert fp_ab[0] != fp_ab[1]
+
+    def test_identity_map_matches_cached_fingerprint(self):
+        mgr = fresh_manager()
+        f = mgr.xor_(mgr.var(1), mgr.var(4))
+        identity = {var: var for var in mgr.support(f)}
+        assert mgr.fingerprints((f,), identity)[0] == mgr.fingerprint(f)
+        assert mgr.fingerprints((f,), None)[0] == mgr.fingerprint(f)

@@ -1,0 +1,89 @@
+"""Memo transparency: results are byte-identical with the store on/off.
+
+The acceptance bar for the memo subsystem: on the Table 2 instances and
+seeded brgen relations, the default ``bfs`` and ``dfs`` searches must
+produce the *same solution functions* (node-for-node, in the same
+manager) and the *same final cost* whether memoisation is enabled or
+not — cold store, warm store, and store shared across relations alike.
+"""
+
+import pytest
+
+from repro.benchdata.brgen import random_relation
+from repro.benchdata.brsuite import SUITE
+from repro.core import BrelOptions, BrelSolver, MemoStore
+
+#: Table 2 subset exercised per strategy (full-suite parity is covered
+#: by bench_memo; the test keeps a representative spread fast).
+INSTANCES = ("int1", "int2", "int5", "int9", "she1", "vtx")
+
+BRGEN_SEEDS = (7, 21, 1004)
+
+STRATEGIES = ("bfs", "dfs")
+
+
+def table2_relations():
+    by_name = {instance.name: instance for instance in SUITE}
+    return [(name, by_name[name].build()) for name in INSTANCES]
+
+
+def brgen_relations():
+    return [("brgen-%d" % seed, random_relation(5, 3, seed=seed))
+            for seed in BRGEN_SEEDS]
+
+
+def assert_parity(name, relation, strategy, store):
+    """No-memo vs cold-store vs warm-store solves must agree exactly."""
+    options = BrelOptions(strategy=strategy)
+    baseline = BrelSolver(options).solve(relation)
+    cold = BrelSolver(options, memo=store).solve(relation)
+    warm = BrelSolver(options, memo=store).solve(relation)
+    for run, label in ((cold, "cold"), (warm, "warm")):
+        assert run.solution.functions == baseline.solution.functions, \
+            "%s/%s: %s memoised functions diverged" \
+            % (name, strategy, label)
+        assert run.solution.cost == baseline.solution.cost, \
+            "%s/%s: %s memoised cost diverged" % (name, strategy, label)
+    assert warm.stats.memo_hits > 0, \
+        "%s/%s: warm run never hit the store" % (name, strategy)
+    return baseline
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_table2_parity(strategy):
+    store = MemoStore()
+    for name, relation in table2_relations():
+        assert_parity(name, relation, strategy, store)
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_brgen_parity(strategy):
+    store = MemoStore()
+    for name, relation in brgen_relations():
+        assert_parity(name, relation, strategy, store)
+
+
+def test_parity_with_store_shared_across_relations_and_strategies():
+    """One store serving every instance and both strategies — the
+    production shape (a session-wide store) — changes nothing."""
+    store = MemoStore()
+    for strategy in STRATEGIES:
+        for name, relation in table2_relations()[:3] + brgen_relations():
+            assert_parity(name, relation, strategy, store)
+
+
+def test_parity_across_managers():
+    """A store warmed in one manager serves a same-layout rebuild of the
+    relation in another manager byte-identically (node ids coincide
+    because both managers ingest the same construction sequence)."""
+    store = MemoStore()
+    for seed in BRGEN_SEEDS:
+        first = random_relation(5, 3, seed=seed)
+        BrelSolver(BrelOptions(), memo=store).solve(first)
+        rebuilt = random_relation(5, 3, seed=seed)
+        assert rebuilt.mgr is not first.mgr
+        baseline = BrelSolver(BrelOptions()).solve(rebuilt)
+        served = BrelSolver(BrelOptions(), memo=store).solve(rebuilt)
+        assert served.solution.functions == baseline.solution.functions
+        assert served.solution.cost == baseline.solution.cost
+        assert served.stats.memo_hits > 0
