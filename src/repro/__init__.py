@@ -50,11 +50,11 @@ The lower-level entry points remain available::
 from .bdd import Bdd, BddManager
 from .core import (BooleanRelation, BrelOptions, BrelResult, BrelSolver,
                    CancelToken, ExplorationStrategy, Improvement, Isf,
-                   Misf, NotWellDefinedError, Solution, SolveEvent,
-                   SolverStats, bdd_size_cost, bdd_size_squared_cost,
-                   cube_count_cost, exact_solve, literal_count_cost,
-                   quick_solve, solve_exactly, solve_relation,
-                   weighted_cost)
+                   Misf, NotWellDefinedError, Partition, Solution,
+                   SolveEvent, SolverStats, bdd_size_cost,
+                   bdd_size_squared_cost, cube_count_cost, exact_solve,
+                   literal_count_cost, partition_relation, quick_solve,
+                   solve_exactly, solve_relation, weighted_cost)
 from .equations import BooleanEquation, BooleanSystem
 from .api import (Session, SolveReport, SolveRequest, register_cost,
                   register_minimizer, register_strategy, strategy_names)
@@ -73,6 +73,7 @@ __all__ = [
     "Isf",
     "Misf",
     "NotWellDefinedError",
+    "Partition",
     "Session",
     "Solution",
     "SolveReport",
@@ -83,6 +84,7 @@ __all__ = [
     "cube_count_cost",
     "exact_solve",
     "literal_count_cost",
+    "partition_relation",
     "quick_solve",
     "register_cost",
     "register_minimizer",

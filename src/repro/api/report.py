@@ -14,6 +14,7 @@ When the solve ran in the calling process the live
 
 from __future__ import annotations
 
+import copy
 import dataclasses
 import json
 import traceback
@@ -28,7 +29,9 @@ from ..core.solution import Solution
 #: Bumped when the report schema changes shape.
 #: 2: added ``improvements`` (anytime trajectory), ``trace`` (optional
 #: per-event search trace) and ``stopped`` (completion reason).
-REPORT_SCHEMA_VERSION = 2
+#: 3: added ``partition`` (output-block decomposition summary with
+#: per-block stats; ``None`` for monolithic solves).
+REPORT_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -59,6 +62,11 @@ class SolveReport:
     #: Why the search ended: ``exhausted``, ``budget``, ``timeout``,
     #: or ``cancelled`` (``None`` for failed jobs).
     stopped: Optional[str] = None
+    #: Output-block decomposition summary when the solve was sharded
+    #: (:mod:`repro.core.partition`): block output positions and
+    #: frames, plus per-block cost, stats and completion reason.
+    #: ``None`` when the relation solved monolithically.
+    partition: Optional[Dict[str, Any]] = None
     cached: bool = False
     schema_version: int = REPORT_SCHEMA_VERSION
     #: Live solution when solved in-process; never serialised.
@@ -102,6 +110,7 @@ class SolveReport:
             trace=([event.as_dict() for event in result.events]
                    if result.events is not None else None),
             stopped=result.stopped,
+            partition=copy.deepcopy(result.partition),
             solution=solution,
             _inputs=tuple(relation.inputs),
             _outputs=tuple(relation.outputs))
@@ -178,6 +187,7 @@ class SolveReport:
             improvements=[dict(imp) for imp in self.improvements],
             trace=([dict(event) for event in self.trace]
                    if self.trace is not None else None),
+            partition=copy.deepcopy(self.partition),
             solution=self.solution)
         fresh.update(changes)
         return dataclasses.replace(self, **fresh)
@@ -193,8 +203,10 @@ class SolveReport:
         name = self.label or "<unnamed>"
         if not self.ok:
             return "%s: FAILED (%s)" % (name, self.error)
-        return ("%s: cost=%.0f compatible=%s explored=%d runtime=%.3fs%s"
+        return ("%s: cost=%.0f compatible=%s explored=%d runtime=%.3fs%s%s"
                 % (name, self.cost, self.compatible,
                    int(self.stats.get("relations_explored", 0)),
                    self.stats.get("runtime_seconds", 0.0),
+                   " [%d blocks]" % self.partition["num_blocks"]
+                   if self.partition else "",
                    " [cached]" if self.cached else ""))

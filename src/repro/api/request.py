@@ -195,6 +195,13 @@ class SolveRequest:
     #: out.  Results are byte-identical either way; only the stats
     #: (``memo_hits`` etc.) and the wall clock differ.
     memo: Optional[bool] = None
+    #: Output-block decomposition tri-state (mirrors
+    #: :attr:`repro.core.BrelOptions.decompose`): ``None`` (auto) and
+    #: ``True`` shard the relation into verified-independent output
+    #: blocks when the partition finds at least two, ``False`` always
+    #: solves monolithically.  Sharded reports carry the block
+    #: breakdown in :attr:`SolveReport.partition`.
+    decompose: Optional[bool] = None
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -244,7 +251,8 @@ class SolveRequest:
             symmetry_max_depth=self.symmetry_max_depth,
             time_limit_seconds=self.time_limit_seconds,
             record_trace=self.record_trace,
-            memo=self.memo)
+            memo=self.memo,
+            decompose=self.decompose)
         options.strategy = self.strategy
         options.mode = self.mode
         return options
@@ -280,6 +288,7 @@ class SolveRequest:
                    time_limit_seconds=options.time_limit_seconds,
                    record_trace=options.record_trace,
                    memo=options.memo,
+                   decompose=options.decompose,
                    label=label)
 
     # -- serialisation -------------------------------------------------

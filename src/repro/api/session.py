@@ -27,17 +27,21 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from concurrent.futures import (FIRST_COMPLETED, ProcessPoolExecutor,
                                 ThreadPoolExecutor, wait)
 from typing import (Any, Dict, Generator, Iterable, List, Mapping, Optional,
                     Sequence, Tuple, Union)
 
 from ..bdd.manager import BddManager
-from ..core.brel import BrelSolver
+from ..core.brel import BrelResult, BrelSolver
 from ..core.explore import CancelToken, Improvement, Observer
 from ..core.memo import DEFAULT_MEMO_CAPACITY, MemoStore
+from ..core.partition import (block_functions_from_pla, merge_block_stats,
+                              partition_relation, worst_stopped)
 from ..core.relation import BooleanRelation
 from ..core.relio import parse_relation, peek_shape, write_relation
+from ..core.solution import Solution, SolverStats
 from .report import SolveReport
 from .request import (RelationSpec, SolveRequest, build_relation,
                       normalize_relation_spec, relation_spec_to_jsonable,
@@ -473,12 +477,19 @@ class Session:
         # MUST join this tuple — the schema-evolution regression test
         # (tests/api/test_session_memo.py::TestCacheKeySchemaGuard)
         # enumerates the dataclass fields to catch omissions.
+        # Decomposition keys by its *effective* decision too: None
+        # (auto) and True shard identically, so they share a slot,
+        # while False reports lack the partition breakdown and must
+        # not be served to sharded requests (or vice versa).  The
+        # block executor is deliberately NOT keyed: sharded results
+        # are byte-identical across serial/thread/process dispatch.
         return (request.cost, request.minimizer,
                 request.exploration_strategy(),
                 request.max_explored, request.fifo_capacity,
                 request.quick_on_subrelations, request.symmetry_pruning,
                 request.symmetry_max_depth, request.time_limit_seconds,
-                request.record_trace, self._memo_for(request) is not None)
+                request.record_trace, self._memo_for(request) is not None,
+                request.decompose is not False)
 
     def _cache_key(self, pla: str, request: SolveRequest
                    ) -> Tuple[Any, ...]:
@@ -593,7 +604,9 @@ class Session:
     def solve(self, request: Optional[SolveRequest] = None,
               relation: Optional[RelationLike] = None, *,
               cancel: Optional[CancelToken] = None,
-              observer: Optional[Observer] = None) -> SolveReport:
+              observer: Optional[Observer] = None,
+              block_executor: str = "serial",
+              block_workers: Optional[int] = None) -> SolveReport:
         """Run one solve and return its report.
 
         The relation comes from the explicit ``relation`` argument or,
@@ -606,8 +619,32 @@ class Session:
         ``stopped="cancelled"``); ``observer`` receives every
         :class:`~repro.core.SolveEvent` of a fresh run (cache hits
         emit no events).
+
+        ``block_executor`` dispatches the *blocks of this one solve*
+        when output-block decomposition shards the relation
+        (:mod:`repro.core.partition`): ``"serial"`` (default) solves
+        them in the fixed partition order inside the solver loop;
+        ``"thread"`` / ``"process"`` ship each block to the same pool
+        machinery :meth:`solve_many` uses (PLA snapshot out, data-only
+        report back) and recombine the per-block solutions in the
+        caller's manager — byte-identical to the serial result, since
+        every block still runs the same deterministic strategy loop.
+        Pool dispatch needs every block snapshotable
+        (``max_snapshot_inputs``); relations that do not shard, calls
+        that need the live event stream (an ``observer`` or
+        ``record_trace`` — workers cannot stream events back), and
+        environments without a working pool layer all fall back to the
+        in-process solve, which still shards serially in-solver.
+        ``block_workers`` caps the pool (default: one worker per
+        block, capped at the CPU count).  Parallel-block reports are
+        data-first like :meth:`solve_many` reports (no live
+        ``solution`` handle on the recombined report's blocks; the
+        recombined solution itself is live).
         """
         request = request or SolveRequest()
+        if block_executor not in ("serial", "thread", "process"):
+            raise ValueError("block_executor must be 'serial', "
+                             "'thread' or 'process'")
         resolved, spec, key, from_registry = \
             self._prepare_solve(request, relation)
         cached = self._cache.get(key)
@@ -620,18 +657,261 @@ class Session:
                                request=request.to_dict(), cached=True)
         resolved, key = self._materialize(resolved, spec, key,
                                           from_registry, request)
-        result = BrelSolver(request.to_options(),
-                            memo=self._memo_for(request)).solve(
-            resolved, cancel=cancel, observer=observer)
-        report = SolveReport.from_result(resolved, result,
-                                         request=request.to_dict(),
-                                         label=request.label)
+        report = None
+        partition = None
+        if (block_executor != "serial"
+                and request.decompose is not False
+                and len(resolved.outputs) >= 2
+                # Pool workers cannot stream events back to the caller
+                # (observer/trace), and cannot share the serial path's
+                # single cross-block deadline (time limit); those
+                # contracts beat pooling, so such solves run in-solver.
+                and observer is None and not request.record_trace
+                and request.time_limit_seconds is None):
+            partition = partition_relation(resolved)
+            if not partition.is_trivial:
+                report = self._solve_blocks_pooled(request, resolved,
+                                                   partition,
+                                                   block_executor,
+                                                   block_workers, cancel)
+        if report is None:
+            # Hand any partition computed above to the solver's router
+            # so the support/separability analysis is never paid twice.
+            result = BrelSolver(request.to_options(),
+                                memo=self._memo_for(request)).solve(
+                resolved, cancel=cancel, observer=observer,
+                partition=partition)
+            report = SolveReport.from_result(resolved, result,
+                                             request=request.to_dict(),
+                                             label=request.label)
         # A cancelled solve is a partial result of *this call's* token,
         # which is not part of the cache key — caching it would serve
         # the truncated answer to future uncancelled calls.
-        if result.stopped != "cancelled":
+        if report.stopped != "cancelled":
             self._cache[key] = report.copy()
         return report
+
+    def _solve_blocks_pooled(self, request: SolveRequest,
+                             resolved: BooleanRelation,
+                             partition,
+                             executor: str,
+                             max_workers: Optional[int],
+                             cancel: Optional[CancelToken]
+                             ) -> Optional[SolveReport]:
+        """Shard one solve across the pool; ``None`` = run in-process.
+
+        Ships each block of the (non-trivial) ``partition`` as a
+        self-contained job (PLA snapshot + block request) through the
+        same worker entry point batches use, and recombines the
+        per-block solution PLAs into a live full solution in the
+        caller's manager.  Returns ``None`` when the pool layer is
+        unavailable or the solve was cancelled before the pool
+        finished — the caller then runs the in-process solve, which
+        still shards serially in-solver and honours the token
+        (immediately returning the quick incumbents).  Block failures
+        raise, matching :meth:`solve`'s raise-on-failure contract.
+        """
+        # The serial path's solver checks left-totality first and lets
+        # NotWellDefinedError propagate; raise the same error here
+        # rather than shipping doomed blocks and wrapping the worker's
+        # failure in RuntimeError.
+        resolved.require_well_defined()
+        for block in partition.blocks:
+            if len(block.relation.inputs) > self.max_snapshot_inputs:
+                raise ValueError(
+                    "block %s of this relation has %d inputs; "
+                    "block_executor=%r snapshots each block to PLA "
+                    "text, which enumerates 2^inputs input vertices "
+                    "and is capped at max_snapshot_inputs=%d — use "
+                    "block_executor='serial' (or raise "
+                    "Session(max_snapshot_inputs=...)) for wide blocks"
+                    % (list(block.positions), len(block.relation.inputs),
+                       executor, self.max_snapshot_inputs))
+        start = time.perf_counter()
+        memo_store = self._memo_for(request)
+        memo_entries = (self.memo.export_entries(
+            limit=DEFAULT_MEMO_EXPORT_LIMIT)
+            if memo_store is not None else None)
+        base_request = request.to_dict()
+        base_request["relation"] = None
+        # Blocks are connected components: they cannot shard further,
+        # but pin the router off so workers skip the re-analysis.
+        base_request["decompose"] = False
+        payloads = []
+        for block in partition.blocks:
+            payload = {"pla": write_relation(block.relation),
+                       "request": dict(base_request),
+                       "label": "block-%d" % block.index,
+                       "memo": memo_entries,
+                       "memo_capacity": self.memo.capacity}
+            payload["request"]["label"] = payload["label"]
+            payloads.append(payload)
+
+        reports = self._run_block_jobs(payloads, executor, max_workers,
+                                       cancel)
+        if reports is None:
+            return None  # pool layer unavailable; solve in-process
+        for payload, block_report in zip(payloads, reports):
+            if not block_report.ok:
+                raise RuntimeError(
+                    "sharded solve failed on %s: %s"
+                    % (payload["label"], block_report.error))
+            if memo_store is not None:
+                self._absorb_memo_stats(block_report)
+
+        options = request.to_options()
+        block_solutions = []
+        for block, block_report in zip(partition.blocks, reports):
+            functions = block_functions_from_pla(
+                resolved.mgr, block_report.pla,
+                block.relation.inputs, block.relation.outputs)
+            block_solutions.append(Solution(
+                resolved.mgr, functions,
+                options.cost_function(resolved.mgr, functions)))
+        full = partition.recombine_solutions(block_solutions,
+                                             options.cost_function)
+        stats = merge_block_stats(
+            [SolverStats(**block_report.stats)
+             for block_report in reports])
+        stats.runtime_seconds = time.perf_counter() - start
+        stats.bdd_nodes = resolved.mgr.num_nodes
+        stopped = worst_stopped(
+            [block_report.stopped or "exhausted"
+             for block_report in reports])
+        # No executor tag in the summary: pooled and serial sharded
+        # reports share a cache slot, so their content must not depend
+        # on which executor produced them.
+        summary = partition.summary()
+        for entry, solution, block_report in zip(
+                summary["blocks"], block_solutions, reports):
+            entry["cost"] = solution.cost
+            entry["stats"] = dict(block_report.stats)
+            entry["stopped"] = block_report.stopped
+        improvements = self._recombine_improvements(reports,
+                                                    block_solutions,
+                                                    full, stats)
+        result = BrelResult(
+            full, stats, improvements=improvements,
+            events=None, stopped=stopped, partition=summary)
+        return SolveReport.from_result(resolved, result,
+                                       request=request.to_dict(),
+                                       label=request.label)
+
+    @staticmethod
+    def _recombine_improvements(reports: List[SolveReport],
+                                block_solutions: List[Solution],
+                                full: Solution,
+                                stats: SolverStats) -> List[Improvement]:
+        """Rebuild the serial-equivalent anytime trajectory.
+
+        The serial sharded loop records one improvement per strictly
+        improving recombination, walking the blocks in partition order;
+        for per-output-additive costs each block-local improvement
+        lowers the running total by exactly its local delta, so the
+        same trajectory (costs and cumulative explored counts; wall
+        stamps are worker-local) reconstructs from the block reports.
+        A cost function the block deltas cannot explain (the trajectory
+        would not end at the recombined cost) falls back to the single
+        final entry rather than fabricating a sequence.
+        """
+        trajectories = [list(report.improvements) for report in reports]
+        if any(not trajectory for trajectory in trajectories):
+            return [Improvement(full, full.cost, stats.runtime_seconds,
+                                stats.relations_explored)]
+        running = [trajectory[0]["cost"] for trajectory in trajectories]
+        best_total = sum(running)
+        improvements = [Improvement(full, best_total, 0.0, 0)]
+        explored_base = 0
+        for index, trajectory in enumerate(trajectories):
+            for entry in trajectory[1:]:
+                running[index] = entry["cost"]
+                candidate_total = sum(running)
+                if candidate_total < best_total:
+                    best_total = candidate_total
+                    improvements.append(Improvement(
+                        full, best_total, entry["elapsed_seconds"],
+                        explored_base + int(entry["explored"])))
+            explored_base += int(reports[index].stats.get(
+                "relations_explored", 0))
+        if improvements[-1].cost != full.cost:
+            return [Improvement(full, full.cost, stats.runtime_seconds,
+                                stats.relations_explored)]
+        return improvements
+
+    def _run_block_jobs(self, payloads: List[Dict[str, Any]],
+                        executor: str, max_workers: Optional[int],
+                        cancel: Optional[CancelToken]
+                        ) -> Optional[List[SolveReport]]:
+        """Run block payloads on a pool; ``None`` = abandon pooling.
+
+        Thread workers share the cancel token (in-flight block searches
+        stop cooperatively and report best-so-far).  Process workers
+        cannot share a token, so a cancellation observed while waiting
+        cancels the undispatched blocks and abandons the pooled
+        attempt (``None``) — the in-process sharded solve then honours
+        the token directly.  A worker that dies (broken pool, pickling
+        breakage) comes back as a failed report for its block rather
+        than an escaping exception.
+        """
+        if cancel is not None and cancel.cancelled:
+            return None
+        if max_workers is None:
+            max_workers = self.default_max_workers
+        if max_workers is None:
+            max_workers = min(len(payloads), os.cpu_count() or 1)
+        max_workers = max(1, min(max_workers, len(payloads)))
+        if executor == "thread":
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                futures = [pool.submit(_solve_payload, payload, cancel)
+                           for payload in payloads]
+                return [future.result() for future in futures]
+        memo_seed = payloads[0].get("memo")
+        pool_kwargs: Dict[str, Any] = {"max_workers": max_workers}
+        if memo_seed is not None:
+            pool_kwargs["initializer"] = _init_worker_memo
+            pool_kwargs["initargs"] = (memo_seed, self.memo.capacity)
+        process_payloads = []
+        for payload in payloads:
+            stripped = {k: v for k, v in payload.items()
+                        if k not in ("memo", "memo_capacity")}
+            stripped["memo_shared"] = memo_seed is not None
+            process_payloads.append(stripped)
+        try:
+            pool = ProcessPoolExecutor(**pool_kwargs)
+        except OSError:
+            # No working fork/semaphore layer (restricted sandboxes):
+            # signal the caller to run the in-process sharded solve.
+            return None
+        try:
+            futures = [pool.submit(_solve_payload, payload)
+                       for payload in process_payloads]
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(
+                    outstanding,
+                    timeout=0.1 if cancel is not None else None,
+                    return_when=FIRST_COMPLETED)
+                if (cancel is not None and cancel.cancelled
+                        and outstanding):
+                    # Abandon without joining: workers cannot see the
+                    # token, so waiting for them would stall the cancel
+                    # for the duration of the longest block.  The
+                    # finally-shutdown cancels queued blocks; running
+                    # ones finish in the background and are discarded.
+                    return None
+            reports = []
+            for payload, future in zip(process_payloads, futures):
+                try:
+                    reports.append(future.result())
+                except Exception as exc:  # pool/pickling breakage
+                    reports.append(SolveReport.from_error(
+                        exc, request=payload["request"],
+                        label=payload["label"]))
+            return reports
+        except OSError:
+            return None
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     def solve_iter(self, request: Optional[SolveRequest] = None,
                    relation: Optional[RelationLike] = None, *,

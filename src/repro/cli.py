@@ -43,11 +43,10 @@ __all__ = ["COSTS", "build_parser", "main"]
 
 def _request_from_args(args: argparse.Namespace,
                        relation_spec: Dict[str, Any]) -> SolveRequest:
-    return SolveRequest(
+    kwargs: Dict[str, Any] = dict(
         relation=relation_spec,
         cost=args.cost,
         minimizer=args.minimizer,
-        mode=args.mode,
         strategy=args.strategy,
         max_explored=args.max_explored,
         fifo_capacity=args.fifo_capacity,
@@ -55,7 +54,14 @@ def _request_from_args(args: argparse.Namespace,
         symmetry_pruning=args.symmetries,
         time_limit_seconds=args.time_limit,
         record_trace=args.trace,
-        memo=args.memo)
+        memo=args.memo,
+        decompose=args.decompose)
+    # The deprecated alias travels only when the user actually typed
+    # --mode; otherwise the request keeps its own default and the
+    # deprecation path is never exercised by default invocations.
+    if args.mode is not None:
+        kwargs["mode"] = args.mode
+    return SolveRequest(**kwargs)
 
 
 def _progress_printer(stream):
@@ -82,7 +88,8 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     try:
         request = _request_from_args(
             args, {"kind": "file", "path": args.relation})
-        report = Session().solve(request, observer=observer)
+        report = Session().solve(request, observer=observer,
+                                 block_executor=args.block_executor)
     except (OSError, ValueError, KeyError, RelationFormatError,
             NotWellDefinedError) as exc:
         print("error: %s" % exc, file=sys.stderr)
@@ -96,6 +103,17 @@ def _cmd_solve(args: argparse.Namespace) -> int:
           % (request.exploration_strategy(), report.cost,
              report.stats["relations_explored"],
              report.stats["splits"], report.stats["runtime_seconds"]))
+    if report.partition:
+        print("# partition: %d independent blocks" %
+              report.partition["num_blocks"])
+        for block in report.partition["blocks"]:
+            print("#   block [%s]: %d inputs, cost=%.0f, "
+                  "explored=%d (%s)"
+                  % (",".join("y%d" % p for p in block["outputs"]),
+                     block["num_inputs"], block["cost"],
+                     int((block["stats"] or {}).get(
+                         "relations_explored", 0)),
+                     block["stopped"]))
     if len(report.improvements) > 1:
         print("# improvements: %s" % " -> ".join(
             "%.0f" % imp["cost"] for imp in report.improvements))
@@ -234,8 +252,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="exploration strategy (default: bfs; "
                             "overrides --mode)")
-    solve.add_argument("--mode", choices=["bfs", "dfs"], default="bfs",
-                       help="deprecated alias of --strategy")
+    solve.add_argument("--mode", choices=["bfs", "dfs"], default=None,
+                       help="deprecated alias of --strategy (only "
+                            "forwarded when given explicitly)")
     solve.add_argument("--max-explored", type=int, default=10)
     solve.add_argument("--fifo-capacity", type=int, default=64,
                        help="frontier bound for bfs (FIFO) and beam "
@@ -258,6 +277,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "memo_* stats in --json)")
     solve.add_argument("--no-memo", dest="memo", action="store_false",
                        help="disable subproblem memoisation (results "
+                            "are byte-identical either way)")
+    solve.add_argument("--decompose", dest="decompose",
+                       action="store_true", default=None,
+                       help="shard the relation into independent "
+                            "output blocks when possible (the "
+                            "default; per-block breakdown appears in "
+                            "the report)")
+    solve.add_argument("--no-decompose", dest="decompose",
+                       action="store_false",
+                       help="always solve the monolithic relation")
+    solve.add_argument("--block-executor",
+                       choices=["serial", "thread", "process"],
+                       default="serial",
+                       help="where decomposed blocks run: in-solver "
+                            "(serial) or on a worker pool (results "
                             "are byte-identical either way)")
     solve.add_argument("--json", action="store_true",
                        help="emit the structured SolveReport as JSON")

@@ -44,7 +44,8 @@ from __future__ import annotations
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Generator, Iterable, List, Optional, Tuple
+from typing import (Any, Dict, Generator, Iterable, List, Optional,
+                    Tuple)
 
 from ..bdd.manager import FALSE
 from .cost import CostFunction, bdd_size_cost
@@ -54,6 +55,8 @@ from .memo import (MemoStore, instantiate_solution,
                    template_from_var_cover)
 from .minimize import (IsfMinimizer, minimize_isop, minimize_with_cover,
                        minimizer_memo_key, solve_misf)
+from .partition import (Partition, merge_block_stats, partition_relation,
+                        worst_stopped)
 from .quick import quick_solve
 from .relation import BooleanRelation
 from .solution import Solution, SolverStats
@@ -118,6 +121,22 @@ class BrelOptions:
         solves; ``False`` disables memoisation even when a store is
         supplied.  Memoisation is transparent: results are
         byte-identical with the store on or off.
+    decompose:
+        Output-block decomposition tri-state
+        (:mod:`repro.core.partition`).  ``None`` (the default, *auto*)
+        and ``True`` both shard the relation into verified-independent
+        output blocks when the partition finds at least two — each
+        block then runs the full strategy loop on its own, with the
+        same options (budgets such as ``max_explored`` apply *per
+        block*) and the same memo store; ``False`` always solves the
+        monolithic semi-lattice.  Sharding is transparent: the
+        recombined solution is compatible and, for per-output-additive
+        cost functions, reaches the same final cost as the monolithic
+        search once both converge; solving the blocks serially in the
+        fixed partition order is deterministic.  Relations that do not
+        decompose (a single support component, or outputs coupled
+        through the relation) route to the monolithic loop unchanged,
+        whatever the tri-state.
     """
 
     cost_function: CostFunction = bdd_size_cost
@@ -132,6 +151,7 @@ class BrelOptions:
     time_limit_seconds: Optional[float] = None
     record_trace: bool = False
     memo: Optional[bool] = None
+    decompose: Optional[bool] = None
 
     def exploration_strategy(self) -> str:
         """The effective strategy name (``strategy`` wins over ``mode``)."""
@@ -153,6 +173,13 @@ class BrelOptions:
             raise ValueError("memo must be True, False or None "
                              "(None = use a store only when one is "
                              "supplied)")
+        if not (self.decompose is None
+                or isinstance(self.decompose, bool)):
+            # Same identity discipline as memo: the router tests
+            # `options.decompose is not False`.
+            raise ValueError("decompose must be True, False or None "
+                             "(None = auto: shard when the partition "
+                             "finds at least two blocks)")
         try:
             get_strategy_factory(self.exploration_strategy())
         except KeyError as exc:
@@ -192,7 +219,11 @@ class BrelResult:
     order (the anytime trajectory); ``events`` carries the full search
     trace when ``record_trace`` was set; ``stopped`` says why the
     search ended (``"exhausted"``, ``"budget"``, ``"timeout"``,
-    ``"cancelled"``).
+    ``"cancelled"``).  ``partition`` is ``None`` for monolithic solves;
+    a sharded solve records the JSON-ready decomposition summary —
+    block output positions and frames plus per-block cost, stats and
+    completion reason (``"skipped"`` for blocks an early stop never
+    reached, whose initial QuickSolver incumbent stands).
     """
 
     solution: Solution
@@ -200,6 +231,7 @@ class BrelResult:
     improvements: List[Improvement] = field(default_factory=list)
     events: Optional[List[SolveEvent]] = None
     stopped: str = "exhausted"
+    partition: Optional[Dict[str, Any]] = None
 
 
 class BrelSolver:
@@ -244,14 +276,18 @@ class BrelSolver:
     # ------------------------------------------------------------------
     def solve(self, relation: BooleanRelation,
               cancel: Optional[CancelToken] = None,
-              observer: Optional[Observer] = None) -> BrelResult:
+              observer: Optional[Observer] = None,
+              partition: Optional[Partition] = None) -> BrelResult:
         """Solve a well-defined relation; raises if it is not left-total.
 
         Drives :meth:`iter_events` to completion, dispatching events to
         the registered observers (plus the per-call ``observer``).
+        ``partition`` optionally hands over an already-computed
+        decomposition of this exact relation (see :meth:`iter_events`).
         """
         observers = self._notify(observer)
-        events = self.iter_events(relation, cancel=cancel)
+        events = self.iter_events(relation, cancel=cancel,
+                                  partition=partition)
         while True:
             try:
                 event = next(events)
@@ -288,7 +324,8 @@ class BrelSolver:
 
     # ------------------------------------------------------------------
     def iter_events(self, relation: BooleanRelation,
-                    cancel: Optional[CancelToken] = None
+                    cancel: Optional[CancelToken] = None,
+                    partition: Optional[Partition] = None
                     ) -> Generator[SolveEvent, None, BrelResult]:
         """The solver loop as a typed event stream.
 
@@ -296,8 +333,211 @@ class BrelSolver:
         return value is the final :class:`BrelResult`.  This is the
         single implementation behind :meth:`solve` and
         :meth:`iter_solve`.
+
+        Unless ``options.decompose`` is ``False``, the relation is
+        first offered to :func:`repro.core.partition.partition_relation`;
+        a verified partition with at least two independent output
+        blocks routes to the sharded loop (each block solved by its own
+        strategy loop, results recombined), anything else to the
+        monolithic loop below.  A caller that already ran the analysis
+        (the :class:`~repro.api.Session` pooled-dispatch path) can pass
+        its ``partition`` to skip the re-analysis; it must describe
+        exactly this relation object.
         """
         relation.require_well_defined()
+        options = self.options
+        if partition is not None and partition.relation is not relation:
+            raise ValueError("the supplied partition describes a "
+                             "different relation")
+        if options.decompose is not False and len(relation.outputs) >= 2:
+            if partition is None:
+                partition = partition_relation(relation)
+            if not partition.is_trivial:
+                result = yield from self._iter_events_sharded(
+                    partition, cancel)
+                return result
+        result = yield from self._iter_events_monolithic(relation,
+                                                         cancel)
+        return result
+
+    # ------------------------------------------------------------------
+    def _block_options(self, time_limit: Optional[float]) -> BrelOptions:
+        """Per-block options: same knobs, no further decomposition.
+
+        Built field by field (not ``dataclasses.replace``) so the
+        deprecated ``mode`` alias cannot re-fire its warning, and with
+        ``record_trace`` off — block events are re-stamped into the
+        sharded solve's own trace.
+        """
+        options = self.options
+        return BrelOptions(
+            cost_function=options.cost_function,
+            minimizer=options.minimizer,
+            strategy=options.exploration_strategy(),
+            max_explored=options.max_explored,
+            fifo_capacity=options.fifo_capacity,
+            quick_on_subrelations=options.quick_on_subrelations,
+            symmetry_pruning=options.symmetry_pruning,
+            symmetry_max_depth=options.symmetry_max_depth,
+            time_limit_seconds=time_limit,
+            record_trace=False,
+            memo=None,
+            decompose=False)
+
+    def _iter_events_sharded(self, partition: Partition,
+                             cancel: Optional[CancelToken]
+                             ) -> Generator[SolveEvent, None, BrelResult]:
+        """Solve a partitioned relation block by block and recombine.
+
+        Blocks run in the fixed partition order through sub-solvers that
+        share this solver's memo store.  The stream mirrors a monolithic
+        solve — an opening ``partition`` event, a whole-relation
+        ``quick-solution``/``new-best`` pair (the recombined per-block
+        QuickSolver incumbents), then every block event re-stamped with
+        cumulative ``explored`` and the *full-relation* incumbent as
+        ``best_cost``; block-local ``new-best`` improvements surface as
+        recombined full-relation ``new-best`` events (with live
+        solutions) whenever they strictly improve the total.
+        """
+        relation = partition.relation
+        options = self.options
+        start = time.perf_counter()
+        deadline = (start + options.time_limit_seconds
+                    if options.time_limit_seconds is not None else None)
+        memo = self.memo
+        memo_before = memo.counters() if memo is not None else None
+        engine_before = relation.mgr.stats()
+        trace: Optional[List[SolveEvent]] = \
+            [] if options.record_trace else None
+        improvements: List[Improvement] = []
+        explored_total = 0
+        best: Optional[Solution] = None
+
+        def event(kind: str, **kw: object) -> SolveEvent:
+            ev = SolveEvent(kind, explored=explored_total,
+                            best_cost=best.cost if best is not None
+                            else None,
+                            elapsed_seconds=time.perf_counter() - start,
+                            **kw)  # type: ignore[arg-type]
+            if trace is not None:
+                trace.append(ev)
+            return ev
+
+        yield event("partition", detail="%d blocks: %s" % (
+            partition.num_blocks,
+            " | ".join(",".join("y%d" % p for p in block.positions)
+                       for block in partition.blocks)))
+
+        # Initial incumbent: one QuickSolver pass per block, recombined.
+        # Guarantees a compatible full solution exists before any block
+        # search runs, so an early stop can never lose solvability —
+        # the sharded twin of the §7.2 root quick solution.  Each block
+        # solver repeats this quick pass as its own root incumbent (a
+        # memo hit when a store is attached), so these upfront passes
+        # are deliberately *not* counted in stats.quick_solutions —
+        # the block counters already report the same logical solutions.
+        block_best: List[Solution] = [
+            quick_solve(block.relation, options.minimizer,
+                        options.cost_function, memo=memo)
+            for block in partition.blocks]
+        best = partition.recombine_solutions(block_best,
+                                             options.cost_function)
+        yield event("quick-solution", cost=best.cost, depth=0)
+        improvements.append(Improvement(best, best.cost,
+                                        time.perf_counter() - start, 0))
+        yield event("new-best", cost=best.cost, solution=best, depth=0)
+
+        block_results: List[Optional[BrelResult]] = \
+            [None] * partition.num_blocks
+        stopped = "exhausted"
+        for index, block in enumerate(partition.blocks):
+            if cancel is not None and cancel.cancelled:
+                stopped = "cancelled"
+                yield event("cancelled")
+                break
+            remaining = None
+            if deadline is not None:
+                remaining = deadline - time.perf_counter()
+                if remaining <= 0:
+                    stopped = "timeout"
+                    yield event("timeout")
+                    break
+                remaining = max(remaining, 0.0)
+            sub = BrelSolver(self._block_options(remaining), memo=memo)
+            events = sub.iter_events(block.relation, cancel=cancel)
+            base_explored = explored_total
+            while True:
+                try:
+                    ev = next(events)
+                except StopIteration as stop:
+                    block_results[index] = stop.value
+                    break
+                explored_total = base_explored + ev.explored
+                if ev.kind == "done":
+                    continue  # one aggregate done closes the stream
+                if ev.kind == "new-best":
+                    if ev.solution is None:
+                        continue
+                    block_best[index] = ev.solution
+                    candidate = partition.recombine_solutions(
+                        block_best, options.cost_function)
+                    if candidate.cost < best.cost:
+                        best = candidate
+                        improvements.append(Improvement(
+                            best, best.cost,
+                            time.perf_counter() - start,
+                            explored_total))
+                        yield event("new-best", cost=best.cost,
+                                    solution=best, depth=ev.depth)
+                    continue
+                yield event(ev.kind, cost=ev.cost, depth=ev.depth,
+                            detail=ev.detail)
+            result = block_results[index]
+            block_best[index] = result.solution
+            stopped = worst_stopped((stopped, result.stopped))
+            if result.stopped in ("cancelled", "timeout"):
+                # The block already streamed its stop event, and the
+                # shared token/deadline would stop every later block
+                # too — break rather than re-emitting per block.
+                break
+
+        # For per-output-additive costs every block improvement improved
+        # the total, so `best` already holds the final recombination; a
+        # non-additive cost keeps whichever full vector priced lowest.
+        stats = merge_block_stats(
+            [result.stats for result in block_results
+             if result is not None])
+        stats.runtime_seconds = time.perf_counter() - start
+        engine_after = relation.mgr.stats()
+        stats.bdd_nodes = engine_after["nodes"]
+        stats.bdd_cache_hits = (engine_after["cache_hits"]
+                                - engine_before["cache_hits"])
+        stats.bdd_cache_misses = (engine_after["cache_misses"]
+                                  - engine_before["cache_misses"])
+        if memo_before is not None:
+            hits, misses, stores = memo.counters()
+            stats.memo_hits = hits - memo_before[0]
+            stats.memo_misses = misses - memo_before[1]
+            stats.memo_stores = stores - memo_before[2]
+        summary = partition.summary()
+        for entry, result, solution in zip(summary["blocks"],
+                                           block_results, block_best):
+            entry["cost"] = solution.cost
+            entry["stats"] = (result.stats.as_dict()
+                              if result is not None else None)
+            entry["stopped"] = (result.stopped if result is not None
+                                else "skipped")
+        yield event("done", cost=best.cost)
+        return BrelResult(best, stats, improvements=improvements,
+                          events=trace, stopped=stopped,
+                          partition=summary)
+
+    # ------------------------------------------------------------------
+    def _iter_events_monolithic(
+            self, relation: BooleanRelation,
+            cancel: Optional[CancelToken]
+            ) -> Generator[SolveEvent, None, BrelResult]:
+        """The single-semilattice strategy loop (paper Fig. 6 / §7.2)."""
         options = self.options
         start = time.perf_counter()
         deadline = (start + options.time_limit_seconds

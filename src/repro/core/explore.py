@@ -37,10 +37,12 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .solution import Solution
 
 #: Event kinds a solve can emit, in the order they typically appear.
+#: ``partition`` opens a sharded solve (the relation decomposed into
+#: ``detail``-described output blocks; see :mod:`repro.core.partition`);
 #: ``timeout`` / ``cancelled`` / ``budget`` flag an early stop (matching
 #: ``BrelResult.stopped``); ``done`` always closes the stream.
-EVENT_KINDS = ("quick-solution", "new-best", "branch", "prune",
-               "timeout", "cancelled", "budget", "done")
+EVENT_KINDS = ("partition", "quick-solution", "new-best", "branch",
+               "prune", "timeout", "cancelled", "budget", "done")
 
 #: ``SolveEvent.detail`` values used by ``prune`` events.
 PRUNE_DETAILS = ("cost", "symmetry", "frontier-overflow", "bound")

@@ -223,15 +223,60 @@ class BooleanRelation:
     def function_vector(self) -> List[int]:
         """Extract ``f_i(X)`` for a functional relation.
 
-        For non-functional relations the result is the per-output
-        "may be 1" upper bound; callers that need exactness should check
-        :meth:`is_function` first.
+        Raises :class:`ValueError` when the relation is not a function
+        (some input vertex maps to zero or to several output vertices):
+        the per-output extraction below would silently return the
+        "may be 1" upper bound of each output, which is *not* a
+        solution of the relation.  Use :meth:`project` when the
+        per-output flexibility itself is wanted.
         """
+        if not self.is_function():
+            raise ValueError(
+                "function_vector() requires a functional relation "
+                "(every input vertex maps to exactly one output "
+                "vertex); this one is %s — check is_function() before "
+                "extracting, or project() per output for the "
+                "flexibility bounds"
+                % ("not well defined" if not self.is_well_defined()
+                   else "a relation with residual flexibility"))
         result = []
         for var in self.outputs:
             picked = self.mgr.and_(self.node, self.mgr.var(var))
             result.append(self.mgr.exists(picked, self.outputs))
         return result
+
+    # ------------------------------------------------------------------
+    # Support analysis (output-block decomposition, repro.core.partition)
+    # ------------------------------------------------------------------
+    def input_support(self) -> Tuple[int, ...]:
+        """Input variables the characteristic function mentions.
+
+        A subset of :attr:`inputs`, in frame order; inputs the relation
+        never constrains (and no output depends on) are absent.
+        """
+        support = set(self.mgr.support(self.node))
+        return tuple(var for var in self.inputs if var in support)
+
+    def output_support(self, position: int) -> Tuple[int, ...]:
+        """Input variables output ``position`` depends on.
+
+        The support of the relation projected onto ``(X, y_i)`` —
+        i.e. the inputs that can influence which values output
+        ``position`` may take.  These are the edges of the
+        output–input support graph that drives
+        :func:`repro.core.partition.partition_relation`.
+        """
+        var = self.outputs[position]
+        others = [v for v in self.outputs if v != var]
+        projected = self.mgr.exists(self.node, others)
+        input_set = set(self.inputs)
+        return tuple(v for v in self.mgr.support(projected)
+                     if v in input_set)
+
+    def output_supports(self) -> List[Tuple[int, ...]]:
+        """Per-output input supports (one tuple per output position)."""
+        return [self.output_support(position)
+                for position in range(len(self.outputs))]
 
     # ------------------------------------------------------------------
     # Projection / MISF (paper §5.2)

@@ -129,6 +129,9 @@ class TestCacheKeySchemaGuard:
         "time_limit_seconds": (None, 60.0),
         "record_trace": (False, True),
         "memo": (None, False),
+        # None (auto) and True shard identically and share a slot; the
+        # keyed pair is the effective on/off boundary.
+        "decompose": (None, False),
     }
     #: Fields that deliberately do not key the cache: the relation keys
     #: separately (identity/snapshot/spec), the label only decorates the

@@ -69,6 +69,92 @@ class TestPredicates:
         assert relation.pair_count() == 6
 
 
+class TestFunctionVector:
+    def test_extracts_functions(self):
+        func = BooleanRelation.from_output_sets([{0}, {1}, {1}, {0}],
+                                                2, 1)
+        assert func.is_function()
+        vector = func.function_vector()
+        assert len(vector) == 1
+
+    def test_raises_on_flexible_relation(self):
+        flexible = BooleanRelation.from_output_sets(
+            [{0, 1}, {1}, {1}, {0}], 2, 1)
+        assert not flexible.is_function()
+        with pytest.raises(ValueError, match="functional relation"):
+            flexible.function_vector()
+
+    def test_raises_on_not_well_defined_relation(self):
+        partial = BooleanRelation.from_output_sets([set(), {1}], 1, 1)
+        with pytest.raises(ValueError, match="not well defined"):
+            partial.function_vector()
+
+
+class TestSupportAnalysis:
+    def test_output_support_tracks_dependencies(self):
+        # y0 = x0 and y1 = x1: each output depends on its own input.
+        rows = [{(value & 1) | ((value >> 1) << 1)}
+                for value in range(4)]
+        relation = BooleanRelation.from_output_sets(rows, 2, 2)
+        assert relation.output_support(0) == (0,)
+        assert relation.output_support(1) == (1,)
+        assert relation.output_supports() == [(0,), (1,)]
+
+    def test_input_support_drops_unused_inputs(self):
+        # The output ignores x1 entirely.
+        relation = BooleanRelation.from_output_sets(
+            [{0}, {1}, {0}, {1}], 2, 1)
+        assert relation.input_support() == (0,)
+
+    def test_constant_output_has_empty_support(self):
+        relation = BooleanRelation.from_output_sets([{1}, {1}], 1, 1)
+        assert relation.output_support(0) == ()
+
+
+class TestProjectDegenerate:
+    """project() on degenerate relations (previously only exercised
+    through the solver)."""
+
+    def test_empty_relation_projects_to_empty_isf(self):
+        empty = BooleanRelation.from_output_sets([set(), set()], 1, 1)
+        assert empty.node == FALSE
+        isf = empty.project(0)
+        # Nothing is allowed: no onset, no don't-cares.
+        assert isf.on == FALSE
+        assert isf.dc == FALSE
+        assert isf.upper == FALSE
+
+    def test_single_output_projection_is_the_relation_itself(self):
+        relation = BooleanRelation.from_output_sets(
+            [{0}, {0, 1}, {1}, {1}], 2, 1)
+        isf = relation.project(0)
+        mgr = relation.mgr
+        # Onset: vertices forced to 1; don't-care: vertices allowing
+        # both.  Rebuilding the relation from the interval reproduces
+        # the characteristic function exactly.
+        rebuilt = mgr.or_(
+            mgr.and_(mgr.var(relation.outputs[0]), isf.upper),
+            mgr.and_(mgr.nvar(relation.outputs[0]), mgr.not_(isf.on)))
+        assert rebuilt == relation.node
+
+    def test_output_independent_of_all_inputs(self):
+        # y0 is always free, whatever the input: the ISF is the full
+        # don't-care interval [0, 1] with empty support.
+        relation = BooleanRelation.from_output_sets(
+            [{0, 1}, {0, 1}, {0, 1}, {0, 1}], 2, 1)
+        isf = relation.project(0)
+        assert isf.on == FALSE
+        assert isf.dc == TRUE
+        assert isf.upper == TRUE
+        assert relation.output_support(0) == ()
+
+    def test_constant_output_projection(self):
+        relation = BooleanRelation.from_output_sets([{1}, {1}], 1, 1)
+        isf = relation.project(0)
+        assert isf.on == TRUE
+        assert isf.dc == FALSE
+
+
 class TestAlgebra:
     def test_intersect_union(self):
         left = BooleanRelation.from_output_sets([{0, 1}, {0}], 1, 1)

@@ -69,9 +69,22 @@ class TestBrelModes:
     def test_max_explored_limits_work(self):
         rows = [{0, 1, 2, 3}] * 8
         relation = BooleanRelation.from_output_sets(rows, 3, 2)
-        options = BrelOptions(max_explored=1)
+        options = BrelOptions(max_explored=1, decompose=False)
         result = BrelSolver(options).solve(relation)
         assert result.stats.relations_explored <= 1
+        assert relation.is_compatible(result.solution.functions)
+
+    def test_max_explored_applies_per_block_when_sharded(self):
+        # Both outputs are fully free with empty input supports, so the
+        # relation shards into two singleton blocks; the exploration
+        # budget applies to each block's own search loop.
+        rows = [{0, 1, 2, 3}] * 8
+        relation = BooleanRelation.from_output_sets(rows, 3, 2)
+        options = BrelOptions(max_explored=1)
+        result = BrelSolver(options).solve(relation)
+        assert result.partition is not None
+        assert result.partition["num_blocks"] == 2
+        assert result.stats.relations_explored <= 2
         assert relation.is_compatible(result.solution.functions)
 
     def test_fifo_capacity_counts_overflow(self):

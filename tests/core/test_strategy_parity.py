@@ -176,6 +176,13 @@ PARITY_COUNTERS = ("relations_explored", "misf_minimizations", "splits",
 
 
 def assert_identical(name, options):
+    # The reference implementation is monolithic by definition, and the
+    # node-id-level comparison below needs both managers to execute the
+    # exact same engine op sequence — the sharding router's support
+    # analysis would create extra nodes first, shifting ids even on
+    # relations that end up not decomposing.  (Logical parity of the
+    # auto default is covered by TestDecomposeAutoLogicalParity.)
+    options.decompose = False
     # Separate builds: the two solvers must not share manager state
     # (node ids and caches), or the comparison would not be independent.
     reference_relation = instance_by_name(name).build()
@@ -246,6 +253,28 @@ class TestByteIdenticalParity:
         assert via_mode.solution.cost == via_strategy.solution.cost
         assert via_mode.solution.functions == \
             via_strategy.solution.functions
+
+
+class TestDecomposeAutoLogicalParity:
+    """The auto-decompose default must not change what default solves
+    *mean*: none of the Table 2 instances is separable, so the router
+    falls through to the monolithic loop and the solution is logically
+    identical to a ``decompose=False`` solve — same cost, same SOP
+    rendering, same search counters (node ids may differ because the
+    support analysis touches the engine first)."""
+
+    @pytest.mark.parametrize("name", PARITY_INSTANCES)
+    def test_auto_matches_forced_off(self, name):
+        auto = BrelSolver(BrelOptions()).solve(
+            instance_by_name(name).build())
+        off = BrelSolver(BrelOptions(decompose=False)).solve(
+            instance_by_name(name).build())
+        assert auto.partition is None, name
+        assert auto.solution.cost == off.solution.cost, name
+        assert auto.solution.describe() == off.solution.describe(), name
+        for counter in PARITY_COUNTERS:
+            assert getattr(auto.stats, counter) == \
+                getattr(off.stats, counter), (name, counter)
 
 
 class TestAllStrategiesCompatible:

@@ -1,6 +1,7 @@
 """Tests for the command-line interface."""
 
 import json
+import warnings
 
 import pytest
 
@@ -13,6 +14,15 @@ def relation_file(tmp_path):
     relation = BooleanRelation.from_output_sets(
         [{0b01}, {0b01}, {0b00, 0b11}, {0b10, 0b11}], 2, 2)
     path = tmp_path / "fig1.rel"
+    save_relation(relation, str(path))
+    return str(path)
+
+
+@pytest.fixture
+def block_relation_file(tmp_path):
+    from repro.benchdata.brgen import block_structured_relation
+    relation = block_structured_relation([(3, 2), (3, 2)], seed=5)
+    path = tmp_path / "blocky.rel"
     save_relation(relation, str(path))
     return str(path)
 
@@ -104,6 +114,60 @@ class TestSolveCommand:
         assert main(["solve", relation_file, "--json"]) == 0
         report = json.loads(capsys.readouterr().out)
         assert report["trace"] is None
+
+    def test_solve_default_flags_emit_no_deprecation_warning(
+            self, relation_file, capsys):
+        # The deprecated --mode alias must not travel unless the user
+        # actually typed it; a default invocation builds a request that
+        # never touches the alias path.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert main(["solve", relation_file]) == 0
+        report_out = capsys.readouterr().out
+        assert "compatible=True" in report_out
+
+    def test_solve_explicit_mode_still_warns(self, relation_file):
+        with pytest.warns(DeprecationWarning):
+            assert main(["solve", relation_file, "--mode", "dfs"]) == 0
+
+    def test_solve_reports_partition_blocks(self, block_relation_file,
+                                            capsys):
+        assert main(["solve", block_relation_file]) == 0
+        out = capsys.readouterr().out
+        assert "partition: 2 independent blocks" in out
+        assert "block [y0,y1]" in out and "block [y2,y3]" in out
+
+    def test_solve_no_decompose_suppresses_partition(
+            self, block_relation_file, capsys):
+        assert main(["solve", block_relation_file,
+                     "--no-decompose", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["partition"] is None
+        assert report["request"]["decompose"] is False
+
+    def test_solve_decompose_json_breakdown(self, block_relation_file,
+                                            capsys):
+        assert main(["solve", block_relation_file, "--decompose",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["partition"]["num_blocks"] == 2
+        assert [block["outputs"]
+                for block in report["partition"]["blocks"]] == \
+            [[0, 1], [2, 3]]
+        assert all(block["stopped"] == "exhausted"
+                   for block in report["partition"]["blocks"])
+
+    def test_solve_block_executor_matches_serial(
+            self, block_relation_file, capsys):
+        assert main(["solve", block_relation_file, "--json"]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(["solve", block_relation_file, "--json",
+                     "--block-executor", "process"]) == 0
+        pooled = json.loads(capsys.readouterr().out)
+        assert pooled["cost"] == serial["cost"]
+        assert pooled["sop"] == serial["sop"]
+        assert pooled["partition"]["num_blocks"] == \
+            serial["partition"]["num_blocks"]
 
 
 class TestBatchCommand:
