@@ -13,6 +13,7 @@ wall-clock timings plus an engine-stats snapshot, and fails loudly if a
 workload returns wrong results or the computed table exceeds its bound.
 """
 
+import json
 import random
 import sys
 import time
@@ -275,6 +276,15 @@ def run_quick() -> int:
     print("bench_bdd_engine quick mode")
     for name, seconds in timings.items():
         print("  %-16s %8.3fs" % (name, seconds))
+    # Persist the same numbers as JSON so benchmarks/snapshot.py can
+    # fold the engine micro-benchmarks into the BENCH_N trajectory.
+    from _util import RESULTS_DIR
+    RESULTS_DIR.mkdir(exist_ok=True)
+    artefact = {"timings": timings,
+                "engine": {"ite": mgr.stats(),
+                           "quant": qmgr.stats()}}
+    (RESULTS_DIR / "bench_bdd_engine.json").write_text(
+        json.dumps(artefact, indent=2, sort_keys=True) + "\n")
     for label, engine in (("ite", mgr), ("quant", qmgr)):
         stats = engine.stats()
         print("  engine[%s]: nodes=%d cache_entries=%d (limit %s) "

@@ -35,13 +35,14 @@ the generator's return value::
 
 from ..core.explore import CancelToken, Improvement, SolveEvent
 from ..core.memo import MemoStore
+from .events import event_to_jsonable, format_event
 from .registry import (COSTS, Registry, cost_names, cost_registry, get_cost,
                        get_minimizer, get_strategy, minimizer_names,
                        minimizer_registry, register_cost, register_minimizer,
                        register_strategy, strategy_names, strategy_registry)
 from .report import REPORT_SCHEMA_VERSION, SolveReport
 from .request import (RelationSpec, SolveRequest, build_relation,
-                      normalize_relation_spec)
+                      load_manifest, normalize_relation_spec)
 from .session import RelationLike, Session
 
 __all__ = [
@@ -60,9 +61,12 @@ __all__ = [
     "build_relation",
     "cost_names",
     "cost_registry",
+    "event_to_jsonable",
+    "format_event",
     "get_cost",
     "get_minimizer",
     "get_strategy",
+    "load_manifest",
     "minimizer_names",
     "minimizer_registry",
     "normalize_relation_spec",

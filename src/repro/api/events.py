@@ -1,0 +1,55 @@
+"""One serialiser for the solve-event stream, shared by every surface.
+
+A running solve emits typed :class:`~repro.core.SolveEvent`\\ s.  Two
+front ends render them — the CLI's ``--progress`` stderr stream and the
+service layer's ``POST /solve/stream`` Server-Sent Events — and both
+must agree on what an event *is* on the wire.  This module is that
+single source of truth:
+
+* :func:`event_to_jsonable` — the canonical JSON form of one event
+  (also what :attr:`SolveReport.trace` rows contain);
+* :func:`format_event` — the human-readable one-liner the CLI prints,
+  built *from* the jsonable form so the two renderings can never
+  disagree about an event's fields.
+
+Keep new event fields flowing through here: adding a key to
+:meth:`SolveEvent.as_dict` automatically lands it in both the SSE
+payloads and (if :func:`format_event` is taught about it) the progress
+lines.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Union
+
+from ..core.explore import SolveEvent
+
+__all__ = ["event_to_jsonable", "format_event"]
+
+
+def event_to_jsonable(event: Union[SolveEvent, Mapping[str, Any]]
+                      ) -> Dict[str, Any]:
+    """Canonical JSON-ready dict of one solve event.
+
+    Accepts either a live :class:`SolveEvent` or an already-serialised
+    row (e.g. a :attr:`SolveReport.trace` entry), so replaying a
+    recorded trace through an SSE stream needs no special casing.
+    """
+    if isinstance(event, SolveEvent):
+        return event.as_dict()
+    return dict(event)
+
+
+def format_event(event: Union[SolveEvent, Mapping[str, Any]]) -> str:
+    """The CLI progress line for one event (no trailing newline)."""
+    data = event_to_jsonable(event)
+    parts = ["[%7.3fs]" % data["elapsed_seconds"],
+             "%-14s" % data["kind"],
+             "explored=%d" % data["explored"]]
+    if data.get("cost") is not None:
+        parts.append("cost=%.0f" % data["cost"])
+    if data.get("best_cost") is not None:
+        parts.append("best=%.0f" % data["best_cost"])
+    if data.get("detail"):
+        parts.append("(%s)" % data["detail"])
+    return " ".join(parts)

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import os
 import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Union
@@ -163,6 +164,50 @@ def build_relation(spec: RelationSpec) -> BooleanRelation:
     if not system.is_consistent():
         raise ValueError("the Boolean system is inconsistent")
     return system.to_relation()
+
+
+def merge_manifest_jobs(data: Any, base: str = "") -> List[Dict[str, Any]]:
+    """Expand manifest JSON into per-job request dicts.
+
+    A manifest is either a JSON list of :class:`SolveRequest` dicts or
+    an object ``{"defaults": {...}, "jobs": [{...}, ...]}`` where each
+    job is merged over the defaults.  Relation ``file`` paths are
+    resolved relative to ``base`` (the manifest's directory) so a
+    corpus travels with its relation files.  Used by the CLI's
+    ``batch`` verb and the service layer's prewarming corpus loader.
+    """
+    if isinstance(data, dict):
+        defaults = data.get("defaults", {})
+        jobs = data.get("jobs")
+        if jobs is None:
+            raise ValueError("manifest object needs a 'jobs' list")
+    elif isinstance(data, list):
+        defaults, jobs = {}, data
+    else:
+        raise ValueError("manifest must be a JSON list or object")
+    merged_jobs: List[Dict[str, Any]] = []
+    for position, job in enumerate(jobs):
+        if not isinstance(job, dict):
+            raise ValueError("job %d is not a JSON object" % position)
+        merged = dict(defaults)
+        merged.update(job)
+        relation = merged.get("relation")
+        if (isinstance(relation, dict) and relation.get("kind") == "file"
+                and base and not os.path.isabs(relation.get("path", ""))):
+            relation = dict(relation)
+            relation["path"] = os.path.join(base, relation["path"])
+            merged["relation"] = relation
+        merged_jobs.append(merged)
+    return merged_jobs
+
+
+def load_manifest(path: str) -> List["SolveRequest"]:
+    """Parse a batch/prewarm manifest file into validated requests."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    base = os.path.dirname(os.path.abspath(path))
+    return [SolveRequest.from_dict(job)
+            for job in merge_manifest_jobs(data, base)]
 
 
 @dataclass(frozen=True)

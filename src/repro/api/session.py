@@ -540,6 +540,77 @@ class Session:
         self._cache.clear()
         self.cache_hits = 0
 
+    @staticmethod
+    def _cached_copy(report: SolveReport, **changes: Any) -> SolveReport:
+        """A cache-served copy of ``report`` with honest per-job stats.
+
+        Serving from the cache does no memoisation work, so the copy's
+        ``memo_*`` deltas read zero — each report attributes exactly
+        the store traffic *its own* solve caused, and summing the
+        deltas across a batch (or a service's request log) matches the
+        session store's counters instead of double-counting every
+        deduplicated job.
+        """
+        copy = report.copy(cached=True, **changes)
+        for field in ("memo_hits", "memo_misses", "memo_stores"):
+            if field in copy.stats:
+                copy.stats[field] = 0
+        return copy
+
+    # ------------------------------------------------------------------
+    # External cache tiers (the service layer's hooks)
+    # ------------------------------------------------------------------
+    def options_key(self, request: SolveRequest) -> Tuple[Any, ...]:
+        """The request's result-affecting option values, as a tuple.
+
+        Every field that can change a report's content is present (the
+        schema-evolution guard in the test suite enforces it), and all
+        values are JSON-safe primitives — external cache tiers key
+        their slots on this tuple plus a canonical relation rendering.
+        Tri-states are resolved to their *effective* decision against
+        this session's defaults, exactly like the in-RAM report cache.
+        """
+        return self._options_key(request)
+
+    def peek_cached(self, request: Optional[SolveRequest] = None,
+                    relation: Optional[RelationLike] = None
+                    ) -> Optional[SolveReport]:
+        """Probe the in-RAM report cache without ever solving.
+
+        Returns the cached report for this request (a defensive copy,
+        ``cached=True``) or ``None`` on a miss.  Unlike :meth:`solve`,
+        a data-only entry — one produced by a pool worker or adopted
+        from an external tier via :meth:`store_report` — *is* served:
+        callers of this hook (the service layer) want the report data,
+        not a live :class:`~repro.core.Solution` handle.  Input
+        validation matches :meth:`solve`: unknown names and unreadable
+        files raise here.
+        """
+        request = request or SolveRequest()
+        _, _, key, _ = self._prepare_solve(request, relation)
+        cached = self._cache.get(key)
+        if cached is None:
+            return None
+        self.cache_hits += 1
+        return self._cached_copy(cached, label=request.label,
+                                 request=request.to_dict())
+
+    def store_report(self, request: SolveRequest, report: SolveReport,
+                     relation: Optional[RelationLike] = None) -> None:
+        """Adopt an externally produced report into the in-RAM cache.
+
+        The service layer promotes disk-tier hits through this hook so
+        the *next* identical request is served from RAM.  The entry is
+        stored data-only (any live solution handle is dropped — it
+        belongs to a foreign manager) under exactly the key
+        :meth:`solve` would compute, and the usual cache hygiene
+        applies: failed and cancelled reports are never stored.
+        """
+        if not report.ok or report.stopped == "cancelled":
+            return
+        _, _, key, _ = self._prepare_solve(request, relation)
+        self._cache[key] = report.copy(solution=None)
+
     def _prepare_solve(self, request: SolveRequest,
                        relation: Optional[RelationLike]
                        ) -> Tuple[Optional[BooleanRelation],
@@ -653,8 +724,8 @@ class Session:
         # cache entry) rather than serve it.
         if cached is not None and cached.solution is not None:
             self.cache_hits += 1
-            return cached.copy(label=request.label,
-                               request=request.to_dict(), cached=True)
+            return self._cached_copy(cached, label=request.label,
+                                     request=request.to_dict())
         resolved, key = self._materialize(resolved, spec, key,
                                           from_registry, request)
         report = None
@@ -955,8 +1026,8 @@ class Session:
         cached = self._cache.get(key)
         if cached is not None and cached.solution is not None:
             self.cache_hits += 1
-            report = cached.copy(label=request.label,
-                                 request=request.to_dict(), cached=True)
+            report = self._cached_copy(cached, label=request.label,
+                                       request=request.to_dict())
             yield Improvement(report.solution, report.cost, 0.0, 0)
             return report
         resolved, key = self._materialize(resolved, spec, key,
@@ -1064,8 +1135,8 @@ class Session:
             cached = self._cache.get(key)
             if cached is not None:
                 self.cache_hits += 1
-                reports[index] = cached.copy(
-                    label=label, request=request.to_dict(), cached=True,
+                reports[index] = self._cached_copy(
+                    cached, label=label, request=request.to_dict(),
                     solution=self._portable_solution(cached, resolved))
                 continue
             if key not in pending:
@@ -1115,15 +1186,24 @@ class Session:
                     request=requests[first].to_dict())
                 for index in rest:
                     # Failures are never cached, so only successful
-                    # shared results count (and read) as cache hits.
+                    # shared results count (and read) as cache hits —
+                    # and only those are _cached_copy'd, zeroing the
+                    # memo deltas the job did not itself cause.
+                    shared_label = requests[index].label or \
+                        "job-%d" % index
+                    shared_solution = self._portable_solution(
+                        report, resolved_by_index[index])
                     if report.ok:
                         self.cache_hits += 1
-                    reports[index] = report.copy(
-                        label=requests[index].label or "job-%d" % index,
-                        request=requests[index].to_dict(),
-                        cached=report.ok,
-                        solution=self._portable_solution(
-                            report, resolved_by_index[index]))
+                        reports[index] = self._cached_copy(
+                            report, label=shared_label,
+                            request=requests[index].to_dict(),
+                            solution=shared_solution)
+                    else:
+                        reports[index] = report.copy(
+                            label=shared_label,
+                            request=requests[index].to_dict(),
+                            cached=False, solution=shared_solution)
         # Every index was filled above: failure, cache hit, or fresh run.
         return [report for report in reports if report is not None]
 

@@ -12,6 +12,10 @@ Commands
                report baseline-vs-decomposed area/delay.
 ``map``        technology-map a BLIF netlist and print the gate report.
 ``bench-info`` list the bundled benchmark instances.
+``serve``      run the solve service (HTTP + SSE, tiered cache) from
+               :mod:`repro.service`.
+``prewarm``    replay a request corpus into a service cache directory
+               so cold workers boot warm.
 
 Batch manifests are either a JSON list of :class:`SolveRequest` dicts or
 an object ``{"defaults": {...}, "jobs": [{...}, ...]}`` where each job is
@@ -29,13 +33,13 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
 from typing import Any, Dict, List, Optional
 
+from .api.events import format_event
 from .api.registry import (COSTS, cost_names, minimizer_names,
                            strategy_names)
-from .api.request import SolveRequest
+from .api.request import SolveRequest, load_manifest
 from .api.session import Session
 
 __all__ = ["COSTS", "build_parser", "main"]
@@ -65,18 +69,14 @@ def _request_from_args(args: argparse.Namespace,
 
 
 def _progress_printer(stream):
-    """An event observer that renders the solve stream one line each."""
+    """An event observer that renders the solve stream one line each.
+
+    Rendering goes through :func:`repro.api.format_event`, the same
+    serializer the service's SSE transport uses, so the CLI stream and
+    the wire stream can never drift apart.
+    """
     def observer(event):
-        parts = ["[%7.3fs]" % event.elapsed_seconds,
-                 "%-14s" % event.kind,
-                 "explored=%d" % event.explored]
-        if event.cost is not None:
-            parts.append("cost=%.0f" % event.cost)
-        if event.best_cost is not None:
-            parts.append("best=%.0f" % event.best_cost)
-        if event.detail:
-            parts.append("(%s)" % event.detail)
-        print(" ".join(parts), file=stream)
+        print(format_event(event), file=stream)
     return observer
 
 
@@ -122,39 +122,9 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0 if report.compatible else 1
 
 
-def _load_manifest(path: str) -> List[SolveRequest]:
-    """Parse a batch manifest into validated requests."""
-    with open(path, "r", encoding="utf-8") as handle:
-        data = json.load(handle)
-    if isinstance(data, dict):
-        defaults = data.get("defaults", {})
-        jobs = data.get("jobs")
-        if jobs is None:
-            raise ValueError("manifest object needs a 'jobs' list")
-    elif isinstance(data, list):
-        defaults, jobs = {}, data
-    else:
-        raise ValueError("manifest must be a JSON list or object")
-    base = os.path.dirname(os.path.abspath(path))
-    requests = []
-    for position, job in enumerate(jobs):
-        if not isinstance(job, dict):
-            raise ValueError("job %d is not a JSON object" % position)
-        merged = dict(defaults)
-        merged.update(job)
-        relation = merged.get("relation")
-        if (isinstance(relation, dict) and relation.get("kind") == "file"
-                and not os.path.isabs(relation.get("path", ""))):
-            relation = dict(relation)
-            relation["path"] = os.path.join(base, relation["path"])
-            merged["relation"] = relation
-        requests.append(SolveRequest.from_dict(merged))
-    return requests
-
-
 def _cmd_batch(args: argparse.Namespace) -> int:
     try:
-        requests = _load_manifest(args.manifest)
+        requests = load_manifest(args.manifest)
     except (ValueError, KeyError, TypeError, OSError) as exc:
         print("error: %s" % exc, file=sys.stderr)
         return 2
@@ -214,6 +184,47 @@ def _cmd_map(args: argparse.Namespace) -> int:
     result = map_network(network, mode=args.objective)
     print(gate_report(result))
     return 0
+
+
+def _service_from_args(args: argparse.Namespace):
+    from .service import DiskCache, SolveService
+
+    disk = DiskCache(args.cache_dir) if args.cache_dir else None
+    return SolveService(disk=disk, flush_every=args.flush_every)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service import create_server
+
+    service = _service_from_args(args)
+    server = create_server(service, args.host, args.port,
+                           quiet=args.quiet)
+    host, port = server.server_address[:2]
+    print("repro service on http://%s:%d (cache: %s, memo seeded: %d)"
+          % (host, port, args.cache_dir or "RAM only",
+             service.seeded_entries), file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.flush()
+    return 0
+
+
+def _cmd_prewarm(args: argparse.Namespace) -> int:
+    from .service import prewarm
+
+    try:
+        summary = prewarm(args.corpus, args.cache_dir,
+                          executor=args.executor, workers=args.workers)
+    except (ValueError, KeyError, TypeError, OSError) as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0 if summary["ok"] else 1
 
 
 def _cmd_bench_info(args: argparse.Namespace) -> int:
@@ -333,6 +344,36 @@ def build_parser() -> argparse.ArgumentParser:
     info = commands.add_parser("bench-info",
                                help="list bundled benchmark instances")
     info.set_defaults(func=_cmd_bench_info)
+
+    serve_cmd = commands.add_parser(
+        "serve", help="run the HTTP/SSE solve service")
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8080,
+                           help="TCP port (0 picks a free one)")
+    serve_cmd.add_argument("--cache-dir", default=None,
+                           help="disk-tier directory shared across "
+                                "workers and restarts (default: RAM "
+                                "cache only)")
+    serve_cmd.add_argument("--flush-every", type=int, default=8,
+                           help="engine solves between memo flushes "
+                                "to the disk tier")
+    serve_cmd.add_argument("--verbose", dest="quiet",
+                           action="store_false", default=True,
+                           help="log each request to stderr")
+    serve_cmd.set_defaults(func=_cmd_serve)
+
+    prewarm_cmd = commands.add_parser(
+        "prewarm", help="replay a request corpus into a cache dir")
+    prewarm_cmd.add_argument("corpus",
+                             help="JSON manifest of requests (same "
+                                  "format as 'batch')")
+    prewarm_cmd.add_argument("cache_dir",
+                             help="disk-tier directory to fill")
+    prewarm_cmd.add_argument("--executor",
+                             choices=["serial", "thread", "process"],
+                             default="serial")
+    prewarm_cmd.add_argument("--workers", type=int, default=None)
+    prewarm_cmd.set_defaults(func=_cmd_prewarm)
     return parser
 
 

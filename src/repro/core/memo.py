@@ -317,3 +317,54 @@ class MemoStore:
             while len(store) > self.capacity:
                 store.popitem(last=False)
                 self.evictions += 1
+
+
+# ----------------------------------------------------------------------
+# JSON wire format (the disk tier's transport)
+# ----------------------------------------------------------------------
+def _tuplify(value: Any) -> Any:
+    """Recursively turn JSON arrays back into the tuples keys need."""
+    if isinstance(value, list):
+        return tuple(_tuplify(item) for item in value)
+    return value
+
+
+def _listify(value: Any) -> Any:
+    """Recursively turn tuples into JSON arrays (explicit inverse)."""
+    if isinstance(value, (list, tuple)):
+        return [_listify(item) for item in value]
+    return value
+
+
+def entries_to_jsonable(entries: Iterable[Tuple[Any, Any]]
+                        ) -> List[List[Any]]:
+    """Render exported store entries as pure-JSON ``[key, value]`` rows.
+
+    Keys and values are nested tuples of ints, bools, strings and
+    ``None`` (signature keys, rank-cover templates), which map onto
+    JSON arrays losslessly; :func:`entries_from_jsonable` inverts the
+    mapping exactly, so a store round-tripped through JSON — the disk
+    cache tier, a prewarming corpus, a network hop — behaves
+    identically to the original (same keys, same instantiated
+    functions).
+    """
+    return [[_listify(key), _listify(value)] for key, value in entries]
+
+
+def entries_from_jsonable(data: Iterable[Any]) -> List[Tuple[Any, Any]]:
+    """Parse wire rows back into seedable ``(key, value)`` entry pairs.
+
+    Tolerant by design: the disk tier may hold entries written by an
+    older (or newer) code version, or rows a concurrent writer
+    truncated.  Malformed rows — not a two-element pair — are skipped
+    rather than raised on, and well-formed rows whose *content* this
+    version does not recognise are harmless: their keys simply never
+    match a lookup, and LRU eviction ages them out.
+    """
+    entries: List[Tuple[Any, Any]] = []
+    for row in data:
+        if not isinstance(row, (list, tuple)) or len(row) != 2:
+            continue
+        key, value = row
+        entries.append((_tuplify(key), _tuplify(value)))
+    return entries

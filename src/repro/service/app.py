@@ -1,0 +1,485 @@
+"""Solve-as-a-service: the transport-independent service core.
+
+A :class:`SolveService` wraps one :class:`~repro.api.Session` behind the
+operations every transport (the stdlib HTTP server in
+:mod:`repro.service.http`, the ASGI app in :mod:`repro.service.asgi`, a
+test driving it directly) exposes:
+
+``solve``          one request through the tiered cache;
+``solve_stream``   the anytime event/improvement stream of one solve;
+``batch``          many requests through :meth:`Session.solve_many`;
+``healthz``        liveness;
+``stats``          engine, memo, report-cache, disk-tier and per-tier
+                   request counters, plus a ring of recent requests
+                   with their per-request memo deltas.
+
+Tiered serving
+--------------
+Every ``solve`` walks the tiers in order:
+
+1. **RAM** — the session's own report cache
+   (:meth:`Session.peek_cached`); a hit costs a dict copy.
+2. **Disk** — the shared :class:`~repro.service.DiskCache`, keyed by
+   the canonical request fingerprint (:meth:`request_fingerprint`); a
+   hit is promoted into the RAM tier (:meth:`Session.store_report`) so
+   the next identical request never reaches the disk.
+3. **Engine** — a real solve; the fresh report is written back to the
+   disk tier for every other worker (and every future worker) to find.
+
+Multi-worker story: each worker process builds its own service over the
+same cache directory.  At boot the session memo store is seeded from
+the disk tier, so a cold worker starts with the fleet's accumulated
+subproblem templates; after every ``flush_every`` engine solves (and at
+shutdown) the worker merges its newly learned templates back.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Any, Deque, Dict, Generator, Iterator, List, Optional, Tuple
+
+from ..api.events import event_to_jsonable
+from ..api.request import (SolveRequest, merge_manifest_jobs,
+                           relation_spec_to_jsonable)
+from ..api.report import SolveReport
+from ..api.session import DEFAULT_MEMO_EXPORT_LIMIT, Session
+from ..core.explore import CancelToken
+from .diskcache import DiskCache, fingerprint_payload
+
+__all__ = ["ServiceError", "SolveService", "DEFAULT_FLUSH_EVERY"]
+
+#: Engine solves between automatic memo flushes to the disk tier.
+DEFAULT_FLUSH_EVERY = 8
+
+#: Recent requests kept for the ``/stats`` attribution ring.
+RECENT_REQUESTS = 50
+
+
+class ServiceError(Exception):
+    """A client-attributable failure (maps to an HTTP 4xx)."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+#: Exceptions that mean "your request was bad", not "the service broke".
+_CLIENT_ERRORS = (ValueError, KeyError, TypeError, OSError)
+
+
+class SolveService:
+    """The service core: one session, a tiered cache, typed operations.
+
+    ``session`` defaults to a fresh :class:`Session`; pass a prepared
+    one to pre-register named relations (the service then resolves
+    ``{"kind": "name", ...}`` specs against it — deployments must load
+    the same corpus into every worker for name-keyed disk entries to
+    mean the same thing fleet-wide).  ``disk`` is optional: without it
+    the service is RAM-tier only.  All session-touching operations are
+    serialised by an internal lock (the BDD engine is single-threaded
+    by design); run one service per worker process and scale out with
+    more workers over the shared disk tier.
+    """
+
+    def __init__(self, session: Optional[Session] = None,
+                 disk: Optional[DiskCache] = None, *,
+                 flush_every: int = DEFAULT_FLUSH_EVERY,
+                 memo_export_limit: int = DEFAULT_MEMO_EXPORT_LIMIT
+                 ) -> None:
+        if flush_every < 1:
+            raise ValueError("flush_every must be a positive int")
+        self.session = session if session is not None else Session()
+        self.disk = disk
+        self.flush_every = flush_every
+        self.memo_export_limit = memo_export_limit
+        self.started = time.time()
+        self._lock = threading.RLock()
+        self._solves_since_flush = 0
+        self.tier_hits = {"ram": 0, "disk": 0, "engine": 0}
+        self.request_counts = {"solve": 0, "stream": 0, "batch": 0,
+                               "errors": 0, "stream_cancelled": 0}
+        self.seeded_entries = 0
+        self.flushes = 0
+        self._recent: Deque[Dict[str, Any]] = deque(maxlen=RECENT_REQUESTS)
+        if self.disk is not None:
+            entries = self.disk.load_memo_entries()
+            if entries:
+                self.session.memo.seed(entries)
+            self.seeded_entries = len(entries)
+
+    # ------------------------------------------------------------------
+    # Canonical request identity (the disk tier's key)
+    # ------------------------------------------------------------------
+    def request_fingerprint(self, request: SolveRequest) -> str:
+        """The cross-process-stable cache key of one request.
+
+        Combines the canonical relation rendering (``file`` specs are
+        inlined so on-disk edits invalidate, exactly like the RAM
+        tier) with :meth:`Session.options_key` — every result-shaping
+        option, tri-states resolved to their effective decision.  The
+        label is deliberately absent: it names the job, not the
+        problem.
+        """
+        spec = request.relation
+        if spec is None:
+            raise ServiceError("request has no relation source")
+        if spec["kind"] == "file":
+            with open(spec["path"], "r", encoding="ascii") as handle:
+                spec = {"kind": "pla", "text": handle.read()}
+        payload = {
+            "relation": relation_spec_to_jsonable(dict(spec)),
+            "options": list(self.session.options_key(request)),
+        }
+        return fingerprint_payload(payload)
+
+    # ------------------------------------------------------------------
+    # Request parsing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def parse_request(data: Any) -> SolveRequest:
+        """Validate one request dict, mapping failures to 400s."""
+        if not isinstance(data, dict):
+            raise ServiceError("request body must be a JSON object")
+        try:
+            return SolveRequest.from_dict(data)
+        except _CLIENT_ERRORS as exc:
+            raise ServiceError("invalid solve request: %s" % exc) from exc
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        from .. import __version__
+        return {"ok": True, "version": __version__,
+                "uptime_seconds": time.time() - self.started}
+
+    def stats(self) -> Dict[str, Any]:
+        """Counter snapshot across every layer the service owns."""
+        with self._lock:
+            session = self.session
+            return {
+                "uptime_seconds": time.time() - self.started,
+                "requests": dict(self.request_counts),
+                "tiers": dict(self.tier_hits),
+                "session": {
+                    "report_cache_entries": len(session._cache),
+                    "cache_hits": session.cache_hits,
+                    "relations": session.relation_names(),
+                },
+                "memo": session.memo_stats(),
+                "memo_seeded_entries": self.seeded_entries,
+                "memo_flushes": self.flushes,
+                "engine": session.engine_stats(),
+                "disk": self.disk.stats() if self.disk is not None
+                else None,
+                "recent": list(self._recent),
+            }
+
+    def solve(self, data: Any) -> Tuple[Dict[str, Any], str]:
+        """Serve one request through the tiers.
+
+        Returns ``(report_dict, tier)`` where ``tier`` is ``"ram"``,
+        ``"disk"`` or ``"engine"``.  Raises :class:`ServiceError` for
+        client-attributable failures (bad request, unknown relation,
+        incompatible relation file); anything else propagates as a
+        genuine server error.
+        """
+        with self._lock:
+            self.request_counts["solve"] += 1
+            try:
+                request = self.parse_request(data)
+                report, tier = self._solve_tiered(request)
+            except ServiceError:
+                self.request_counts["errors"] += 1
+                raise
+            except _CLIENT_ERRORS as exc:
+                self.request_counts["errors"] += 1
+                raise ServiceError("solve failed: %s" % exc) from exc
+            self.tier_hits[tier] += 1
+            self._record(request, report, tier)
+            return report.to_dict(), tier
+
+    def _solve_tiered(self, request: SolveRequest
+                      ) -> Tuple[SolveReport, str]:
+        session = self.session
+        cached = session.peek_cached(request)
+        if cached is not None:
+            return cached, "ram"
+        key = self.request_fingerprint(request)
+        if self.disk is not None:
+            stored = self.disk.get_report(key)
+            if stored is not None:
+                report = self._report_from_wire(stored, request)
+                if report is not None:
+                    session.store_report(request, report)
+                    return report, "disk"
+        report = session.solve(request)
+        if (self.disk is not None and report.ok
+                and report.stopped != "cancelled"):
+            self.disk.put_report(key, report.to_dict())
+        self._after_engine_solve()
+        return report, "engine"
+
+    def _report_from_wire(self, stored: Dict[str, Any],
+                          request: SolveRequest
+                          ) -> Optional[SolveReport]:
+        """Rebuild a disk-tier report; version skew degrades to a miss."""
+        try:
+            report = SolveReport.from_dict(stored)
+        except (ValueError, TypeError):
+            return None
+        return Session._cached_copy(report, label=request.label,
+                                    request=request.to_dict())
+
+    def solve_stream(self, data: Any
+                     ) -> Generator[Tuple[str, Dict[str, Any]], None, None]:
+        """The anytime stream of one solve, as ``(event, payload)`` pairs.
+
+        Yields, in order: every :class:`~repro.core.SolveEvent` as
+        ``("event", ...)`` (serialised by the shared
+        :func:`~repro.api.events.event_to_jsonable`), each strictly
+        improving incumbent as ``("improvement", ...)`` (cost, wall
+        clock, explored count and the SOP rendering), and finally one
+        ``("report", ...)`` with the full report dict.
+
+        Closing the generator mid-stream — what the HTTP layer does
+        when the client disconnects — trips the solve's
+        :class:`~repro.core.CancelToken`, so the search stops
+        cooperatively at the next node boundary instead of running
+        headless to completion.  Cancelled partial results are never
+        cached (the session guarantees that).
+        """
+        request = self.parse_request(data)
+        cancel = CancelToken()
+        buffered: List[Dict[str, Any]] = []
+
+        def observer(event: Any) -> None:
+            buffered.append(event_to_jsonable(event))
+
+        with self._lock:
+            self.request_counts["stream"] += 1
+            try:
+                gen = self.session.solve_iter(request, cancel=cancel,
+                                              observer=observer)
+            except _CLIENT_ERRORS as exc:
+                self.request_counts["errors"] += 1
+                raise ServiceError("invalid solve request: %s"
+                                   % exc) from exc
+            report: Optional[SolveReport] = None
+            try:
+                while True:
+                    try:
+                        improvement = next(gen)
+                    except StopIteration as stop:
+                        report = stop.value
+                        break
+                    # Events observed while computing this improvement
+                    # happened first; flush them before it.
+                    for event in buffered:
+                        yield "event", event
+                    del buffered[:]
+                    yield "improvement", {
+                        "cost": improvement.cost,
+                        "elapsed_seconds": improvement.elapsed_seconds,
+                        "explored": improvement.explored,
+                        "sop": improvement.solution.describe(),
+                    }
+            except GeneratorExit:
+                # Client went away: stop the search cooperatively and
+                # let the solver wind down (it returns best-so-far
+                # almost immediately; the session will not cache it).
+                cancel.cancel()
+                for _ in gen:
+                    pass
+                self.request_counts["stream_cancelled"] += 1
+                raise
+            for event in buffered:
+                yield "event", event
+            del buffered[:]
+            if report is not None:
+                if (self.disk is not None and report.ok
+                        and report.stopped != "cancelled"
+                        and not report.cached):
+                    self.disk.put_report(self.request_fingerprint(request),
+                                         report.to_dict())
+                if not report.cached:
+                    self._after_engine_solve()
+                tier = "ram" if report.cached else "engine"
+                self.tier_hits[tier] += 1
+                self._record(request, report, tier)
+                yield "report", report.to_dict()
+
+    def batch(self, data: Any) -> Dict[str, Any]:
+        """Drive :meth:`Session.solve_many` over a manifest payload.
+
+        The body is manifest-shaped (a list of request dicts, or
+        ``{"defaults", "jobs"}``) with two optional extras on the
+        object form: ``executor`` (``serial``/``thread``/``process``,
+        default serial — the service already parallelises across
+        worker processes) and ``workers``.  RAM- and disk-tier hits
+        are peeled off before dispatch, identical misses dispatch once
+        and share the answer, and only genuine misses reach the pool.
+        Fresh reports are written back to the disk tier.
+        """
+        executor = "serial"
+        workers: Optional[int] = None
+        if isinstance(data, dict):
+            data = dict(data)
+            executor = data.pop("executor", "serial")
+            workers = data.pop("workers", None)
+            if executor not in ("serial", "thread", "process"):
+                raise ServiceError("executor must be 'serial', "
+                                   "'thread' or 'process'")
+            if workers is not None and (not isinstance(workers, int)
+                                        or workers < 1):
+                raise ServiceError("workers must be a positive int")
+        try:
+            jobs = merge_manifest_jobs(data)
+            requests = [self.parse_request(job) for job in jobs]
+        except _CLIENT_ERRORS as exc:
+            raise ServiceError("invalid batch manifest: %s" % exc) from exc
+        with self._lock:
+            self.request_counts["batch"] += 1
+            reports: List[Optional[SolveReport]] = [None] * len(requests)
+            tiers: List[str] = ["engine"] * len(requests)
+            pending: List[Tuple[int, SolveRequest]] = []
+            for index, request in enumerate(requests):
+                try:
+                    report, tier = self._peek_tiers(request)
+                except _CLIENT_ERRORS:
+                    # Bad per-job input: let solve_many capture it as a
+                    # failed report, honouring its no-raise contract.
+                    report, tier = None, "engine"
+                if report is not None:
+                    reports[index] = report
+                    tiers[index] = tier
+                    self.tier_hits[tier] += 1
+                else:
+                    pending.append((index, request))
+            # Within-batch dedup: identical problems dispatch once and
+            # share the answer (solve_many only content-dedups for pool
+            # executors; the serial path keys on object identity, which
+            # two wire requests never share).
+            dispatch: List[Tuple[int, SolveRequest]] = []
+            duplicates: List[Tuple[int, SolveRequest, int]] = []
+            first_for: Dict[str, int] = {}
+            for index, request in pending:
+                try:
+                    fingerprint = self.request_fingerprint(request)
+                except (ServiceError, OSError):
+                    dispatch.append((index, request))
+                    continue
+                if fingerprint in first_for:
+                    duplicates.append((index, request,
+                                       first_for[fingerprint]))
+                else:
+                    first_for[fingerprint] = index
+                    dispatch.append((index, request))
+            if dispatch:
+                fresh = self.session.solve_many(
+                    [request for _, request in dispatch],
+                    max_workers=workers, executor=executor)
+                for (index, request), report in zip(dispatch, fresh):
+                    if request.label is None:
+                        # solve_many numbers unlabelled jobs by its own
+                        # sub-batch position; renumber to the caller's.
+                        report = report.copy(label="job-%d" % index)
+                    reports[index] = report
+                    tier = "ram" if report.cached else "engine"
+                    tiers[index] = tier
+                    self.tier_hits[tier] += 1
+                    if (self.disk is not None and report.ok
+                            and not report.cached
+                            and report.stopped != "cancelled"):
+                        try:
+                            key = self.request_fingerprint(request)
+                        except (ServiceError, OSError):
+                            continue
+                        self.disk.put_report(key, report.to_dict())
+                if any(not report.cached for report in fresh):
+                    self._after_engine_solve()
+            for index, request, source_index in duplicates:
+                source = reports[source_index]
+                if source is None:
+                    continue
+                label = request.label or "job-%d" % index
+                if source.ok:
+                    # Shared through the batch, so it is cache-served
+                    # from this job's point of view.
+                    reports[index] = Session._cached_copy(
+                        source, label=label, request=request.to_dict())
+                    tiers[index] = "ram"
+                else:
+                    reports[index] = source.copy(
+                        label=label, request=request.to_dict())
+                self.tier_hits[tiers[index]] += 1
+            for request, report, tier in zip(requests, reports, tiers):
+                if report is not None:
+                    self._record(request, report, tier)
+        return {
+            "reports": [report.to_dict() for report in reports
+                        if report is not None],
+            "tiers": tiers,
+            "ok": all(report.ok for report in reports
+                      if report is not None),
+        }
+
+    def _peek_tiers(self, request: SolveRequest
+                    ) -> Tuple[Optional[SolveReport], str]:
+        """RAM then disk, never the engine; ``(None, _)`` = dispatch."""
+        cached = self.session.peek_cached(request)
+        if cached is not None:
+            return cached, "ram"
+        if self.disk is not None:
+            key = self.request_fingerprint(request)
+            stored = self.disk.get_report(key)
+            if stored is not None:
+                report = self._report_from_wire(stored, request)
+                if report is not None:
+                    self.session.store_report(request, report)
+                    return report, "disk"
+        return None, "engine"
+
+    # ------------------------------------------------------------------
+    # Memo flushing
+    # ------------------------------------------------------------------
+    def _after_engine_solve(self) -> None:
+        self._solves_since_flush += 1
+        if (self.disk is not None
+                and self._solves_since_flush >= self.flush_every):
+            self.flush()
+
+    def flush(self) -> int:
+        """Merge this worker's memo templates into the disk tier now.
+
+        Returns the number of entries the disk tier holds afterwards
+        (0 when there is no disk tier).  Called automatically every
+        ``flush_every`` engine solves and by transports at shutdown.
+        """
+        self._solves_since_flush = 0
+        if self.disk is None:
+            return 0
+        entries = self.session.memo.export_entries(
+            limit=self.memo_export_limit)
+        self.flushes += 1
+        return self.disk.merge_memo_entries(entries)
+
+    # ------------------------------------------------------------------
+    def _record(self, request: SolveRequest, report: SolveReport,
+                tier: str) -> None:
+        """Append one row to the per-request attribution ring."""
+        self._recent.append({
+            "label": request.label,
+            "tier": tier,
+            "ok": report.ok,
+            "cached": report.cached,
+            "cost": report.cost,
+            "memo_hits": int(report.stats.get("memo_hits", 0)),
+            "memo_misses": int(report.stats.get("memo_misses", 0)),
+            "runtime_seconds": report.stats.get("runtime_seconds", 0.0),
+        })
+
+    def iter_recent(self) -> Iterator[Dict[str, Any]]:
+        return iter(list(self._recent))

@@ -1,0 +1,192 @@
+"""The disk tier: process-spanning persistence of reports and memo state.
+
+A :class:`DiskCache` is a plain directory shared by every worker of a
+deployment (and by consecutive process lifetimes), holding the two
+things worth keeping when a worker dies:
+
+* **solved reports** — one JSON file per canonical request fingerprint
+  under ``reports/``, written atomically, read back as
+  :meth:`SolveReport.from_dict` payloads.  Serving a report from here
+  costs one small file read; the engine is never touched.
+* **memo templates** — the session :class:`~repro.core.memo.MemoStore`
+  exported through the JSON wire format
+  (:func:`repro.core.memo.entries_to_jsonable`) into ``memo.json``.
+  Fresh workers seed their store from it at boot and merge what they
+  learned back periodically, so the whole fleet shares one growing
+  body of solved subproblems.
+
+Everything is stdlib, everything is crash-tolerant: writes go through a
+temp file + :func:`os.replace` (atomic on POSIX and Windows), and any
+unreadable or truncated file — a concurrent writer, a version skew, a
+stray edit — degrades to a cache miss, never an exception.  Concurrent
+memo merges are last-write-wins over a read-merge-write cycle; a lost
+race forfeits at most one flush interval of templates, which the next
+flush re-learns.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..core.memo import entries_from_jsonable, entries_to_jsonable
+
+__all__ = ["DiskCache", "fingerprint_payload"]
+
+#: Default bound on how many memo entries ``memo.json`` retains (the
+#: most recently merged win).  Matches the in-RAM store's default.
+DEFAULT_DISK_MEMO_LIMIT = 4096
+
+
+def fingerprint_payload(payload: Any) -> str:
+    """A stable hex digest of a JSON-able payload (the slot name).
+
+    Canonical JSON (sorted keys, no whitespace variance) hashed with
+    SHA-256: equal payloads fingerprint equally in every process on
+    every platform, which is the whole point of a disk tier shared by
+    a worker fleet.
+    """
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+class DiskCache:
+    """A directory-backed report + memo store shared across processes."""
+
+    def __init__(self, root: str, *,
+                 memo_limit: Optional[int] = DEFAULT_DISK_MEMO_LIMIT
+                 ) -> None:
+        self.root = os.path.abspath(root)
+        self.memo_limit = memo_limit
+        self._reports_dir = os.path.join(self.root, "reports")
+        self._memo_path = os.path.join(self.root, "memo.json")
+        os.makedirs(self._reports_dir, exist_ok=True)
+        self.report_hits = 0
+        self.report_misses = 0
+        self.report_stores = 0
+        self.memo_loads = 0
+        self.memo_merges = 0
+
+    # -- atomic file plumbing ------------------------------------------
+    @staticmethod
+    def _write_atomic(path: str, payload: Any) -> None:
+        """Write JSON so readers only ever see complete documents."""
+        directory = os.path.dirname(path)
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp_path, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    @staticmethod
+    def _read_json(path: str) -> Optional[Any]:
+        """Read a JSON file; any failure whatsoever is a miss."""
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return json.load(handle)
+        except (OSError, ValueError):
+            return None
+
+    # -- reports -------------------------------------------------------
+    def _report_path(self, key: str) -> str:
+        return os.path.join(self._reports_dir, key + ".json")
+
+    def get_report(self, key: str) -> Optional[Dict[str, Any]]:
+        """The stored report dict for ``key``, or ``None`` (counted)."""
+        data = self._read_json(self._report_path(key))
+        if isinstance(data, dict):
+            self.report_hits += 1
+            return data
+        self.report_misses += 1
+        return None
+
+    def put_report(self, key: str, report: Dict[str, Any]) -> None:
+        """Persist one report dict under its fingerprint (atomic)."""
+        self._write_atomic(self._report_path(key), report)
+        self.report_stores += 1
+
+    def report_count(self) -> int:
+        try:
+            return sum(1 for name in os.listdir(self._reports_dir)
+                       if name.endswith(".json"))
+        except OSError:
+            return 0
+
+    # -- memo templates ------------------------------------------------
+    def load_memo_entries(self) -> List[Tuple[Any, Any]]:
+        """The persisted memo entries, seed-ready (possibly empty)."""
+        data = self._read_json(self._memo_path)
+        if not isinstance(data, dict):
+            return []
+        self.memo_loads += 1
+        return entries_from_jsonable(data.get("entries", []))
+
+    def merge_memo_entries(self, entries: List[Tuple[Any, Any]]) -> int:
+        """Fold new entries into ``memo.json``; returns the stored size.
+
+        Read-merge-write: what is on disk stays (other workers'
+        learning), incoming entries overwrite equal keys and append as
+        most-recent, and the oldest entries past ``memo_limit`` are
+        dropped — the same LRU-flavoured bound the in-RAM store uses.
+        """
+        merged: Dict[Any, Any] = dict(self.load_memo_entries())
+        for key, value in entries:
+            merged.pop(key, None)
+            merged[key] = value
+        items = list(merged.items())
+        if self.memo_limit is not None and len(items) > self.memo_limit:
+            items = items[-self.memo_limit:]
+        self._write_atomic(self._memo_path,
+                           {"entries": entries_to_jsonable(items)})
+        self.memo_merges += 1
+        return len(items)
+
+    def memo_entry_count(self) -> int:
+        data = self._read_json(self._memo_path)
+        if not isinstance(data, dict):
+            return 0
+        entries = data.get("entries")
+        return len(entries) if isinstance(entries, list) else 0
+
+    # -- maintenance ---------------------------------------------------
+    def clear(self) -> None:
+        """Drop every persisted report and memo entry (counters kept)."""
+        try:
+            for name in os.listdir(self._reports_dir):
+                if name.endswith(".json"):
+                    try:
+                        os.unlink(os.path.join(self._reports_dir, name))
+                    except OSError:
+                        pass
+        except OSError:
+            pass
+        try:
+            os.unlink(self._memo_path)
+        except OSError:
+            pass
+
+    def stats(self) -> Dict[str, Any]:
+        """Counter + occupancy snapshot (shape mirrors memo stats)."""
+        total = self.report_hits + self.report_misses
+        return {
+            "root": self.root,
+            "reports": self.report_count(),
+            "report_hits": self.report_hits,
+            "report_misses": self.report_misses,
+            "report_stores": self.report_stores,
+            "report_hit_rate": (self.report_hits / total) if total
+            else 0.0,
+            "memo_entries": self.memo_entry_count(),
+            "memo_limit": self.memo_limit,
+            "memo_loads": self.memo_loads,
+            "memo_merges": self.memo_merges,
+        }

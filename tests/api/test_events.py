@@ -1,0 +1,47 @@
+"""The shared event serializer: one rendering for CLI and SSE."""
+
+from repro.api import event_to_jsonable, format_event
+from repro.core.explore import SolveEvent
+
+
+def make_event(**overrides):
+    fields = dict(kind="new-best", depth=2, explored=7, cost=4.0,
+                  best_cost=4.0, elapsed_seconds=0.25, detail="")
+    fields.update(overrides)
+    return SolveEvent(**fields)
+
+
+class TestEventToJsonable:
+    def test_solve_event_uses_wire_dict(self):
+        event = make_event()
+        assert event_to_jsonable(event) == event.as_dict()
+
+    def test_mapping_passes_through_as_copy(self):
+        data = {"kind": "prune", "explored": 3,
+                "elapsed_seconds": 0.1, "cost": None,
+                "best_cost": 2.0, "detail": "cost"}
+        out = event_to_jsonable(data)
+        assert out == data and out is not data
+
+    def test_wire_dict_is_json_safe(self):
+        import json
+        json.dumps(event_to_jsonable(make_event()))
+
+
+class TestFormatEvent:
+    def test_full_line(self):
+        line = format_event(make_event(
+            kind="prune", explored=12, cost=5.0, best_cost=3.0,
+            elapsed_seconds=1.5, detail="cost"))
+        assert line == "[  1.500s] prune          explored=12 " \
+                       "cost=5 best=3 (cost)"
+
+    def test_optional_fields_omitted(self):
+        line = format_event(make_event(cost=None, best_cost=None,
+                                       detail=""))
+        assert "cost=" not in line and "best=" not in line
+        assert "(" not in line
+
+    def test_accepts_wire_dicts_identically(self):
+        event = make_event(detail="x")
+        assert format_event(event) == format_event(event.as_dict())

@@ -272,3 +272,121 @@ class TestSolveMany:
             [SolveRequest(relation=spec, label="inline")],
             executor="serial")
         assert reports[0].ok and reports[0].compatible
+
+
+class TestServiceCacheHooks:
+    """peek_cached / store_report / options_key — the service layer's
+    window into the session report cache."""
+
+    def test_peek_miss_then_hit(self, session):
+        request = SolveRequest(relation="fig1")
+        assert session.peek_cached(request) is None
+        report = session.solve(request)
+        peeked = session.peek_cached(request)
+        assert peeked is not None and peeked.cached is True
+        assert peeked.sop == report.sop and peeked.cost == report.cost
+
+    def test_peek_does_not_run_the_engine(self, session):
+        before = session.memo_stats()
+        assert session.peek_cached(SolveRequest(relation="fig1")) is None
+        assert session.memo_stats() == before
+
+    def test_peek_serves_data_only_entries(self, session):
+        """Unlike solve(), which re-solves when the cached entry lost
+        its live solution handle, the service path serves the data-only
+        report: wire clients never touch Solution objects."""
+        request = SolveRequest(relation="fig1")
+        report = session.solve(request)
+        session.store_report(request, report)  # stores solution=None
+        session.clear_cache()
+        session.store_report(request, report)
+        peeked = session.peek_cached(request)
+        assert peeked is not None
+        assert peeked.solution is None
+        resolved = session.solve(request)
+        assert resolved.cached is False  # solve() still re-solves
+
+    def test_peek_relabels_to_the_caller(self, session):
+        session.solve(SolveRequest(relation="fig1", label="first"))
+        peeked = session.peek_cached(
+            SolveRequest(relation="fig1", label="second"))
+        assert peeked.label == "second"
+        assert peeked.request["label"] == "second"
+
+    def test_store_report_round_trip_from_wire(self, session):
+        """A report that travelled through JSON (the disk tier) can be
+        injected and served to identical future requests."""
+        import json
+        from repro.api import SolveReport
+        request = SolveRequest(relation="fig1")
+        report = session.solve(request)
+        wire = SolveReport.from_dict(json.loads(report.to_json()))
+        other = Session()
+        other.add_output_sets("fig1", FIG1_ROWS, 2, 2)
+        other.store_report(request, wire)
+        served = other.peek_cached(request)
+        assert served is not None
+        assert served.sop == report.sop and served.cost == report.cost
+
+    def test_store_report_refuses_bad_reports(self, session):
+        from repro.api import SolveReport
+        request = SolveRequest(relation="fig1")
+        failed = SolveReport.from_error(ValueError("nope"))
+        session.store_report(request, failed)
+        assert session.peek_cached(request) is None
+        cancelled = session.solve(request).copy(stopped="cancelled")
+        session.clear_cache()
+        session.store_report(request, cancelled)
+        assert session.peek_cached(request) is None
+
+    def test_options_key_is_json_safe_and_label_free(self, session):
+        import json
+        a = session.options_key(SolveRequest(relation="fig1",
+                                             label="x"))
+        b = session.options_key(SolveRequest(relation="fig1",
+                                             label="y"))
+        assert a == b
+        json.dumps(list(a))
+        c = session.options_key(SolveRequest(relation="fig1",
+                                             cost="cubes"))
+        assert a != c
+
+
+class TestPerJobMemoAttribution:
+    """Cache-served reports must not repeat the original job's memo
+    deltas: summing per-job stats across a batch has to agree with the
+    session store's own counters."""
+
+    def test_cached_copy_zeroes_memo_deltas(self, session):
+        first = session.solve(SolveRequest(relation="fig1"))
+        assert first.stats["memo_stores"] > 0
+        again = session.solve(SolveRequest(relation="fig1"))
+        assert again.cached is True
+        for field in ("memo_hits", "memo_misses", "memo_stores"):
+            assert again.stats[field] == 0
+
+    def test_batch_deltas_sum_to_store_counters(self, session):
+        requests = [SolveRequest(relation="fig1", label="a"),
+                    SolveRequest(relation="fig1", label="b"),
+                    SolveRequest(relation="fig1", label="c")]
+        reports = session.solve_many(requests, executor="thread")
+        assert [r.ok for r in reports] == [True] * 3
+        stats = session.memo_stats()
+        assert sum(r.stats["memo_hits"] for r in reports) \
+            == stats["hits"]
+        assert sum(r.stats["memo_misses"] for r in reports) \
+            == stats["misses"]
+
+    def test_serial_batch_duplicates_report_zero_memo_work(self, session):
+        session.solve(SolveRequest(relation="fig1"))
+        hits_before = session.memo_stats()["hits"]
+        misses_before = session.memo_stats()["misses"]
+        reports = session.solve_many(
+            [SolveRequest(relation="fig1", label="dup-%d" % i)
+             for i in range(3)], executor="serial")
+        assert all(r.cached for r in reports)
+        delta_hits = session.memo_stats()["hits"] - hits_before
+        delta_misses = session.memo_stats()["misses"] - misses_before
+        assert sum(r.stats["memo_hits"] for r in reports) == delta_hits
+        assert sum(r.stats["memo_misses"] for r in reports) \
+            == delta_misses

@@ -281,3 +281,74 @@ class TestModeDeprecation:
         assert options.exploration_strategy() == "bfs"
         assert len([w for w in caught
                     if issubclass(w.category, DeprecationWarning)]) == 1
+
+
+class TestJsonWireFormat:
+    """The disk-tier wire format: entries survive JSON serialisation."""
+
+    def round_trip(self, entries):
+        import json
+
+        from repro.core.memo import (entries_from_jsonable,
+                                     entries_to_jsonable)
+        text = json.dumps(entries_to_jsonable(entries))
+        return entries_from_jsonable(json.loads(text))
+
+    def test_synthetic_entries_round_trip_losslessly(self):
+        entries = [
+            (("quick", ("sig", 3, True), "isop"), ((1, True), (2, False))),
+            (("eval", ("s",), "restrict", (1, 0)), 7),
+            (("isf", (None, "x"), "isop"), (((0, False),), True)),
+        ]
+        assert self.round_trip(entries) == entries
+
+    def test_real_solve_templates_round_trip(self):
+        """Templates learned from a real solve, pushed through JSON and
+        seeded into a fresh store, replay as hits with byte-identical
+        results in a brand-new manager."""
+        import json
+
+        relation = fig1_relation()
+        store = MemoStore()
+        original = quick_solve(relation, memo=store)
+        assert store.stores > 0
+        revived = MemoStore(entries=self.round_trip(
+            store.export_entries()))
+        # Same content, new manager: only the wire entries are shared.
+        fresh = fig1_relation()
+        replayed = quick_solve(fresh, memo=revived)
+        assert replayed.describe() == original.describe()
+        assert replayed.cost == original.cost
+        assert revived.hits > 0 and revived.misses == 0
+
+    def test_capacity_bounded_export_keeps_most_recent(self):
+        store = MemoStore()
+        for index in range(10):
+            store.put(("k", index), index)
+        wired = self.round_trip(store.export_entries(limit=3))
+        assert wired == [(("k", 7), 7), (("k", 8), 8), (("k", 9), 9)]
+        bounded = MemoStore(capacity=2, entries=wired)
+        assert len(bounded) == 2  # seeding respects the store's bound
+        assert bounded.get(("k", 9)) == 9
+
+    def test_stale_and_malformed_rows_are_skipped(self):
+        from repro.core.memo import entries_from_jsonable
+        data = [
+            [["quick", ["sig"], "isop"], [[1, True]]],  # good
+            ["not-a-pair"],                             # wrong arity
+            "garbage",                                  # wrong shape
+            [["eval", ["s"], "isop"], 4, "extra"],      # wrong arity
+            [["eval", ["s2"], "isop"], 9],              # good
+        ]
+        entries = entries_from_jsonable(data)
+        assert entries == [(("quick", ("sig",), "isop"), ((1, True),)),
+                           (("eval", ("s2",), "isop"), 9)]
+
+    def test_unknown_keys_tolerated_by_store(self):
+        """Entries from a future/other version never hit, but they also
+        never break the store: they just age out via LRU."""
+        store = MemoStore(capacity=4, entries=[
+            (("future-kind", ("whatever", 9)), "opaque")])
+        relation = fig1_relation()
+        solution = quick_solve(relation, memo=store)
+        assert solution.functions == quick_solve(relation).functions

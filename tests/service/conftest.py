@@ -1,0 +1,27 @@
+"""Shared fixtures for the service-layer tests."""
+
+import pytest
+
+from repro.core.relation import BooleanRelation
+from repro.core.relio import write_relation
+
+FIG1_ROWS = [{0b01}, {0b01}, {0b00, 0b11}, {0b10, 0b11}]
+
+
+@pytest.fixture
+def fig1_pla():
+    """Figure-1 relation as self-contained PLA text (wire-friendly)."""
+    relation = BooleanRelation.from_output_sets(FIG1_ROWS, 2, 2)
+    return write_relation(relation)
+
+
+@pytest.fixture
+def fig1_request(fig1_pla):
+    """A ready-to-POST request dict for the figure-1 relation."""
+    return {"relation": {"kind": "pla", "text": fig1_pla},
+            "label": "fig1"}
+
+
+@pytest.fixture
+def cache_dir(tmp_path):
+    return str(tmp_path / "cache")

@@ -1,0 +1,134 @@
+"""Tests for the disk tier: atomic report files + shared memo pool."""
+
+import json
+import os
+
+from repro.core.memo import MemoStore
+from repro.service import DiskCache, fingerprint_payload
+
+
+class TestFingerprint:
+    def test_stable_across_key_order(self):
+        a = fingerprint_payload({"x": 1, "y": [1, 2]})
+        b = fingerprint_payload({"y": [1, 2], "x": 1})
+        assert a == b
+        assert len(a) == 64 and int(a, 16) >= 0
+
+    def test_distinguishes_payloads(self):
+        assert (fingerprint_payload({"x": 1})
+                != fingerprint_payload({"x": 2}))
+
+
+class TestReports:
+    def test_round_trip(self, cache_dir):
+        cache = DiskCache(cache_dir)
+        key = fingerprint_payload({"demo": 1})
+        assert cache.get_report(key) is None
+        cache.put_report(key, {"ok": True, "cost": 3.0})
+        assert cache.get_report(key) == {"ok": True, "cost": 3.0}
+        assert cache.report_count() == 1
+        stats = cache.stats()
+        assert stats["report_hits"] == 1
+        assert stats["report_misses"] == 1
+        assert stats["report_stores"] == 1
+        assert stats["report_hit_rate"] == 0.5
+
+    def test_shared_between_instances(self, cache_dir):
+        DiskCache(cache_dir).put_report("k" * 64, {"ok": True})
+        assert DiskCache(cache_dir).get_report("k" * 64) == {"ok": True}
+
+    def test_corrupt_file_is_a_miss(self, cache_dir):
+        cache = DiskCache(cache_dir)
+        key = "a" * 64
+        cache.put_report(key, {"ok": True})
+        path = os.path.join(cache_dir, "reports", key + ".json")
+        with open(path, "w") as handle:
+            handle.write("{truncated")
+        assert cache.get_report(key) is None
+
+    def test_no_tmp_litter_after_writes(self, cache_dir):
+        cache = DiskCache(cache_dir)
+        for index in range(5):
+            cache.put_report("%064d" % index, {"i": index})
+        names = os.listdir(os.path.join(cache_dir, "reports"))
+        assert all(name.endswith(".json") for name in names)
+
+
+class TestMemoPool:
+    def test_merge_and_load_round_trip(self, cache_dir):
+        store = MemoStore()
+        store.put(("quick", ("sig",), "isop"), ((1, True), (2, False)))
+        store.put(("eval", ("sig2",), "isop"), 7)
+        cache = DiskCache(cache_dir)
+        cache.merge_memo_entries(store.export_entries())
+        loaded = DiskCache(cache_dir).load_memo_entries()
+        fresh = MemoStore()
+        fresh.seed(loaded)
+        assert fresh.get(("quick", ("sig",), "isop")) \
+            == ((1, True), (2, False))
+        assert fresh.get(("eval", ("sig2",), "isop")) == 7
+
+    def test_merge_keeps_other_workers_entries(self, cache_dir):
+        a, b = DiskCache(cache_dir), DiskCache(cache_dir)
+        a.merge_memo_entries([(("k", 1), "one")])
+        b.merge_memo_entries([(("k", 2), "two")])
+        entries = dict(DiskCache(cache_dir).load_memo_entries())
+        assert entries == {("k", 1): "one", ("k", 2): "two"}
+
+    def test_merge_bounded_drops_oldest(self, cache_dir):
+        cache = DiskCache(cache_dir, memo_limit=3)
+        cache.merge_memo_entries([(("k", i), i) for i in range(3)])
+        stored = cache.merge_memo_entries([(("k", 99), 99)])
+        assert stored == 3
+        entries = dict(cache.load_memo_entries())
+        assert ("k", 0) not in entries  # the oldest fell off
+        assert entries[("k", 99)] == 99
+
+    def test_remerge_refreshes_recency(self, cache_dir):
+        cache = DiskCache(cache_dir, memo_limit=2)
+        cache.merge_memo_entries([(("k", 0), 0), (("k", 1), 1)])
+        # Re-merging key 0 makes it most recent; key 1 is now oldest.
+        cache.merge_memo_entries([(("k", 0), 0), (("k", 2), 2)])
+        entries = dict(cache.load_memo_entries())
+        assert set(entries) == {("k", 0), ("k", 2)}
+
+    def test_corrupt_memo_file_degrades_to_empty(self, cache_dir):
+        cache = DiskCache(cache_dir)
+        cache.merge_memo_entries([(("k", 0), 0)])
+        with open(os.path.join(cache_dir, "memo.json"), "w") as handle:
+            handle.write("not json at all")
+        assert cache.load_memo_entries() == []
+        assert cache.memo_entry_count() == 0
+        # A merge over the corrupt file recovers cleanly.
+        cache.merge_memo_entries([(("k", 1), 1)])
+        assert dict(cache.load_memo_entries()) == {("k", 1): 1}
+
+    def test_stale_rows_skipped_on_load(self, cache_dir):
+        cache = DiskCache(cache_dir)
+        cache.merge_memo_entries([(("k", 0), 0)])
+        path = os.path.join(cache_dir, "memo.json")
+        with open(path) as handle:
+            data = json.load(handle)
+        data["entries"].append(["only-one-element"])
+        data["entries"].append("not a pair at all")
+        with open(path, "w") as handle:
+            json.dump(data, handle)
+        assert dict(cache.load_memo_entries()) == {("k", 0): 0}
+
+
+class TestMaintenance:
+    def test_clear_drops_everything(self, cache_dir):
+        cache = DiskCache(cache_dir)
+        cache.put_report("c" * 64, {"ok": True})
+        cache.merge_memo_entries([(("k", 0), 0)])
+        cache.clear()
+        assert cache.report_count() == 0
+        assert cache.memo_entry_count() == 0
+        assert cache.load_memo_entries() == []
+
+    def test_stats_shape(self, cache_dir):
+        stats = DiskCache(cache_dir).stats()
+        for field in ("root", "reports", "report_hits", "report_misses",
+                      "report_stores", "report_hit_rate", "memo_entries",
+                      "memo_limit", "memo_loads", "memo_merges"):
+            assert field in stats

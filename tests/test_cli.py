@@ -287,3 +287,71 @@ class TestParser:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestPrewarmCommand:
+    @pytest.fixture
+    def corpus_file(self, tmp_path, relation_file):
+        import os
+        manifest = [{"label": "fig1",
+                     "relation": {"kind": "file",
+                                  "path": os.path.basename(relation_file)}},
+                    {"label": "vtx",
+                     "relation": {"kind": "bench", "name": "vtx"},
+                     "max_explored": 40}]
+        path = tmp_path / "corpus.json"
+        path.write_text(json.dumps(manifest))
+        return str(path)
+
+    def test_prewarm_fills_cache_dir(self, corpus_file, tmp_path,
+                                     capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["prewarm", corpus_file, cache]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["ok"] and summary["jobs"] == 2
+        assert summary["tiers"] == {"engine": 2}
+        assert summary["memo_entries"] > 0
+        # Idempotent: the rerun is pure cache hits.
+        assert main(["prewarm", corpus_file, cache]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["tiers"] == {"disk": 2}
+
+    def test_prewarm_bad_corpus(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"no\": \"jobs\"}")
+        assert main(["prewarm", str(bad),
+                     str(tmp_path / "cache")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    def test_serve_end_to_end(self, tmp_path, relation_file):
+        """Boot the real server on a free port, solve twice over HTTP,
+        assert the second answer is cache-served, then shut down."""
+        import threading
+        import urllib.request
+
+        from repro.service import DiskCache, SolveService, create_server
+
+        service = SolveService(disk=DiskCache(str(tmp_path / "cache")))
+        server = create_server(service, "127.0.0.1", 0)
+        port = server.server_address[1]
+        thread = threading.Thread(target=server.serve_forever,
+                                  daemon=True)
+        thread.start()
+        try:
+            body = json.dumps(
+                {"relation": {"kind": "file",
+                              "path": relation_file}}).encode()
+            tiers = []
+            for _ in range(2):
+                request = urllib.request.Request(
+                    "http://127.0.0.1:%d/solve" % port, data=body)
+                with urllib.request.urlopen(request,
+                                            timeout=30) as response:
+                    tiers.append(response.headers["X-Cache-Tier"])
+                    assert json.loads(response.read())["ok"]
+            assert tiers == ["engine", "ram"]
+        finally:
+            server.shutdown()
+            server.server_close()
