@@ -1,0 +1,240 @@
+"""Table kernel benchmark: bit-parallel ops vs the BDD engine on
+narrow leaf workloads.
+
+Not a paper table: the 2004 tool ran everything on CUDD.  This bench
+measures what the :class:`repro.table.TableManager` backend buys on
+the narrow subproblems the width router sends its way — the leaf
+workload of a BREL solve: the apply family, cofactors, quantifiers
+and implication checks, exactly the operations the recursion performs
+below the split point (and the ones the kernel turns into whole-table
+word operations; shared-recursion passes like ISOP show up in the
+routed-solve sweep instead).
+
+Two sweeps land in ``benchmarks/results/bench_table_kernel.{txt,json}``:
+
+* **kernel sweep** — the same scripted op mix run on matched random
+  functions (identical minterm sets) in a :class:`BddManager` and a
+  :class:`TableManager`, for 6/8/10-variable leaves.  Every result is
+  fingerprint-checked across engines, so the timing compares two
+  implementations of *the same* semantics.
+* **routed-solve sweep** — full ``BrelSolver`` runs on narrow seeded
+  relations with ``backend=None`` vs ``backend="table"``, verifying
+  cost parity (solver overhead shared by both backends dilutes the
+  kernel win; the row shows what survives end to end).
+
+Besides the pytest-benchmark entry point, the module runs standalone
+for CI smoke checks::
+
+    python benchmarks/bench_table_kernel.py --quick
+
+which runs a reduced sweep and fails loudly unless the table kernel
+is >=2x faster than the BDD engine on the 10-variable leaf workload
+(the acceptance floor; the observed ratio is far higher).
+"""
+
+import json
+import random
+import sys
+import time
+
+import pytest
+
+from repro.bdd import BddManager
+from repro.benchdata.brgen import random_relation
+from repro.core import BrelOptions, BrelSolver
+from repro.table import TableManager
+
+from _util import RESULTS_DIR, format_table, publish
+
+#: Leaf widths swept by the kernel comparison (<= 10 vars: the
+#: subproblem sizes the router targets by default).
+VAR_COUNTS = (6, 8, 10)
+
+#: The width the acceptance gate runs on.
+FLAGSHIP_VARS = 10
+
+#: Matched random functions per width and workload rounds over them.
+POOL_SIZE = 12
+ROUNDS = 60
+QUICK_ROUNDS = 25
+
+#: Seeded relations for the routed-solve sweep (inputs, outputs, seed).
+SOLVE_CASES = ((4, 4, 3), (5, 4, 7), (5, 5, 11))
+MAX_EXPLORED = 120
+
+
+def build_pools(num_vars, seed):
+    """Matched (bdd, table) function pools over identical minterms."""
+    rng = random.Random(seed)
+    mgr = BddManager()
+    tm = TableManager(max_width=num_vars)
+    bdd_vars = mgr.add_vars(num_vars)
+    table_vars = tm.add_vars(num_vars)
+    bdd_pool, table_pool = [], []
+    for _ in range(POOL_SIZE):
+        minterms = [i for i in range(1 << num_vars)
+                    if rng.random() < 0.5]
+        bdd_pool.append(mgr.from_minterms(bdd_vars, minterms))
+        table_pool.append(tm.from_minterms(table_vars, minterms))
+    return (mgr, bdd_vars, bdd_pool), (tm, table_vars, table_pool)
+
+
+def leaf_workload(engine, variables, pool, rounds, seed):
+    """The scripted leaf op mix; returns the produced handles.
+
+    Chained: each round combines earlier *products*, not just the
+    seed pool, so every round manufactures genuinely new functions —
+    neither engine can serve the sweep from its operation cache, which
+    is exactly the regime of a descending BREL recursion (every split
+    produces subproblems the caches have never seen).
+    """
+    rng = random.Random(seed)
+    current = list(pool)
+    products = []
+    for _ in range(rounds):
+        f, g, h = (rng.choice(current) for _ in range(3))
+        var = rng.choice(variables)
+        r1 = engine.and_(f, engine.xor_(g, h))
+        r2 = engine.or_(engine.diff(h, f),
+                        engine.cofactor(g, var, True))
+        r3 = engine.ite(r1, r2, engine.exists(f, [var]))
+        engine.implies(r1, engine.or_(r1, r2))
+        current[rng.randrange(len(current))] = r3
+        products.extend((r1, r2, r3))
+    return products
+
+
+def run_kernel_row(num_vars, rounds):
+    """Time the same workload on both engines; verify op parity."""
+    (mgr, bdd_vars, bdd_pool), (tm, table_vars, table_pool) = \
+        build_pools(num_vars, seed=num_vars)
+    start = time.perf_counter()
+    bdd_products = leaf_workload(mgr, bdd_vars, bdd_pool, rounds,
+                                 seed=100 + num_vars)
+    bdd_dt = time.perf_counter() - start
+    start = time.perf_counter()
+    table_products = leaf_workload(tm, table_vars, table_pool, rounds,
+                                   seed=100 + num_vars)
+    table_dt = time.perf_counter() - start
+    # Parity check outside the timed region: every produced function
+    # must hash identically across engines.
+    assert [mgr.fingerprint(p) for p in bdd_products] \
+        == [tm.fingerprint(p) for p in table_products], \
+        "engines disagree on the %d-var leaf workload" % num_vars
+    return {"vars": num_vars, "rounds": rounds,
+            "bdd_seconds": bdd_dt, "table_seconds": table_dt,
+            "speedup": (bdd_dt / table_dt) if table_dt > 0
+            else float("inf")}
+
+
+def run_solve_row(num_inputs, num_outputs, seed):
+    """Routed vs unrouted full solves; verify cost parity."""
+    timings = {}
+    costs = {}
+    for backend in (None, "table"):
+        relation = random_relation(num_inputs, num_outputs, seed=seed)
+        options = BrelOptions(max_explored=MAX_EXPLORED,
+                              backend=backend,
+                              table_width=num_inputs + num_outputs)
+        start = time.perf_counter()
+        result = BrelSolver(options).solve(relation)
+        timings[backend] = time.perf_counter() - start
+        costs[backend] = result.solution.cost
+    assert costs[None] == costs["table"], \
+        "routing changed the final cost (%d+%d seed=%d)" \
+        % (num_inputs, num_outputs, seed)
+    return {"inputs": num_inputs, "outputs": num_outputs, "seed": seed,
+            "cost": costs[None],
+            "bdd_seconds": timings[None],
+            "table_seconds": timings["table"],
+            "speedup": (timings[None] / timings["table"])
+            if timings["table"] > 0 else float("inf")}
+
+
+def run_sweeps(rounds):
+    """Both sweeps; returns the artefact dict."""
+    return {"kernel_rows": [run_kernel_row(v, rounds)
+                            for v in VAR_COUNTS],
+            "solve_rows": [run_solve_row(*case)
+                           for case in SOLVE_CASES],
+            "flagship_vars": FLAGSHIP_VARS,
+            "pool_size": POOL_SIZE,
+            "max_explored": MAX_EXPLORED}
+
+
+def flagship_row(results):
+    for row in results["kernel_rows"]:
+        if row["vars"] == results["flagship_vars"]:
+            return row
+    raise KeyError("flagship width missing from results")
+
+
+def summarize(results):
+    kernel = format_table(
+        ["vars", "bdd s", "table s", "speedup"],
+        [[row["vars"], "%.4f" % row["bdd_seconds"],
+          "%.4f" % row["table_seconds"], "%.1fx" % row["speedup"]]
+         for row in results["kernel_rows"]],
+        title="Leaf op workload: BDD engine vs bit-parallel table "
+              "kernel (matched functions, fingerprint-verified)")
+    solves = format_table(
+        ["relation", "bdd s", "table s", "speedup", "cost"],
+        [["%d+%d/s%d" % (row["inputs"], row["outputs"], row["seed"]),
+          "%.4f" % row["bdd_seconds"], "%.4f" % row["table_seconds"],
+          "%.2fx" % row["speedup"], row["cost"]]
+         for row in results["solve_rows"]],
+        title="Full routed solves: backend=None vs backend='table' "
+              "(equal final cost)")
+    return kernel + "\n\n" + solves
+
+
+def _write_artefact(results):
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "bench_table_kernel.json").write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.mark.benchmark(group="table-kernel")
+def test_table_kernel_sweeps(benchmark):
+    results = benchmark.pedantic(run_sweeps, args=(ROUNDS,),
+                                 rounds=1, iterations=1)
+    publish("bench_table_kernel.txt", summarize(results))
+    _write_artefact(results)
+    assert flagship_row(results)["speedup"] >= 2.0
+
+
+# ----------------------------------------------------------------------
+# Quick mode: dependency-free smoke run for CI
+# ----------------------------------------------------------------------
+def run_quick() -> int:
+    """Reduced sweep; verify parity and the 2x kernel floor."""
+    start = time.perf_counter()
+    results = run_sweeps(QUICK_ROUNDS)
+    elapsed = time.perf_counter() - start
+    print(summarize(results))
+    print()
+    _write_artefact(results)
+    flagship = flagship_row(results)
+    # The kernel advantage is structural (whole-table words vs
+    # node-by-node traversal), far above timing noise, so quick mode
+    # enforces the full 2x acceptance floor.
+    if flagship["speedup"] < 2.0:
+        print("FAIL: table kernel speedup %.2fx on the %d-var leaf "
+              "workload, below the 2x floor"
+              % (flagship["speedup"], flagship["vars"]),
+              file=sys.stderr)
+        return 1
+    print("quick mode ok: %d widths + %d solves in %.2fs "
+          "(flagship %d vars: %.1fx)"
+          % (len(VAR_COUNTS), len(SOLVE_CASES), elapsed,
+             flagship["vars"], flagship["speedup"]))
+    return 0
+
+
+if __name__ == "__main__":
+    if "--quick" in sys.argv[1:]:
+        sys.exit(run_quick())
+    print("usage: python benchmarks/bench_table_kernel.py --quick\n"
+          "(or run under pytest with pytest-benchmark for full numbers)",
+          file=sys.stderr)
+    sys.exit(2)

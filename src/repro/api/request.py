@@ -247,6 +247,16 @@ class SolveRequest:
     #: solves monolithically.  Sharded reports carry the block
     #: breakdown in :attr:`SolveReport.partition`.
     decompose: Optional[bool] = None
+    #: Function-engine selection (mirrors
+    #: :attr:`repro.core.BrelOptions.backend`): ``None``/``"bdd"`` stay
+    #: on the ROBDD engine, ``"auto"`` routes narrow (sub)relations to
+    #: the bit-parallel truth-table kernel, ``"table"`` forces it
+    #: (rejecting relations too wide to tabulate).  Logical results and
+    #: costs are identical either way.
+    backend: Optional[str] = None
+    #: Width threshold for ``backend="auto"``/``"table"``; ``None``
+    #: uses :data:`repro.table.DEFAULT_TABLE_WIDTH`.
+    table_width: Optional[int] = None
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -297,7 +307,9 @@ class SolveRequest:
             time_limit_seconds=self.time_limit_seconds,
             record_trace=self.record_trace,
             memo=self.memo,
-            decompose=self.decompose)
+            decompose=self.decompose,
+            backend=self.backend,
+            table_width=self.table_width)
         options.strategy = self.strategy
         options.mode = self.mode
         return options
@@ -334,6 +346,8 @@ class SolveRequest:
                    record_trace=options.record_trace,
                    memo=options.memo,
                    decompose=options.decompose,
+                   backend=options.backend,
+                   table_width=options.table_width,
                    label=label)
 
     # -- serialisation -------------------------------------------------

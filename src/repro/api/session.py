@@ -483,13 +483,19 @@ class Session:
         # not be served to sharded requests (or vice versa).  The
         # block executor is deliberately NOT keyed: sharded results
         # are byte-identical across serial/thread/process dispatch.
+        # The backend IS keyed (conservatively, by resolved value):
+        # routed solves are logically identical but their reports'
+        # engine stats (node/cache counters) describe a different
+        # kernel, so backends get separate slots rather than serving
+        # one backend's counters as the other's.
         return (request.cost, request.minimizer,
                 request.exploration_strategy(),
                 request.max_explored, request.fifo_capacity,
                 request.quick_on_subrelations, request.symmetry_pruning,
                 request.symmetry_max_depth, request.time_limit_seconds,
                 request.record_trace, self._memo_for(request) is not None,
-                request.decompose is not False)
+                request.decompose is not False,
+                request.backend or "bdd", request.table_width)
 
     def _cache_key(self, pla: str, request: SolveRequest
                    ) -> Tuple[Any, ...]:

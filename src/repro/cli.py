@@ -59,7 +59,9 @@ def _request_from_args(args: argparse.Namespace,
         time_limit_seconds=args.time_limit,
         record_trace=args.trace,
         memo=args.memo,
-        decompose=args.decompose)
+        decompose=args.decompose,
+        backend=args.backend,
+        table_width=args.table_width)
     # The deprecated alias travels only when the user actually typed
     # --mode; otherwise the request keeps its own default and the
     # deprecation path is never exercised by default invocations.
@@ -189,8 +191,15 @@ def _cmd_map(args: argparse.Namespace) -> int:
 def _service_from_args(args: argparse.Namespace):
     from .service import DiskCache, SolveService
 
-    disk = DiskCache(args.cache_dir) if args.cache_dir else None
-    return SolveService(disk=disk, flush_every=args.flush_every)
+    disk = None
+    if args.cache_dir:
+        disk = DiskCache(
+            args.cache_dir,
+            max_report_bytes=getattr(args, "cache_max_bytes", None),
+            max_report_age_seconds=getattr(args, "cache_max_age", None))
+    return SolveService(
+        disk=disk, flush_every=args.flush_every,
+        max_time_limit=getattr(args, "max_time_limit", None))
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -304,6 +313,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="where decomposed blocks run: in-solver "
                             "(serial) or on a worker pool (results "
                             "are byte-identical either way)")
+    solve.add_argument("--backend", choices=["bdd", "table", "auto"],
+                       default=None,
+                       help="function engine: bdd (default), auto "
+                            "(route narrow subproblems to the "
+                            "bit-parallel truth-table kernel), or "
+                            "table (force it; errors on wide "
+                            "relations); results are identical")
+    solve.add_argument("--table-width", type=int, default=None,
+                       help="variable-frame width threshold for the "
+                            "table backend (default 12, max 16)")
     solve.add_argument("--json", action="store_true",
                        help="emit the structured SolveReport as JSON")
     solve.set_defaults(func=_cmd_solve)
@@ -357,6 +376,19 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--flush-every", type=int, default=8,
                            help="engine solves between memo flushes "
                                 "to the disk tier")
+    serve_cmd.add_argument("--max-time-limit", type=float, default=None,
+                           help="server-side cap on per-request "
+                                "time_limit_seconds; requests asking "
+                                "for more (or for no limit) are "
+                                "clamped to this budget")
+    serve_cmd.add_argument("--cache-max-bytes", type=int, default=None,
+                           help="bound the disk-tier reports "
+                                "directory to this many bytes "
+                                "(least-recently-used reports are "
+                                "evicted on write)")
+    serve_cmd.add_argument("--cache-max-age", type=float, default=None,
+                           help="evict disk-tier reports older than "
+                                "this many seconds on write")
     serve_cmd.add_argument("--verbose", dest="quiet",
                            action="store_false", default=True,
                            help="log each request to stderr")

@@ -22,7 +22,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 from ..bdd.gencof import constrain, restrict
 from ..bdd.isop import isop
-from ..bdd.manager import FALSE, TRUE, BddManager
+from ..bdd.manager import FALSE, TRUE
 from ..bdd.safemin import squeeze
 from .isf import Isf
 from .memo import (MemoStore, VarCover, instantiate_var_cover,

@@ -1,0 +1,202 @@
+"""Backend routing: send narrow subproblems to the truth-table kernel.
+
+The solver is written against the :class:`repro.bdd.FunctionBackend`
+protocol, so a relation can be solved on whichever engine suits its
+width.  This module holds the policy and the boundary conversions:
+
+* :func:`route_relation` — decide, from ``BrelOptions.backend`` /
+  ``table_width``, whether a relation should move to the table engine;
+* :func:`relation_to_table` — rebuild a relation on a fresh
+  :class:`~repro.table.TableManager` over a compacted (order-
+  preserving) variable frame, converting the BDD by structural
+  cofactor enumeration;
+* :class:`RoutedRelation` — the conversion context, able to translate
+  solved functions back to the parent manager via minterm enumeration
+  + :meth:`~repro.bdd.BddManager.from_minterms`.
+
+Because the compaction preserves relative variable order and both
+backends expose the same reduced-BDD structural view, a routed solve
+makes the same split decisions, the same ISOP covers, and the same
+cost measurements as the BDD solve — only the kernel underneath each
+operation changes.  Memo signatures are renaming-invariant, so
+templates minted on one backend instantiate under the other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..bdd.manager import FALSE, TRUE
+from ..table import DEFAULT_TABLE_WIDTH, MAX_TABLE_WIDTH, TableManager
+from .relation import BooleanRelation
+from .solution import Solution
+
+__all__ = ["BACKEND_CHOICES", "RoutedRelation", "relation_to_table",
+           "route_relation", "routing_width"]
+
+#: Valid ``BrelOptions.backend`` values.  ``None`` and ``"bdd"`` keep
+#: every subproblem on the BDD engine (the byte-identical default),
+#: ``"auto"`` routes relations whose variable frame fits the width
+#: threshold, ``"table"`` forces the table engine (raising when the
+#: relation is too wide).
+BACKEND_CHOICES = (None, "bdd", "table", "auto")
+
+
+@dataclass
+class RoutedRelation:
+    """A relation rebuilt on the table backend, plus its way back.
+
+    Attributes
+    ----------
+    relation:
+        The table-backed equivalent of ``parent`` (same semantics,
+        compacted variable frame).
+    parent:
+        The original BDD-backed relation.
+    var_map:
+        Parent variable level -> table variable index (order
+        preserving).
+    """
+
+    relation: BooleanRelation
+    parent: BooleanRelation
+    var_map: Dict[int, int]
+
+    def function_to_parent(self, func: int) -> int:
+        """Translate a solved table function back to the parent manager.
+
+        ``func`` must depend only on the routed relation's inputs (true
+        of every solver output); the translation enumerates its
+        minterms over them and rebuilds the function with
+        ``from_minterms`` on the parent manager.
+        """
+        table_inputs = self.relation.inputs
+        parent_inputs = self.parent.inputs
+        minterms = self.relation.mgr.minterms(func, table_inputs)
+        return self.parent.mgr.from_minterms(parent_inputs, minterms)
+
+    def solution_converter(self) -> Callable[[Solution], Solution]:
+        """A memoised ``Solution`` translator (table -> parent manager).
+
+        The same ``Solution`` object appears in several places of one
+        run (the ``new-best`` event, the improvement list, the final
+        result), and translated functions must stay identical across
+        those appearances; the memo also keeps the originals alive so
+        ``id``-keying is sound.
+        """
+        cache: Dict[int, Tuple[Solution, Solution]] = {}
+
+        def convert(solution: Solution) -> Solution:
+            hit = cache.get(id(solution))
+            if hit is not None:
+                return hit[1]
+            converted = Solution(
+                mgr=self.parent.mgr,
+                functions=tuple(self.function_to_parent(func)
+                                for func in solution.functions),
+                cost=solution.cost)
+            cache[id(solution)] = (solution, converted)
+            return converted
+
+        return convert
+
+
+def routing_width(table_width: Optional[int]) -> int:
+    """The effective width threshold (`None` -> the default)."""
+    return DEFAULT_TABLE_WIDTH if table_width is None else table_width
+
+
+def _frame_of(relation: BooleanRelation) -> Tuple[int, ...]:
+    """The sorted variable frame (inputs + outputs) of a relation."""
+    return tuple(sorted(set(relation.inputs) | set(relation.outputs)))
+
+
+def relation_to_table(relation: BooleanRelation,
+                      table_width: Optional[int] = None) -> RoutedRelation:
+    """Rebuild ``relation`` on a fresh :class:`TableManager`.
+
+    The table frame is the relation's variable frame compacted to
+    ``0..k-1`` preserving relative order (so reduced-BDD structure —
+    and therefore split choices, ISOP covers, sizes and fingerprint
+    ranks — is unchanged).  Raises ``ValueError`` when the frame
+    exceeds the width threshold or the characteristic function depends
+    on variables outside it.
+    """
+    width = routing_width(table_width)
+    frame = _frame_of(relation)
+    if len(frame) > width:
+        raise ValueError(
+            "relation frame has %d variables, beyond the table backend "
+            "width %d; raise table_width (<= %d) or use backend='auto'"
+            % (len(frame), width, MAX_TABLE_WIDTH))
+    parent = relation.mgr
+    rank = {var: index for index, var in enumerate(frame)}
+    if any(var not in rank for var in parent.support(relation.node)):
+        raise ValueError("relation depends on variables outside its "
+                         "declared inputs/outputs; cannot route")
+    tm = TableManager([parent.var_name(var) for var in frame],
+                      max_width=max(len(frame), 1))
+    node = _node_to_table(parent, tm, relation.node, rank)
+    routed = BooleanRelation(
+        tm,
+        tuple(rank[var] for var in relation.inputs),
+        tuple(rank[var] for var in relation.outputs),
+        node)
+    return RoutedRelation(relation=routed, parent=relation, var_map=rank)
+
+
+def _node_to_table(parent, tm: TableManager, node: int,
+                   rank: Dict[int, int]) -> int:
+    """Convert a BDD node to a table handle by cofactor enumeration.
+
+    Post-order over the (bounded-depth) DAG: each internal node becomes
+    ``ite(var, high, low)`` on the table manager, sharing converted
+    subgraphs through the memo.
+    """
+    memo: Dict[int, int] = {FALSE: FALSE, TRUE: TRUE}
+    stack = [node]
+    while stack:
+        current = stack[-1]
+        if current in memo:
+            stack.pop()
+            continue
+        lo, hi = parent.low(current), parent.high(current)
+        lo_t = memo.get(lo)
+        hi_t = memo.get(hi)
+        if lo_t is None:
+            stack.append(lo)
+        if hi_t is None:
+            stack.append(hi)
+        if lo_t is not None and hi_t is not None:
+            stack.pop()
+            var = rank[parent.level(current)]
+            memo[current] = tm.ite(tm.var(var), hi_t, lo_t)
+    return memo[node]
+
+
+def route_relation(relation: BooleanRelation, backend: Optional[str],
+                   table_width: Optional[int]
+                   ) -> Optional[RoutedRelation]:
+    """Apply the routing policy; ``None`` means stay on this manager.
+
+    ``backend=None``/``"bdd"`` never route.  ``"auto"`` routes when the
+    relation's variable frame fits the width threshold and the relation
+    is not already table-backed; an unroutable relation silently stays
+    on the BDD engine.  ``"table"`` demands the table engine and raises
+    ``ValueError`` when the relation cannot be represented there.
+    """
+    if backend is None or backend == "bdd":
+        return None
+    if isinstance(relation.mgr, TableManager):
+        return None
+    if backend == "table":
+        return relation_to_table(relation, table_width)
+    # "auto": route only what fits.
+    frame = _frame_of(relation)
+    if len(frame) > routing_width(table_width):
+        return None
+    try:
+        return relation_to_table(relation, table_width)
+    except ValueError:
+        return None

@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
-from ..bdd.manager import FALSE, BddManager
+from ..bdd.manager import FALSE
 from ..bdd.traversal import shortest_path_cube
 from .relation import BooleanRelation
 

@@ -35,6 +35,7 @@ shutdown) the worker merges its newly learned templates back.
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from collections import deque
@@ -86,13 +87,25 @@ class SolveService:
     def __init__(self, session: Optional[Session] = None,
                  disk: Optional[DiskCache] = None, *,
                  flush_every: int = DEFAULT_FLUSH_EVERY,
-                 memo_export_limit: int = DEFAULT_MEMO_EXPORT_LIMIT
+                 memo_export_limit: int = DEFAULT_MEMO_EXPORT_LIMIT,
+                 max_time_limit: Optional[float] = None
                  ) -> None:
         if flush_every < 1:
             raise ValueError("flush_every must be a positive int")
+        if max_time_limit is not None and not (
+                isinstance(max_time_limit, (int, float))
+                and math.isfinite(max_time_limit)
+                and max_time_limit > 0):
+            raise ValueError("max_time_limit must be a positive finite "
+                             "number of seconds, or None for no cap")
         self.session = session if session is not None else Session()
         self.disk = disk
         self.flush_every = flush_every
+        #: Server-side cap on per-request ``time_limit_seconds``: every
+        #: admitted request is clamped to this budget (including
+        #: requests asking for *no* limit), so one client cannot hold
+        #: the single-threaded engine indefinitely.  ``None`` = no cap.
+        self.max_time_limit = max_time_limit
         self.memo_export_limit = memo_export_limit
         self.started = time.time()
         self._lock = threading.RLock()
@@ -147,6 +160,25 @@ class SolveService:
         except _CLIENT_ERRORS as exc:
             raise ServiceError("invalid solve request: %s" % exc) from exc
 
+    def _admit(self, request: SolveRequest) -> SolveRequest:
+        """Apply server-side admission policy to a parsed request.
+
+        Non-finite time limits (NaN/inf pass the request dataclass's
+        range check) are client errors; with :attr:`max_time_limit`
+        configured, requests asking for more than the cap — or for no
+        limit at all — come back clamped to it.  Clamping happens
+        *before* any cache key is computed, so a clamped request is
+        cached (RAM, disk, fingerprint) as what actually ran.
+        """
+        limit = request.time_limit_seconds
+        if limit is not None and not math.isfinite(limit):
+            raise ServiceError(
+                "time_limit_seconds must be finite, got %r" % limit)
+        cap = self.max_time_limit
+        if cap is not None and (limit is None or limit > cap):
+            request = request.replace(time_limit_seconds=cap)
+        return request
+
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
@@ -161,6 +193,7 @@ class SolveService:
             session = self.session
             return {
                 "uptime_seconds": time.time() - self.started,
+                "max_time_limit": self.max_time_limit,
                 "requests": dict(self.request_counts),
                 "tiers": dict(self.tier_hits),
                 "session": {
@@ -189,7 +222,7 @@ class SolveService:
         with self._lock:
             self.request_counts["solve"] += 1
             try:
-                request = self.parse_request(data)
+                request = self._admit(self.parse_request(data))
                 report, tier = self._solve_tiered(request)
             except ServiceError:
                 self.request_counts["errors"] += 1
@@ -251,7 +284,7 @@ class SolveService:
         headless to completion.  Cancelled partial results are never
         cached (the session guarantees that).
         """
-        request = self.parse_request(data)
+        request = self._admit(self.parse_request(data))
         cancel = CancelToken()
         buffered: List[Dict[str, Any]] = []
 
@@ -337,7 +370,8 @@ class SolveService:
                 raise ServiceError("workers must be a positive int")
         try:
             jobs = merge_manifest_jobs(data)
-            requests = [self.parse_request(job) for job in jobs]
+            requests = [self._admit(self.parse_request(job))
+                        for job in jobs]
         except _CLIENT_ERRORS as exc:
             raise ServiceError("invalid batch manifest: %s" % exc) from exc
         with self._lock:

@@ -30,6 +30,7 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.memo import entries_from_jsonable, entries_to_jsonable
@@ -54,19 +55,41 @@ def fingerprint_payload(payload: Any) -> str:
 
 
 class DiskCache:
-    """A directory-backed report + memo store shared across processes."""
+    """A directory-backed report + memo store shared across processes.
+
+    The reports directory can be bounded two ways (both optional, both
+    enforced on every write so the directory never grows past the
+    moment a worker stops writing):
+
+    * ``max_report_bytes`` — total payload bytes; least-recently-*used*
+      reports go first (a served hit refreshes its file's mtime, so
+      hot entries survive).
+    * ``max_report_age_seconds`` — reports whose mtime is older are
+      dropped regardless of the byte budget.
+    """
 
     def __init__(self, root: str, *,
-                 memo_limit: Optional[int] = DEFAULT_DISK_MEMO_LIMIT
+                 memo_limit: Optional[int] = DEFAULT_DISK_MEMO_LIMIT,
+                 max_report_bytes: Optional[int] = None,
+                 max_report_age_seconds: Optional[float] = None
                  ) -> None:
+        if max_report_bytes is not None and max_report_bytes < 0:
+            raise ValueError("max_report_bytes must be >= 0 or None")
+        if (max_report_age_seconds is not None
+                and max_report_age_seconds < 0):
+            raise ValueError("max_report_age_seconds must be >= 0 or "
+                             "None")
         self.root = os.path.abspath(root)
         self.memo_limit = memo_limit
+        self.max_report_bytes = max_report_bytes
+        self.max_report_age_seconds = max_report_age_seconds
         self._reports_dir = os.path.join(self.root, "reports")
         self._memo_path = os.path.join(self.root, "memo.json")
         os.makedirs(self._reports_dir, exist_ok=True)
         self.report_hits = 0
         self.report_misses = 0
         self.report_stores = 0
+        self.report_evictions = 0
         self.memo_loads = 0
         self.memo_merges = 0
 
@@ -101,18 +124,84 @@ class DiskCache:
         return os.path.join(self._reports_dir, key + ".json")
 
     def get_report(self, key: str) -> Optional[Dict[str, Any]]:
-        """The stored report dict for ``key``, or ``None`` (counted)."""
-        data = self._read_json(self._report_path(key))
+        """The stored report dict for ``key``, or ``None`` (counted).
+
+        A hit refreshes the file's mtime (best-effort), which is what
+        makes the byte-budget eviction least-recently-*used* rather
+        than least-recently-written.
+        """
+        path = self._report_path(key)
+        data = self._read_json(path)
         if isinstance(data, dict):
             self.report_hits += 1
+            try:
+                os.utime(path, None)
+            except OSError:
+                pass
             return data
         self.report_misses += 1
         return None
 
     def put_report(self, key: str, report: Dict[str, Any]) -> None:
-        """Persist one report dict under its fingerprint (atomic)."""
+        """Persist one report dict under its fingerprint (atomic).
+
+        Every write re-enforces the directory bounds, so the tier
+        stays within budget without a separate sweeper process.
+        """
         self._write_atomic(self._report_path(key), report)
         self.report_stores += 1
+        self._evict_reports()
+
+    def _evict_reports(self) -> None:
+        """Enforce ``max_report_age_seconds`` / ``max_report_bytes``.
+
+        Age first (expired entries are dead weight whatever the byte
+        budget says), then oldest-mtime-first until the remaining
+        payload fits.  Races with concurrent workers degrade safely:
+        a file deleted under us was evictable for them too.
+        """
+        if self.max_report_bytes is None \
+                and self.max_report_age_seconds is None:
+            return
+        entries = []  # (mtime, size, path)
+        try:
+            names = os.listdir(self._reports_dir)
+        except OSError:
+            return
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self._reports_dir, name)
+            try:
+                status = os.stat(path)
+            except OSError:
+                continue
+            entries.append((status.st_mtime, status.st_size, path))
+        now = time.time()
+        if self.max_report_age_seconds is not None:
+            cutoff = now - self.max_report_age_seconds
+            keep = []
+            for entry in entries:
+                if entry[0] < cutoff:
+                    self._evict_one(entry[2])
+                else:
+                    keep.append(entry)
+            entries = keep
+        if self.max_report_bytes is not None:
+            total = sum(size for _, size, _ in entries)
+            entries.sort()  # oldest mtime first
+            for _, size, path in entries:
+                if total <= self.max_report_bytes:
+                    break
+                self._evict_one(path)
+                total -= size
+
+    def _evict_one(self, path: str) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            return
+        self.report_evictions += 1
 
     def report_count(self) -> int:
         try:
@@ -120,6 +209,23 @@ class DiskCache:
                        if name.endswith(".json"))
         except OSError:
             return 0
+
+    def report_bytes(self) -> int:
+        """Total payload bytes currently in the reports directory."""
+        total = 0
+        try:
+            names = os.listdir(self._reports_dir)
+        except OSError:
+            return 0
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            try:
+                total += os.stat(
+                    os.path.join(self._reports_dir, name)).st_size
+            except OSError:
+                continue
+        return total
 
     # -- memo templates ------------------------------------------------
     def load_memo_entries(self) -> List[Tuple[Any, Any]]:
@@ -185,6 +291,10 @@ class DiskCache:
             "report_stores": self.report_stores,
             "report_hit_rate": (self.report_hits / total) if total
             else 0.0,
+            "report_bytes": self.report_bytes(),
+            "report_evictions": self.report_evictions,
+            "max_report_bytes": self.max_report_bytes,
+            "max_report_age_seconds": self.max_report_age_seconds,
             "memo_entries": self.memo_entry_count(),
             "memo_limit": self.memo_limit,
             "memo_loads": self.memo_loads,

@@ -1,0 +1,14 @@
+"""Bit-parallel truth-table backend for narrow subproblems.
+
+:class:`TableManager` implements the :class:`repro.bdd.FunctionBackend`
+protocol with packed truth tables instead of BDD nodes: a function over
+``n <= 16`` variables is one Python integer of ``2**n`` bits, and every
+connective/quantifier/cofactor is a handful of word-wise bitwise
+operations on it.  The router (:mod:`repro.core.route`) sends
+sufficiently narrow subproblems here; everything else stays on the
+ROBDD engine.
+"""
+
+from .manager import (DEFAULT_TABLE_WIDTH, MAX_TABLE_WIDTH, TableManager)
+
+__all__ = ["DEFAULT_TABLE_WIDTH", "MAX_TABLE_WIDTH", "TableManager"]

@@ -1,0 +1,584 @@
+"""Packed truth-table function engine (the narrow-subproblem kernel).
+
+A function over ``n`` variables is its full truth table packed into a
+single Python integer of ``2**n`` bits: bit ``i`` is the function value
+under the assignment where variable ``v`` takes ``(i >> v) & 1``.
+Every Boolean connective is then one bitwise operation over the whole
+table at once — 4096 function values per AND for ``n = 12`` — and
+cofactors/quantifiers are shift-and-mask folds.  No node store, no
+hash-consing of subgraphs, no garbage collector.
+
+:class:`TableManager` implements the full
+:class:`repro.bdd.FunctionBackend` protocol, with the contracts core
+code relies on:
+
+* **Interned handles.** Tables are interned, so handles are dense ints
+  with handle equality == semantic equality, and ``FALSE == 0`` /
+  ``TRUE == 1`` exactly as in :class:`repro.bdd.BddManager`.
+* **Reduced-BDD view.** ``level``/``low``/``high`` present the table as
+  its (virtual) reduced BDD — top variable and cofactors — so
+  structural walks (shortest-path cubes, minterm enumeration, the
+  shared Minato-Morreale ISOP) make byte-identical decisions on either
+  backend.
+* **Hash/cost parity.** ``fingerprint*`` reproduce the canonical BDD
+  fingerprints bit-for-bit (same splitmix64 mixer, same terminal
+  seeds) and ``size`` counts reduced-BDD nodes, so memo signatures and
+  the paper's BDD-size cost agree across backends.
+
+The width is capped (:data:`MAX_TABLE_WIDTH`): tables grow as ``2**n``
+bits, which is exactly why this engine only serves narrow subproblems.
+"""
+
+from __future__ import annotations
+
+from typing import (Dict, Iterable, Iterator, List, Optional, Sequence,
+                    Tuple)
+
+from ..bdd.manager import (FALSE, TRUE, TERMINAL_LEVEL, _FP_FALSE,
+                           _FP_TRUE, _fp_mix)
+
+__all__ = ["DEFAULT_TABLE_WIDTH", "MAX_TABLE_WIDTH", "TableManager"]
+
+#: Router default: subproblems up to this many total variables go to
+#: the table backend (see :mod:`repro.core.route`).
+DEFAULT_TABLE_WIDTH = 12
+
+#: Hard ceiling on the variable frame — a 2**16-bit table is 8 KiB per
+#: function, the largest size at which whole-table bit operations still
+#: beat node-level BDD work comfortably.
+MAX_TABLE_WIDTH = 16
+
+#: Flush threshold of the per-operation result cache.
+_OP_CACHE_LIMIT = 1 << 16
+
+# Operation tags for the result cache.
+_OP_AND, _OP_OR, _OP_XOR, _OP_ANDNOT = 0, 1, 2, 3
+_APPLY_NAMES = {"and": _OP_AND, "or": _OP_OR, "xor": _OP_XOR,
+                "andnot": _OP_ANDNOT}
+
+
+class TableManager:
+    """A truth-table function engine over a bounded variable frame.
+
+    Parameters
+    ----------
+    var_names:
+        Optional initial variable names, as in ``BddManager``.
+    max_width:
+        Maximum number of variables this manager will accept (default
+        :data:`DEFAULT_TABLE_WIDTH`, hard-capped at
+        :data:`MAX_TABLE_WIDTH`); :meth:`add_var` raises beyond it.
+
+    Examples
+    --------
+    >>> mgr = TableManager(["a", "b"])
+    >>> a, b = mgr.var(0), mgr.var(1)
+    >>> f = mgr.and_(a, mgr.not_(b))
+    >>> mgr.eval(f, {0: True, 1: False})
+    True
+    """
+
+    def __init__(self, var_names: Optional[Iterable[str]] = None,
+                 max_width: int = DEFAULT_TABLE_WIDTH):
+        if not 1 <= max_width <= MAX_TABLE_WIDTH:
+            raise ValueError("max_width must be in 1..%d, got %r"
+                             % (MAX_TABLE_WIDTH, max_width))
+        self.max_width = max_width
+        self._names: List[str] = []
+        # Table size is 2**num_vars bits; with zero variables the two
+        # constants are the 1-bit tables 0 and 1.
+        self._size = 1
+        self._full = 1
+        # _zero_masks[v] marks the table positions where variable v is 0.
+        self._zero_masks: List[int] = []
+        # Interning: handle -> table, table -> handle.  FALSE and TRUE
+        # are interned first so their handles are 0 and 1.
+        self._tables: List[int] = [0, 1]
+        self._index: Dict[int, int] = {0: 0, 1: 1}
+        self._peak = 2
+        # Handle-keyed memos (cheap small-int keys instead of re-hashing
+        # multi-kilobit table integers).
+        self._op_cache: Dict[Tuple, int] = {}
+        self._fp_memo: Dict[int, int] = {FALSE: _FP_FALSE, TRUE: _FP_TRUE}
+        self._support_memo: Dict[int, Tuple[int, ...]] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_flushes = 0
+        if var_names is not None:
+            for name in var_names:
+                self.add_var(name)
+
+    # ------------------------------------------------------------------
+    # Variable frame
+    # ------------------------------------------------------------------
+    def add_var(self, name: Optional[str] = None) -> int:
+        """Create a fresh variable; raises past the configured width."""
+        index = len(self._names)
+        if index >= self.max_width:
+            raise ValueError(
+                "TableManager is limited to %d variables; widen max_width "
+                "(<= %d) or use the BDD backend"
+                % (self.max_width, MAX_TABLE_WIDTH))
+        if name is None:
+            name = "v%d" % index
+        self._names.append(name)
+        # Widen every interned table: the new variable is irrelevant to
+        # existing functions, so their tables duplicate into the new
+        # upper half.  Widening commutes with all bitwise kernels, so
+        # handle-keyed caches (ops, fingerprints, supports) stay valid.
+        size = self._size
+        self._tables = [t | (t << size) for t in self._tables]
+        self._index = {t: h for h, t in enumerate(self._tables)}
+        self._zero_masks = [a | (a << size) for a in self._zero_masks]
+        # Zero-mask of the new variable: the (now) lower half of the
+        # doubled table is exactly where it is 0.
+        self._zero_masks.append((1 << size) - 1)
+        self._size = size << 1
+        self._full = (1 << self._size) - 1
+        return index
+
+    def add_vars(self, count: int, prefix: str = "v") -> List[int]:
+        """Create ``count`` fresh variables named ``prefix0 .. prefixN``."""
+        return [self.add_var("%s%d" % (prefix, len(self._names)))
+                for _ in range(count)]
+
+    @property
+    def num_vars(self) -> int:
+        """Number of variables declared in this manager."""
+        return len(self._names)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of interned tables (the backend's "node" count)."""
+        return len(self._tables)
+
+    def var(self, index: int) -> int:
+        """Handle of the positive literal of variable ``index``."""
+        return self._intern(self._full ^ self._zero_masks[index])
+
+    def nvar(self, index: int) -> int:
+        """Handle of the negative literal of variable ``index``."""
+        return self._intern(self._zero_masks[index])
+
+    def var_name(self, index: int) -> str:
+        """Declared name of variable ``index``."""
+        return self._names[index]
+
+    # ------------------------------------------------------------------
+    # Interning
+    # ------------------------------------------------------------------
+    def _intern(self, table: int) -> int:
+        handle = self._index.get(table)
+        if handle is None:
+            handle = len(self._tables)
+            self._tables.append(table)
+            self._index[table] = handle
+            if handle >= self._peak:
+                self._peak = handle + 1
+        return handle
+
+    def table(self, f: int) -> int:
+        """The raw packed truth table behind handle ``f``."""
+        return self._tables[f]
+
+    def _cache_get(self, key: Tuple) -> Optional[int]:
+        hit = self._op_cache.get(key)
+        if hit is not None:
+            self._cache_hits += 1
+        else:
+            self._cache_misses += 1
+        return hit
+
+    def _cache_put(self, key: Tuple, value: int) -> None:
+        if len(self._op_cache) >= _OP_CACHE_LIMIT:
+            self._op_cache.clear()
+            self._cache_flushes += 1
+        self._op_cache[key] = value
+
+    # ------------------------------------------------------------------
+    # Reduced-BDD structural view
+    # ------------------------------------------------------------------
+    def level(self, f: int) -> int:
+        """Top (minimum) support variable; ``TERMINAL_LEVEL`` for constants."""
+        support = self.support(f)
+        return support[0] if support else TERMINAL_LEVEL
+
+    def low(self, f: int) -> int:
+        """0-cofactor at the top variable (reduced-BDD low child)."""
+        return self.cofactor(f, self.level(f), False)
+
+    def high(self, f: int) -> int:
+        """1-cofactor at the top variable (reduced-BDD high child)."""
+        return self.cofactor(f, self.level(f), True)
+
+    def is_terminal(self, f: int) -> bool:
+        """True for the constant handles FALSE and TRUE."""
+        return f <= TRUE
+
+    # ------------------------------------------------------------------
+    # Connectives
+    # ------------------------------------------------------------------
+    def apply(self, op: str, f: int, g: int) -> int:
+        """Binary connective by name: ``and``/``or``/``xor``/``andnot``."""
+        tag = _APPLY_NAMES.get(op)
+        if tag is None:
+            raise ValueError("unknown operation %r" % (op,))
+        key = (tag, f, g)
+        hit = self._cache_get(key)
+        if hit is not None:
+            return hit
+        a, b = self._tables[f], self._tables[g]
+        if tag == _OP_AND:
+            table = a & b
+        elif tag == _OP_OR:
+            table = a | b
+        elif tag == _OP_XOR:
+            table = a ^ b
+        else:
+            table = a & (self._full ^ b)
+        result = self._intern(table)
+        self._cache_put(key, result)
+        return result
+
+    def and_(self, f: int, g: int) -> int:
+        """Conjunction."""
+        return self.apply("and", f, g)
+
+    def or_(self, f: int, g: int) -> int:
+        """Disjunction."""
+        return self.apply("or", f, g)
+
+    def xor_(self, f: int, g: int) -> int:
+        """Exclusive or."""
+        return self.apply("xor", f, g)
+
+    def xnor_(self, f: int, g: int) -> int:
+        """Equivalence."""
+        return self.not_(self.apply("xor", f, g))
+
+    def diff(self, f: int, g: int) -> int:
+        """Difference ``f AND NOT g``."""
+        return self.apply("andnot", f, g)
+
+    def not_(self, f: int) -> int:
+        """Negation."""
+        return self._intern(self._full ^ self._tables[f])
+
+    def ite(self, f: int, g: int, h: int) -> int:
+        """If-then-else ``(f AND g) OR (NOT f AND h)``."""
+        key = ("ite", f, g, h)
+        hit = self._cache_get(key)
+        if hit is not None:
+            return hit
+        a = self._tables[f]
+        table = (a & self._tables[g]) | ((self._full ^ a) & self._tables[h])
+        result = self._intern(table)
+        self._cache_put(key, result)
+        return result
+
+    def implies(self, f: int, g: int) -> bool:
+        """True when ``f <= g`` pointwise."""
+        return self._tables[f] & (self._full ^ self._tables[g]) == 0
+
+    # ------------------------------------------------------------------
+    # Cofactors and quantifiers
+    # ------------------------------------------------------------------
+    def _cofactor_table(self, table: int, var: int, value: bool) -> int:
+        shift = 1 << var
+        zero = self._zero_masks[var]
+        if value:
+            half = (table >> shift) & zero
+        else:
+            half = table & zero
+        return half | (half << shift)
+
+    def cofactor(self, f: int, var: int, value: bool) -> int:
+        """Shannon cofactor of ``f`` with ``var`` fixed to ``value``."""
+        key = ("cof", f, var, value)
+        hit = self._cache_get(key)
+        if hit is not None:
+            return hit
+        result = self._intern(
+            self._cofactor_table(self._tables[f], var, value))
+        self._cache_put(key, result)
+        return result
+
+    def restrict_cube(self, f: int, assignment: Dict[int, bool]) -> int:
+        """Cofactor ``f`` by every literal of a cube."""
+        table = self._tables[f]
+        for var in sorted(assignment):
+            table = self._cofactor_table(table, var, assignment[var])
+        return self._intern(table)
+
+    def exists(self, f: int, variables: Iterable[int]) -> int:
+        """Existentially quantify ``variables`` out of ``f``."""
+        var_key = tuple(sorted(set(variables)))
+        key = ("exists", f, var_key)
+        hit = self._cache_get(key)
+        if hit is not None:
+            return hit
+        table = self._tables[f]
+        for var in var_key:
+            table = (self._cofactor_table(table, var, False)
+                     | self._cofactor_table(table, var, True))
+        result = self._intern(table)
+        self._cache_put(key, result)
+        return result
+
+    def forall(self, f: int, variables: Iterable[int]) -> int:
+        """Universally quantify ``variables`` out of ``f``."""
+        var_key = tuple(sorted(set(variables)))
+        key = ("forall", f, var_key)
+        hit = self._cache_get(key)
+        if hit is not None:
+            return hit
+        table = self._tables[f]
+        for var in var_key:
+            table = (self._cofactor_table(table, var, False)
+                     & self._cofactor_table(table, var, True))
+        result = self._intern(table)
+        self._cache_put(key, result)
+        return result
+
+    def compose(self, f: int, var: int, g: int) -> int:
+        """Substitute function ``g`` for variable ``var`` in ``f``."""
+        return self.ite(g, self.cofactor(f, var, True),
+                        self.cofactor(f, var, False))
+
+    # ------------------------------------------------------------------
+    # Structural queries
+    # ------------------------------------------------------------------
+    def support(self, f: int) -> Tuple[int, ...]:
+        """Sorted tuple of variables ``f`` depends on."""
+        hit = self._support_memo.get(f)
+        if hit is not None:
+            return hit
+        table = self._tables[f]
+        variables = []
+        for var in range(len(self._names)):
+            shift = 1 << var
+            zero = self._zero_masks[var]
+            if (table & zero) != ((table >> shift) & zero):
+                variables.append(var)
+        result = tuple(variables)
+        self._support_memo[f] = result
+        return result
+
+    def size(self, f: int) -> int:
+        """Reduced-BDD internal node count of ``f`` (constants are 0).
+
+        Canonicity makes this exact without building any BDD: the nodes
+        of the reduced BDD of ``f`` are one-to-one with the distinct
+        non-constant subfunctions reachable by top-variable cofactoring,
+        which the table enumerates directly.
+        """
+        return self.shared_size((f,))
+
+    def shared_size(self, functions: Sequence[int]) -> int:
+        """Reduced-BDD node count of a set of functions with sharing."""
+        full = self._full
+        seen = set()
+        stack = [self._tables[f] for f in functions]
+        while stack:
+            table = stack.pop()
+            if table == 0 or table == full or table in seen:
+                continue
+            seen.add(table)
+            for var in range(len(self._names)):
+                shift = 1 << var
+                zero = self._zero_masks[var]
+                lo = table & zero
+                hi = (table >> shift) & zero
+                if lo != hi:
+                    stack.append(lo | (lo << shift))
+                    stack.append(hi | (hi << shift))
+                    break
+        return len(seen)
+
+    def sat_count(self, f: int, variables: Sequence[int]) -> int:
+        """Number of satisfying assignments of ``f`` over ``variables``.
+
+        ``variables`` must be a superset of ``support(f)``.
+        """
+        total = len(set(variables))
+        count = bin(self._tables[f]).count("1")
+        n = len(self._names)
+        if total >= n:
+            return count << (total - n)
+        return count >> (n - total)
+
+    def eval(self, f: int, assignment: Dict[int, bool]) -> bool:
+        """Evaluate ``f`` under a (complete-on-support) assignment."""
+        position = 0
+        for var in self.support(f):
+            if assignment[var]:
+                position |= 1 << var
+        return (self._tables[f] >> position) & 1 == 1
+
+    # ------------------------------------------------------------------
+    # Cube construction helpers
+    # ------------------------------------------------------------------
+    def cube(self, assignment: Dict[int, bool]) -> int:
+        """Conjunction of the literals described by ``assignment``."""
+        table = self._full
+        for var, value in assignment.items():
+            zero = self._zero_masks[var]
+            table &= (self._full ^ zero) if value else zero
+        return self._intern(table)
+
+    def minterm(self, variables: Sequence[int], value: int) -> int:
+        """Minterm of ``variables`` encoded by integer ``value``.
+
+        Bit ``i`` of ``value`` gives the polarity of ``variables[i]``.
+        """
+        assignment = {var: bool((value >> i) & 1)
+                      for i, var in enumerate(variables)}
+        return self.cube(assignment)
+
+    def from_minterms(self, variables: Sequence[int],
+                      values: Iterable[int]) -> int:
+        """Disjunction of :meth:`minterm` over ``values``."""
+        result = FALSE
+        for value in values:
+            result = self.or_(result, self.minterm(variables, value))
+        return result
+
+    def minterms(self, f: int, variables: Sequence[int]) -> Iterator[int]:
+        """Yield the integer encodings of all minterms of ``f``.
+
+        Same walk as the BDD implementation, over the virtual
+        reduced-BDD view, so the enumeration order is identical.
+        """
+        n = len(variables)
+        if n == 0:
+            if f == TRUE:
+                yield 0
+            return
+        position = {var: i for i, var in enumerate(variables)}
+        var_levels = sorted(position)
+        depth = len(var_levels)
+        stack = [(f, 0, 0)]
+        while stack:
+            node, index, acc = stack.pop()
+            if node == FALSE:
+                continue
+            if index == depth:
+                yield acc
+                continue
+            var = var_levels[index]
+            if node > TRUE and self.level(node) == var:
+                lo, hi = self.low(node), self.high(node)
+            else:
+                lo = hi = node
+            # Low branch first (matches the recursive enumeration order).
+            stack.append((hi, index + 1, acc | (1 << position[var])))
+            stack.append((lo, index + 1, acc))
+
+    # ------------------------------------------------------------------
+    # Structural fingerprints
+    # ------------------------------------------------------------------
+    def _fp_walk(self, f: int, memo: Dict[int, int],
+                 var_map: Optional[Dict[int, int]]) -> int:
+        """Fingerprint of handle ``f`` over the virtual reduced BDD.
+
+        Recurses on top-variable cofactors with the same mixer and
+        terminal seeds as ``BddManager._fp_walk``, so equal functions
+        hash equally across backends.  ``memo`` is handle-keyed and must
+        contain the terminal seeds.
+        """
+        hit = memo.get(f)
+        if hit is not None:
+            return hit
+        map_get = var_map.get if var_map is not None else None
+        stack = [f]
+        while stack:
+            node = stack[-1]
+            if node in memo:
+                stack.pop()
+                continue
+            lo, hi = self.low(node), self.high(node)
+            lo_fp = memo.get(lo)
+            hi_fp = memo.get(hi)
+            if lo_fp is None:
+                stack.append(lo)
+            if hi_fp is None:
+                stack.append(hi)
+            if lo_fp is not None and hi_fp is not None:
+                stack.pop()
+                lvl = self.level(node)
+                if map_get is not None:
+                    lvl = map_get(lvl, lvl)
+                memo[node] = _fp_mix(lvl, lo_fp, hi_fp)
+        return memo[f]
+
+    def fingerprint(self, f: int) -> int:
+        """64-bit canonical content hash; equals the BDD fingerprint."""
+        return self._fp_walk(f, self._fp_memo, None)
+
+    def fingerprints(self, functions: Sequence[int],
+                     var_map: Optional[Dict[int, int]] = None
+                     ) -> Tuple[int, ...]:
+        """Fingerprints of several functions under one level renaming."""
+        if var_map is None:
+            return tuple(self.fingerprint(f) for f in functions)
+        memo: Dict[int, int] = {FALSE: _FP_FALSE, TRUE: _FP_TRUE}
+        return tuple(self._fp_walk(f, memo, var_map)
+                     for f in functions)
+
+    def support_fingerprint(self, f: int) -> int:
+        """Fingerprint of ``f`` with its support renumbered to ``0..k-1``."""
+        ranks = {var: rank for rank, var in enumerate(self.support(f))}
+        return self.fingerprints((f,), ranks)[0]
+
+    # ------------------------------------------------------------------
+    # Two-level synthesis
+    # ------------------------------------------------------------------
+    def isop(self, lower: int,
+             upper: int) -> Tuple[List[Dict[int, bool]], int]:
+        """Irredundant SOP cover of a function in ``[lower, upper]``.
+
+        Runs the shared Minato-Morreale expansion of
+        :mod:`repro.bdd.isop` over this backend — the recursion only
+        touches protocol operations, so the cover it extracts is
+        cube-for-cube identical to the BDD backend's while each
+        internal cofactor/diff is a whole-table bit operation.
+        """
+        from ..bdd.isop import isop as _isop
+        return _isop(self, lower, upper)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def pin(self, node: int) -> int:
+        """No-op (tables are never reclaimed); returns the handle."""
+        return node
+
+    def unpin(self, node: int) -> None:
+        """No-op companion of :meth:`pin`."""
+
+    def collect(self, extra_roots: Iterable[int] = ()) -> Dict[int, int]:
+        """No-op garbage collection; handles never move."""
+        return {}
+
+    def clear_caches(self) -> None:
+        """Drop the operation cache (interned tables are kept)."""
+        self._op_cache.clear()
+        self._cache_flushes += 1
+
+    def stats(self) -> Dict[str, Optional[int]]:
+        """Engine counters, same key set as ``BddManager.stats``."""
+        return {
+            "nodes": len(self._tables),
+            "peak_nodes": self._peak,
+            "num_vars": len(self._names),
+            "unique_entries": len(self._index),
+            "cache_entries": len(self._op_cache),
+            "cache_limit": _OP_CACHE_LIMIT,
+            "cache_hits": self._cache_hits,
+            "cache_misses": self._cache_misses,
+            "cache_evictions": 0,
+            "cache_flushes": self._cache_flushes,
+            "pinned_nodes": 0,
+            "gc_runs": 0,
+            "gc_reclaimed_nodes": 0,
+        }

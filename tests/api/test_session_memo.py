@@ -134,6 +134,11 @@ class TestCacheKeySchemaGuard:
         # None (auto) and True shard identically and share a slot; the
         # keyed pair is the effective on/off boundary.
         "decompose": (None, False),
+        # Routed solves are logically identical but their reports carry
+        # a different kernel's engine stats; None and "bdd" share the
+        # no-routing slot.
+        "backend": (None, "auto"),
+        "table_width": (None, 8),
     }
     #: Fields that deliberately do not key the cache: the relation keys
     #: separately (identity/snapshot/spec), the label only decorates the

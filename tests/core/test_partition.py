@@ -372,6 +372,10 @@ class TestBlockOptionsSchemaGuard:
         "record_trace": False,
         "memo": None,
         "decompose": False,
+        # Backend routing propagates: narrow blocks of a wide relation
+        # route to the table engine individually via their sub-solvers.
+        "backend": "inherit",
+        "table_width": "inherit",
     }
 
     def test_every_field_is_classified(self):

@@ -132,3 +132,76 @@ class TestMaintenance:
                       "report_stores", "report_hit_rate", "memo_entries",
                       "memo_limit", "memo_loads", "memo_merges"):
             assert field in stats
+
+
+class TestReportEviction:
+    """Bounded reports directory: byte budget, age cutoff, LRU touch."""
+
+    @staticmethod
+    def _put(cache, name, age_seconds=None):
+        """Store a ~100-byte report; optionally backdate its mtime."""
+        key = fingerprint_payload({"case": name})
+        cache.put_report(key, {"name": name, "pad": "x" * 80})
+        if age_seconds is not None:
+            import time
+            path = cache._report_path(key)
+            stamp = time.time() - age_seconds
+            os.utime(path, (stamp, stamp))
+        return key
+
+    def test_bounds_are_validated(self, cache_dir):
+        import pytest
+        with pytest.raises(ValueError):
+            DiskCache(cache_dir, max_report_bytes=-1)
+        with pytest.raises(ValueError):
+            DiskCache(cache_dir, max_report_age_seconds=-0.5)
+
+    def test_unbounded_by_default(self, cache_dir):
+        cache = DiskCache(cache_dir)
+        for index in range(5):
+            self._put(cache, index)
+        assert cache.report_count() == 5
+        assert cache.report_evictions == 0
+
+    def test_byte_budget_evicts_oldest_first(self, cache_dir):
+        cache = DiskCache(cache_dir, max_report_bytes=250)
+        old = self._put(cache, "old", age_seconds=300)
+        mid = self._put(cache, "mid", age_seconds=200)
+        new = self._put(cache, "new")
+        # ~300 bytes total against a 250 budget: "old" had the stalest
+        # mtime and goes first; the two younger entries fit and stay.
+        assert cache.get_report(old) is None
+        assert cache.get_report(mid) is not None
+        assert cache.get_report(new) is not None
+        assert cache.report_evictions == 1
+        assert cache.report_bytes() <= 250
+
+    def test_age_cutoff_evicts_regardless_of_budget(self, cache_dir):
+        cache = DiskCache(cache_dir, max_report_age_seconds=60.0)
+        stale = self._put(cache, "stale", age_seconds=3600)
+        fresh = self._put(cache, "fresh")
+        trigger = self._put(cache, "trigger")  # write runs the sweep
+        assert cache.get_report(stale) is None
+        assert cache.get_report(fresh) is not None
+        assert cache.get_report(trigger) is not None
+        assert cache.report_evictions == 1
+
+    def test_served_hit_survives_byte_pressure(self, cache_dir):
+        """A read refreshes mtime, so hot entries outlive cold ones."""
+        cache = DiskCache(cache_dir, max_report_bytes=250)
+        hot = self._put(cache, "hot", age_seconds=300)
+        cold = self._put(cache, "cold", age_seconds=200)
+        assert cache.get_report(hot) is not None  # touch: now youngest
+        self._put(cache, "filler")  # pressure: one of the two must go
+        assert cache.get_report(hot) is not None
+        assert cache.get_report(cold) is None
+
+    def test_stats_surface_bounds_and_evictions(self, cache_dir):
+        cache = DiskCache(cache_dir, max_report_bytes=250,
+                          max_report_age_seconds=90.0)
+        self._put(cache, "only")
+        stats = cache.stats()
+        assert stats["max_report_bytes"] == 250
+        assert stats["max_report_age_seconds"] == 90.0
+        assert stats["report_evictions"] == 0
+        assert stats["report_bytes"] == cache.report_bytes() > 0

@@ -281,3 +281,55 @@ class TestWireRoundTrip:
         cold = SolveService(disk=DiskCache(cache_dir))
         report, tier = cold.solve(dict(fig1_request))
         assert tier == "engine" and report["ok"]
+
+
+class TestTimeLimitAdmission:
+    """Server-side time-limit policy: reject the absurd, clamp the rest."""
+
+    def test_cap_is_validated_at_construction(self):
+        for bad in (0, -1.0, float("inf"), float("nan")):
+            with pytest.raises(ValueError):
+                SolveService(max_time_limit=bad)
+
+    def test_non_finite_time_limit_is_a_client_error(self, fig1_request):
+        # Rejected even without a cap configured: NaN/inf pass the
+        # request dataclass's range check but can never be honoured.
+        service = SolveService()
+        for bad in (float("inf"), float("nan")):
+            with pytest.raises(ServiceError, match="finite"):
+                service.solve(dict(fig1_request,
+                                   time_limit_seconds=bad))
+        assert service.request_counts["errors"] == 2
+
+    def test_uncapped_and_oversized_requests_clamp_to_the_cap(
+            self, fig1_request):
+        service = SolveService(max_time_limit=30.0)
+        _, tier1 = service.solve(dict(fig1_request))
+        # No limit and an over-cap limit both ran as the cap — the
+        # clamp precedes the cache key, so they share one slot.
+        _, tier2 = service.solve(dict(fig1_request,
+                                      time_limit_seconds=1000.0))
+        assert (tier1, tier2) == ("engine", "ram")
+
+    def test_under_cap_limits_pass_through_unclamped(self, fig1_request):
+        service = SolveService(max_time_limit=30.0)
+        service.solve(dict(fig1_request, time_limit_seconds=5.0))
+        # 5s was not rewritten to 30s: a 30s request is a distinct slot.
+        _, tier = service.solve(dict(fig1_request,
+                                     time_limit_seconds=30.0))
+        assert tier == "engine"
+
+    def test_stream_and_batch_apply_the_same_admission(self,
+                                                       fig1_request):
+        service = SolveService(max_time_limit=30.0)
+        with pytest.raises(ServiceError):
+            list(service.solve_stream(
+                dict(fig1_request, time_limit_seconds=float("nan"))))
+        with pytest.raises(ServiceError):
+            service.batch([dict(fig1_request,
+                                time_limit_seconds=float("inf"))])
+
+    def test_stats_surface_the_cap(self):
+        assert SolveService(max_time_limit=12.5).stats()[
+            "max_time_limit"] == 12.5
+        assert SolveService().stats()["max_time_limit"] is None

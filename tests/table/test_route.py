@@ -1,0 +1,167 @@
+"""Width-router policy, boundary conversion, and cross-backend memo.
+
+``route_relation`` is the single decision point that moves narrow
+subproblems onto the bit-parallel table kernel.  These tests pin the
+policy table (None/"bdd" never route, "auto" falls back silently,
+"table" forces or raises), the conversion fidelity in both directions,
+and the contract that memo templates minted on one backend replay on
+the other.
+"""
+
+import pytest
+
+from repro.benchdata.brgen import random_relation
+from repro.core import (BooleanRelation, BrelOptions, BrelSolver,
+                        MemoStore, relation_to_table, route_relation,
+                        routing_width)
+from repro.table import DEFAULT_TABLE_WIDTH, TableManager
+
+ROWS = [[0b01], [0b01], [0b00, 0b11], [0b10, 0b11]]
+
+
+def fig1():
+    return BooleanRelation.from_output_sets(
+        [set(row) for row in ROWS], 2, 2)
+
+
+class TestPolicy:
+    def test_none_and_bdd_never_route(self):
+        relation = fig1()
+        assert route_relation(relation, None, None) is None
+        assert route_relation(relation, "bdd", None) is None
+
+    def test_auto_routes_narrow(self):
+        routed = route_relation(fig1(), "auto", None)
+        assert routed is not None
+        assert isinstance(routed.relation.mgr, TableManager)
+
+    def test_auto_falls_back_silently_on_wide(self):
+        relation = random_relation(4, 4, seed=9)  # frame of 8
+        assert route_relation(relation, "auto", 4) is None
+
+    def test_table_forces_and_raises_on_wide(self):
+        relation = random_relation(4, 4, seed=9)
+        assert route_relation(relation, "table", 8) is not None
+        with pytest.raises(ValueError):
+            route_relation(relation, "table", 4)
+
+    def test_table_backed_relation_is_never_rerouted(self):
+        """Recursion guard: a relation already on the table engine
+        stays there (routing again would loop in the solver)."""
+        routed = route_relation(fig1(), "table", None)
+        assert route_relation(routed.relation, "table", None) is None
+        assert route_relation(routed.relation, "auto", None) is None
+
+    def test_routing_width_default(self):
+        assert routing_width(None) == DEFAULT_TABLE_WIDTH
+        assert routing_width(6) == 6
+
+
+class TestConversion:
+    def test_round_trip_preserves_semantics(self):
+        relation = random_relation(3, 3, seed=5)
+        routed = relation_to_table(relation)
+        mgr, tm = relation.mgr, routed.relation.mgr
+        frame = sorted(set(relation.inputs) | set(relation.outputs))
+        assert list(tm.minterms(routed.relation.node,
+                                range(len(frame)))) \
+            == list(mgr.minterms(relation.node, frame))
+        # And back: functions translate to the parent manager.
+        isf = routed.relation.project(0)
+        back = routed.function_to_parent(isf.on)
+        table_isf = relation.project(0)
+        assert back == table_isf.on
+
+    def test_var_map_preserves_order_and_names(self):
+        relation = random_relation(3, 2, seed=6)
+        routed = relation_to_table(relation)
+        frame = sorted(set(relation.inputs) | set(relation.outputs))
+        assert routed.var_map == {var: rank
+                                  for rank, var in enumerate(frame)}
+        tm = routed.relation.mgr
+        for var, rank in routed.var_map.items():
+            assert tm.var_name(rank) == relation.mgr.var_name(var)
+
+    def test_solution_converter_keeps_cost(self):
+        relation = fig1()
+        routed = relation_to_table(relation)
+        result = BrelSolver(BrelOptions()).solve(routed.relation)
+        converted = routed.solution_converter()(result.solution)
+        assert converted.mgr is relation.mgr
+        assert converted.cost == result.solution.cost
+        assert [list(converted.mgr.minterms(f, relation.inputs))
+                for f in converted.functions] \
+            == [list(routed.relation.mgr.minterms(
+                f, routed.relation.inputs))
+                for f in result.solution.functions]
+
+
+class TestOptionsValidation:
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ValueError):
+            BrelOptions(backend="cudd")
+
+    def test_bad_table_width_rejected(self):
+        with pytest.raises(ValueError):
+            BrelOptions(table_width=0)
+        with pytest.raises(ValueError):
+            BrelOptions(table_width=17)
+        with pytest.raises(ValueError):
+            BrelOptions(table_width=8.0)
+
+    def test_forced_table_on_wide_relation_raises_at_solve(self):
+        relation = random_relation(4, 4, seed=9)
+        solver = BrelSolver(BrelOptions(backend="table", table_width=4))
+        with pytest.raises(ValueError):
+            solver.solve(relation)
+
+
+class TestCrossBackendMemo:
+    def test_templates_minted_on_table_replay_on_bdd(self):
+        """Memo signatures are backend-agnostic: a store populated by a
+        routed (table-kernel) solve must serve hits — and identical
+        results — when the same relation is solved on the BDD engine."""
+        relation = random_relation(4, 4, seed=3)
+        store = MemoStore()
+        table_result = BrelSolver(
+            BrelOptions(backend="table", table_width=8),
+            memo=store).solve(relation)
+        assert table_result.stats.memo_stores > 0
+        entries = store.stats()["entries"]
+        assert entries > 0
+        bdd_result = BrelSolver(BrelOptions(), memo=store).solve(relation)
+        assert bdd_result.stats.memo_hits > 0
+        assert bdd_result.solution.cost == table_result.solution.cost
+        inputs = list(relation.inputs)
+        assert [list(bdd_result.solution.mgr.minterms(f, inputs))
+                for f in bdd_result.solution.functions] \
+            == [list(table_result.solution.mgr.minterms(f, inputs))
+                for f in table_result.solution.functions]
+
+    def test_templates_minted_on_bdd_replay_on_table(self):
+        relation = random_relation(4, 4, seed=3)
+        store = MemoStore()
+        bdd_result = BrelSolver(BrelOptions(), memo=store).solve(relation)
+        assert bdd_result.stats.memo_stores > 0
+        table_result = BrelSolver(
+            BrelOptions(backend="table", table_width=8),
+            memo=store).solve(relation)
+        assert table_result.stats.memo_hits > 0
+        assert table_result.solution.cost == bdd_result.solution.cost
+
+
+class TestDecomposedBlocks:
+    def test_auto_parity_with_decomposition(self):
+        """A frame too wide to route whole still solves identically:
+        narrow blocks route individually under backend='auto'."""
+        relation = random_relation(6, 6, seed=4)
+        base = BrelSolver(BrelOptions(max_explored=30)).solve(relation)
+        auto = BrelSolver(BrelOptions(max_explored=30, backend="auto",
+                                      table_width=8)).solve(relation)
+        assert auto.solution.cost == base.solution.cost
+        inputs = list(relation.inputs)
+        assert [list(auto.solution.mgr.minterms(f, inputs))
+                for f in auto.solution.functions] \
+            == [list(base.solution.mgr.minterms(f, inputs))
+                for f in base.solution.functions]
+        assert auto.partition == base.partition

@@ -355,3 +355,37 @@ class TestServeCommand:
         finally:
             server.shutdown()
             server.server_close()
+
+
+class TestBackendFlags:
+    def test_solve_with_table_backend(self, relation_file, capsys):
+        assert main(["solve", relation_file, "--backend", "table",
+                     "--table-width", "8", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["request"]["backend"] == "table"
+        assert report["request"]["table_width"] == 8
+
+    def test_solve_backend_parity(self, relation_file, capsys):
+        costs = {}
+        for backend in ("bdd", "table", "auto"):
+            assert main(["solve", relation_file, "--backend", backend,
+                         "--json"]) == 0
+            report = json.loads(capsys.readouterr().out)
+            costs[backend] = (report["cost"], report["sop"])
+        assert costs["bdd"] == costs["table"] == costs["auto"]
+
+    def test_bad_backend_rejected_by_parser(self, relation_file):
+        with pytest.raises(SystemExit):
+            main(["solve", relation_file, "--backend", "cudd"])
+
+    def test_serve_admission_flags_reach_the_service(self, tmp_path):
+        from repro.cli import _service_from_args, build_parser
+        args = build_parser().parse_args(
+            ["serve", "--cache-dir", str(tmp_path / "c"),
+             "--max-time-limit", "45", "--cache-max-bytes", "4096",
+             "--cache-max-age", "600"])
+        service = _service_from_args(args)
+        assert service.max_time_limit == 45.0
+        assert service.disk.max_report_bytes == 4096
+        assert service.disk.max_report_age_seconds == 600.0
