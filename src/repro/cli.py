@@ -11,6 +11,9 @@ Commands
 ``decompose``  run the mux-latch decomposition flow on a BLIF netlist and
                report baseline-vs-decomposed area/delay.
 ``map``        technology-map a BLIF netlist and print the gate report.
+``resynth``    run don't-care resynthesis on a BLIF netlist (or bundled
+               circuit): mine windowed flexibility relations, solve
+               them, keep the strictly-improving rewrites.
 ``bench-info`` list the bundled benchmark instances.
 ``serve``      run the solve service (HTTP + SSE, tiered cache) from
                :mod:`repro.service`.
@@ -236,6 +239,77 @@ def _cmd_prewarm(args: argparse.Namespace) -> int:
     return 0 if summary["ok"] else 1
 
 
+def _cmd_resynth(args: argparse.Namespace) -> int:
+    import os
+
+    from .resynth import ResynthRequest, resynthesize
+
+    if os.path.exists(args.circuit):
+        circuit: Any = {"kind": "file", "path": args.circuit}
+    else:
+        circuit = {"kind": "bench", "name": args.circuit}
+    passes = args.passes
+    max_nodes = args.max_nodes
+    window = args.window
+    if args.quick:
+        passes = min(passes, 1)
+        window = min(window, 6)
+        if max_nodes is None:
+            max_nodes = 64
+    try:
+        request = ResynthRequest(
+            circuit=circuit,
+            passes=passes,
+            window=window,
+            tfo_depth=args.tfo_depth,
+            cut_policy=args.cut_policy,
+            max_nodes=max_nodes,
+            cost=args.cost,
+            minimizer=args.minimizer,
+            strategy=args.strategy,
+            max_explored=args.max_explored,
+            memo=args.memo,
+            decompose=args.decompose,
+            backend=args.backend,
+            table_width=args.table_width,
+            executor=args.executor,
+            workers=args.workers,
+            verify=args.verify,
+            verify_vectors=args.verify_vectors,
+            seed=args.seed,
+            label=args.circuit)
+    except ValueError as exc:
+        print("error: %s" % exc, file=sys.stderr)
+        return 2
+    report = resynthesize(request)
+    if args.output and report.ok and report.blif is not None:
+        with open(args.output, "w", encoding="ascii") as handle:
+            handle.write(report.blif)
+    if args.json:
+        print(report.to_json(indent=2))
+    else:
+        print(report.summary())
+        for record in report.passes:
+            print("  pass %d: %d candidates, %d relations "
+                  "(%d unique), %d accepted, %d cost-rejected, "
+                  "%d literals, %.3fs"
+                  % (record["pass"], record["candidates"],
+                     record["relations_mined"],
+                     record["unique_relations"], record["accepted"],
+                     record["rejected_cost"], record["literals_end"],
+                     record["runtime_seconds"]))
+    if not report.ok:
+        return 1
+    if report.equivalent is False:
+        print("error: rewritten network is NOT equivalent",
+              file=sys.stderr)
+        return 1
+    if (report.literal_savings or 0) < 0:
+        print("error: negative literal savings", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_bench_info(args: argparse.Namespace) -> int:
     from .benchdata.brsuite import SUITE
     from .benchdata.circuits import CIRCUITS
@@ -359,6 +433,69 @@ def build_parser() -> argparse.ArgumentParser:
     map_cmd.add_argument("--script", action="store_true",
                          help="run the algebraic script first")
     map_cmd.set_defaults(func=_cmd_map)
+
+    resynth = commands.add_parser(
+        "resynth", help="don't-care resynthesis of a netlist through "
+                        "the solver pipeline")
+    resynth.add_argument("circuit",
+                         help="BLIF file path, or the name of a bundled "
+                              "benchdata circuit (see bench-info)")
+    resynth.add_argument("--passes", type=int, default=2,
+                         help="optimisation passes (stops early when a "
+                              "pass accepts nothing; default 2)")
+    resynth.add_argument("--window", type=int, default=8,
+                         help="max window boundary inputs per cut "
+                              "(default 8, cap 16)")
+    resynth.add_argument("--tfo-depth", type=int, default=1,
+                         help="transitive-fanout depth per window "
+                              "(default 1)")
+    resynth.add_argument("--cut-policy",
+                         choices=["nodes", "reconvergent"],
+                         default="nodes")
+    resynth.add_argument("--max-nodes", type=int, default=None,
+                         help="cap candidate cuts per pass")
+    resynth.add_argument("--cost", choices=cost_names(),
+                         default="literals")
+    resynth.add_argument("--minimizer", choices=minimizer_names(),
+                         default="isop")
+    resynth.add_argument("--strategy", choices=strategy_names(),
+                         default=None)
+    resynth.add_argument("--max-explored", type=int, default=10)
+    resynth.add_argument("--memo", dest="memo", action="store_true",
+                         default=None)
+    resynth.add_argument("--no-memo", dest="memo",
+                         action="store_false")
+    resynth.add_argument("--decompose", dest="decompose",
+                         action="store_true", default=None)
+    resynth.add_argument("--no-decompose", dest="decompose",
+                         action="store_false")
+    resynth.add_argument("--backend", choices=["bdd", "table", "auto"],
+                         default=None)
+    resynth.add_argument("--table-width", type=int, default=None)
+    resynth.add_argument("--executor",
+                         choices=["serial", "thread", "process"],
+                         default="serial",
+                         help="how the relation stream is solved "
+                              "(default serial; pools snapshot each "
+                              "relation to PLA text)")
+    resynth.add_argument("--workers", type=int, default=None)
+    resynth.add_argument("--verify",
+                         choices=["auto", "exhaustive", "signature",
+                                  "none"],
+                         default="auto",
+                         help="final whole-network equivalence check "
+                              "(per-rewrite window checks always run)")
+    resynth.add_argument("--verify-vectors", type=int, default=256)
+    resynth.add_argument("--seed", type=int, default=0)
+    resynth.add_argument("--quick", action="store_true",
+                         help="CI smoke preset: 1 pass, window <= 6, "
+                              "at most 64 cuts")
+    resynth.add_argument("--output", default=None,
+                         help="write the rewritten BLIF here")
+    resynth.add_argument("--json", action="store_true",
+                         help="emit the structured ResynthReport as "
+                              "JSON")
+    resynth.set_defaults(func=_cmd_resynth)
 
     info = commands.add_parser("bench-info",
                                help="list bundled benchmark instances")

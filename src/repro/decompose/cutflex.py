@@ -46,18 +46,25 @@ def _collapse_with_cut(network: LogicNetwork, cut: Sequence[str]
     Returns (mgr, leaf_vars, cut_vars, original_roots, freed_roots).
     """
     cut_set = set(cut)
-    for name in cut:
-        if name not in network.nodes:
-            raise CutError("cut member %r is not an internal node" % name)
+    if len(cut_set) != len(cut):
+        raise CutError("the cut repeats a node")
     leaves = network.combinational_inputs()
+    leaf_set = set(leaves)
+    for name in cut:
+        if name not in network.nodes and name not in leaf_set:
+            raise CutError("cut member %r is not a network signal" % name)
     mgr = BddManager(leaves + ["cut_%s" % name for name in cut])
     leaf_vars = {name: index for index, name in enumerate(leaves)}
     cut_vars = {name: len(leaves) + index
                 for index, name in enumerate(cut)}
 
     def collapse(free_cut: bool) -> Dict[str, int]:
-        values: Dict[str, int] = {name: mgr.var(var)
-                                  for name, var in leaf_vars.items()}
+        values: Dict[str, int] = {}
+        for name, var in leaf_vars.items():
+            if free_cut and name in cut_set:
+                values[name] = mgr.var(cut_vars[name])
+            else:
+                values[name] = mgr.var(var)
         for name in network.topological_order():
             node = network.nodes[name]
             total = FALSE
@@ -96,6 +103,13 @@ def cut_flexibility_relation(network: LogicNetwork, cut: Sequence[str]
     contributes its *freed* variable to the other's cone, which captures
     the joint flexibility correctly; the resynthesised functions returned
     by :func:`resynthesize_cut` are expressed over the leaves only.
+
+    Degenerate cuts are tolerated rather than rejected: constant nodes
+    and unobservable (dangling / single-path) members simply yield the
+    corresponding flexibility, and a cut member that is itself a frame
+    *leaf* (a primary input or latch output wired straight to an
+    output) gets the identity relation ``y == x`` — a leaf admits no
+    re-implementation, so its flexibility is the singleton.
     """
     if not cut:
         raise CutError("the cut is empty")
@@ -104,6 +118,10 @@ def cut_flexibility_relation(network: LogicNetwork, cut: Sequence[str]
     node = TRUE
     for name, original in original_roots.items():
         node = mgr.and_(node, mgr.xnor_(freed_roots[name], original))
+    for name in cut:
+        if name in leaf_vars:
+            node = mgr.and_(node, mgr.xnor_(mgr.var(cut_vars[name]),
+                                            mgr.var(leaf_vars[name])))
     relation = BooleanRelation(mgr, sorted(leaf_vars.values()),
                                [cut_vars[name] for name in cut], node)
     return relation, cut_vars
@@ -118,27 +136,22 @@ class CutResynthesis:
     brel: BrelResult
     literals_before: int
     literals_after: int
+    #: Whether the rewrite was kept.  ``False`` means the candidate did
+    #: not beat the original under the acceptance gate and ``network``
+    #: is an untouched copy of the input.
+    accepted: bool = True
 
 
-def resynthesize_cut(network: LogicNetwork, cut: Sequence[str],
-                     options: Optional[BrelOptions] = None
-                     ) -> CutResynthesis:
-    """Re-implement the cut nodes with a BREL-chosen compatible function.
+def realize_functions(mgr: BddManager, functions: Sequence[int],
+                      var_to_leaf: Dict[int, str]
+                      ) -> List[Tuple[List[str], Cover]]:
+    """Materialise solved functions as ISOP covers over named leaves.
 
-    The new node functions are materialised as ISOP covers over the frame
-    leaves (their support may differ from the original fanins — that is
-    the point).  Output behaviour is preserved by construction; the
-    rewritten network is validated and swept.
+    Returns one ``(fanins, cover)`` pair per function; support may be
+    any subset of ``var_to_leaf``'s keys.
     """
-    relation, cut_vars = cut_flexibility_relation(network, cut)
-    result = solve_relation(relation, options)
-    mgr = relation.mgr
-    leaves = network.combinational_inputs()
-    var_to_leaf = {index: name for index, name in enumerate(leaves)}
-
-    rewritten = network.copy()
-    for position, name in enumerate(cut):
-        func = result.solution.functions[position]
+    realized = []
+    for func in functions:
         cover, _ = isop(mgr, func, func)
         fanins = sorted({var_to_leaf[var] for cube in cover
                          for var in cube})
@@ -149,15 +162,67 @@ def resynthesize_cut(network: LogicNetwork, cut: Sequence[str],
             for var, polarity in cube.items():
                 values[index_of[var_to_leaf[var]]] = 1 if polarity else 0
             cubes.append(Cube(values))
+        realized.append((fanins, Cover(len(fanins), cubes)))
+    return realized
+
+
+def resynthesize_cut(network: LogicNetwork, cut: Sequence[str],
+                     options: Optional[BrelOptions] = None,
+                     accept: str = "improved") -> CutResynthesis:
+    """Re-implement the cut nodes with a BREL-chosen compatible function.
+
+    The new node functions are materialised as ISOP covers over the frame
+    leaves (their support may differ from the original fanins — that is
+    the point).  Output behaviour is preserved by construction; the
+    rewritten network is validated and swept.
+
+    ``accept`` gates the rewrite: ``"improved"`` (the default) keeps it
+    only when it strictly lowers the network literal count — on a tie
+    or a regression the original network is returned unchanged
+    (``accepted=False``) — while ``"always"`` installs whatever the
+    solver chose, the pre-gate behaviour.
+
+    Cut members that are frame leaves (see
+    :func:`cut_flexibility_relation`) pass through unchanged — their
+    flexibility is pinned to the identity, so there is nothing to
+    rewrite.
+    """
+    if accept not in ("improved", "always"):
+        raise ValueError("accept must be 'improved' or 'always'")
+    relation, cut_vars = cut_flexibility_relation(network, cut)
+    result = solve_relation(relation, options)
+    mgr = relation.mgr
+    leaves = network.combinational_inputs()
+    var_to_leaf = {index: name for index, name in enumerate(leaves)}
+
+    rewritten = network.copy()
+    realized = realize_functions(mgr, result.solution.functions,
+                                 var_to_leaf)
+    for position, name in enumerate(cut):
+        if name not in rewritten.nodes:
+            continue  # leaf member: identity-pinned, nothing to rewrite
+        fanins, cover = realized[position]
         node = rewritten.nodes[name]
-        node.fanins = fanins
-        node.cover = Cover(len(fanins), cubes)
+        node.fanins = list(fanins)
+        node.cover = cover
     rewritten.sweep_dangling()
     rewritten.validate()
+    literals_before = network.literal_count()
+    literals_after = rewritten.literal_count()
+    if accept == "improved" and literals_after >= literals_before:
+        return CutResynthesis(
+            network=network.copy(),
+            relation=relation,
+            brel=result,
+            literals_before=literals_before,
+            literals_after=literals_before,
+            accepted=False,
+        )
     return CutResynthesis(
         network=rewritten,
         relation=relation,
         brel=result,
-        literals_before=network.literal_count(),
-        literals_after=rewritten.literal_count(),
+        literals_before=literals_before,
+        literals_after=literals_after,
+        accepted=True,
     )

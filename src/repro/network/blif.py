@@ -2,7 +2,8 @@
 
 Supports the subset the flows need: ``.model``, ``.inputs``, ``.outputs``,
 ``.names`` (SOP tables with ``0/1/-`` input plane and a constant output
-column), ``.latch`` (with optional init value) and ``.end``.  This is the
+column — on-set *or* off-set form), ``.latch`` (with optional
+``<type> <control>`` pair and init value) and ``.end``.  This is the
 format SIS used for the paper's ISCAS'89 experiments.
 """
 
@@ -51,6 +52,7 @@ def parse_blif(text: str) -> LogicNetwork:
         signals, rows = current_names
         *fanins, output = signals
         on_rows = []
+        off_rows = []
         for row in rows:
             parts = row.split()
             if len(parts) == 1 and not fanins:
@@ -64,9 +66,21 @@ def parse_blif(text: str) -> LogicNetwork:
                                 % (row, output))
             if value == "1":
                 on_rows.append(plane)
-            elif value != "0":
+            elif value == "0":
+                off_rows.append(plane)
+            else:
                 raise BlifError("output column must be 0 or 1 in %r" % row)
-        cover = Cover(len(fanins), [Cube.from_str(row) for row in on_rows])
+        if on_rows and off_rows:
+            raise BlifError("table for %r mixes on-set and off-set rows"
+                            % output)
+        if off_rows:
+            # Off-set table: the function is the complement of the rows.
+            off = Cover(len(fanins), [Cube.from_str(row)
+                                      for row in off_rows])
+            cover = off.complement()
+        else:
+            cover = Cover(len(fanins),
+                          [Cube.from_str(row) for row in on_rows])
         network.add_node(output, fanins, cover)
         current_names = None
 
@@ -88,8 +102,30 @@ def parse_blif(text: str) -> LogicNetwork:
             parts = line.split()
             if len(parts) < 3:
                 raise BlifError("malformed .latch line %r" % line)
-            init = int(parts[3]) if len(parts) > 3 else 0
-            network.add_latch(parts[1], parts[2], init)
+            # .latch <input> <output> [<type> <control>] [<init-val>]
+            rest = parts[3:]
+            trigger = clock = None
+            init_text = None
+            if len(rest) == 1:
+                init_text = rest[0]
+            elif len(rest) in (2, 3):
+                trigger, clock = rest[0], rest[1]
+                if trigger not in ("fe", "re", "ah", "al", "as"):
+                    raise BlifError("unknown latch type %r in %r"
+                                    % (trigger, line))
+                if len(rest) == 3:
+                    init_text = rest[2]
+            elif rest:
+                raise BlifError("malformed .latch line %r" % line)
+            if init_text is None:
+                init = 0
+            elif init_text in ("0", "1", "2", "3"):
+                init = int(init_text)
+            else:
+                raise BlifError("latch init value must be 0-3 in %r"
+                                % line)
+            network.add_latch(parts[1], parts[2], init,
+                              trigger=trigger, clock=clock)
         elif line.startswith(".names"):
             flush_names()
             signals = line.split()[1:]
@@ -118,8 +154,13 @@ def write_blif(network: LogicNetwork) -> str:
     if network.outputs:
         lines.append(".outputs %s" % " ".join(network.outputs))
     for latch in network.latches:
-        lines.append(".latch %s %s %d" % (latch.input, latch.output,
-                                          latch.init))
+        if latch.trigger is not None:
+            lines.append(".latch %s %s %s %s %d"
+                         % (latch.input, latch.output, latch.trigger,
+                            latch.clock, latch.init))
+        else:
+            lines.append(".latch %s %s %d" % (latch.input, latch.output,
+                                              latch.init))
     for name in network.topological_order():
         node = network.nodes[name]
         lines.append(".names %s" % " ".join(node.fanins + [node.name]))

@@ -50,11 +50,20 @@ class Node:
 
 @dataclass
 class Latch:
-    """A D-latch: ``output`` takes the value of ``input`` next cycle."""
+    """A D-latch: ``output`` takes the value of ``input`` next cycle.
+
+    ``trigger``/``clock`` carry the optional BLIF ``<type> <control>``
+    pair (``fe``/``re``/``ah``/``al``/``as`` + a control signal) so
+    parse/write round-trips preserve them; the combinational frame
+    semantics ignore both.  ``init`` accepts the four BLIF values
+    (0, 1, 2 = don't care, 3 = unknown).
+    """
 
     input: str
     output: str
     init: int = 0
+    trigger: Optional[str] = None
+    clock: Optional[str] = None
 
 
 class LogicNetwork:
@@ -87,9 +96,10 @@ class LogicNetwork:
         return node
 
     def add_latch(self, input_name: str, output_name: str,
-                  init: int = 0) -> Latch:
+                  init: int = 0, *, trigger: Optional[str] = None,
+                  clock: Optional[str] = None) -> Latch:
         self._check_fresh(output_name)
-        latch = Latch(input_name, output_name, init)
+        latch = Latch(input_name, output_name, init, trigger, clock)
         self.latches.append(latch)
         return latch
 
@@ -184,7 +194,8 @@ class LogicNetwork:
         clone = LogicNetwork(self.name)
         clone.inputs = list(self.inputs)
         clone.outputs = list(self.outputs)
-        clone.latches = [Latch(l.input, l.output, l.init)
+        clone.latches = [Latch(l.input, l.output, l.init, l.trigger,
+                               l.clock)
                          for l in self.latches]
         for node in self.nodes.values():
             clone.nodes[node.name] = Node(node.name, list(node.fanins),

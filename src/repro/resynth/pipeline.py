@@ -1,0 +1,315 @@
+"""The resynthesis pipeline: network -> relations -> solver -> network.
+
+One pass over the network:
+
+    enumerate cuts  ->  carve windows  ->  mine flexibility relations
+        ->  stream them through Session.solve_many (shared memo)
+        ->  realize minimized covers  ->  accept strictly-improving
+            rewrites  ->  sweep
+
+Every accepted rewrite is verified exhaustively on its window before it
+sticks, and the final network is checked against the original at the
+combinational outputs (exhaustively for narrow frames, by seeded
+random-vector signature for wide ones).  Rejected or conflicting
+candidates are counted, never silently dropped.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..api.session import Session
+from ..core.relio import parse_relation, write_relation
+from ..decompose.cutflex import cut_flexibility_relation, realize_functions
+from ..network.blif import write_blif
+from ..network.netlist import LogicNetwork
+from ..network.simulate import combinational_signature, exhaustive_signature
+from .report import ResynthReport
+from .request import ResynthRequest, load_circuit
+from .window import Window, enumerate_cuts, extract_window
+
+
+class _Candidate:
+    """One windowed cut awaiting its solved relation."""
+
+    __slots__ = ("cut", "window", "pla", "old_literals")
+
+    def __init__(self, cut: Tuple[str, ...], window: Window, pla: str,
+                 old_literals: int) -> None:
+        self.cut = cut
+        self.window = window
+        self.pla = pla
+        self.old_literals = old_literals
+
+
+def _mine_candidates(network: LogicNetwork, request: ResynthRequest,
+                     counters: Dict[str, int]) -> List[_Candidate]:
+    """Window every candidate cut and extract its flexibility relation."""
+    fanouts = network.fanouts()
+    cuts = enumerate_cuts(network, request.cut_policy, request.max_nodes)
+    counters["candidates"] = len(cuts)
+    candidates: List[_Candidate] = []
+    for cut in cuts:
+        window = extract_window(network, cut, max_leaves=request.window,
+                                tfo_depth=request.tfo_depth,
+                                fanouts=fanouts)
+        if window is None:
+            counters["windows_skipped"] += 1
+            continue
+        relation, _ = cut_flexibility_relation(window.network, cut)
+        candidates.append(_Candidate(
+            cut=cut, window=window, pla=write_relation(relation),
+            old_literals=sum(
+                network.nodes[name].cover.literal_count()
+                for name in cut)))
+    counters["relations_mined"] = len(candidates)
+    return candidates
+
+
+def _solved_functions(report: Any) -> Optional[Tuple[Any, List[int],
+                                                     List[int]]]:
+    """``(mgr, functions, input_vars)`` from a solve report, or None.
+
+    Serial solves carry a live :class:`Solution`; pool and cached
+    reports carry the PLA text instead, which re-parses into a private
+    manager.  Either way the functions come back with the variable
+    indices of the relation's input frame.
+    """
+    if report.solution is not None and report._inputs is not None:
+        solution = report.solution
+        return solution.mgr, list(solution.functions), \
+            list(report._inputs)
+    pla = report.solution_pla()
+    if pla is None:
+        return None
+    parsed = parse_relation(pla)
+    if not parsed.is_function():
+        return None
+    return parsed.mgr, parsed.function_vector(), list(parsed.inputs)
+
+
+def _verify_window(window: Window, new_covers: Dict[str, Tuple[List[str],
+                                                               Any]]
+                   ) -> bool:
+    """Exhaustively compare window roots before/after the rewrite."""
+    rewritten = window.network.copy()
+    for name, (fanins, cover) in new_covers.items():
+        node = rewritten.nodes[name]
+        node.fanins = list(fanins)
+        node.cover = cover
+    return exhaustive_signature(rewritten) == \
+        exhaustive_signature(window.network)
+
+
+def _apply_pass(network: LogicNetwork, candidates: List[_Candidate],
+                reports_by_pla: Dict[str, Any],
+                counters: Dict[str, int]) -> int:
+    """Realize solved relations and install the improving rewrites.
+
+    Returns the number of accepted rewrites.  ``network`` is mutated in
+    place; every mutation is rolled back unless it passes the
+    structural (acyclicity) and window-equivalence checks.
+    """
+    accepted = 0
+    dirty: set = set()
+    for candidate in candidates:
+        report = reports_by_pla[candidate.pla]
+        if not report.ok:
+            counters["solver_failures"] += 1
+            continue
+        solved = _solved_functions(report)
+        if solved is None:
+            counters["unrealized"] += 1
+            continue
+        mgr, functions, input_vars = solved
+        var_to_leaf = {var: leaf for var, leaf
+                       in zip(input_vars, candidate.window.leaves)}
+        realized = realize_functions(mgr, functions, var_to_leaf)
+        new_literals = sum(cover.literal_count() for _, cover in realized)
+        if new_literals >= candidate.old_literals:
+            counters["rejected_cost"] += 1
+            continue
+        if dirty.intersection(candidate.window.nodes):
+            # A previous rewrite changed a node inside this window, so
+            # the mined flexibility is stale; retry next pass.
+            counters["skipped_conflict"] += 1
+            continue
+        new_covers = {name: realized[position]
+                      for position, name in enumerate(candidate.cut)}
+        saved = {name: (network.nodes[name].fanins,
+                        network.nodes[name].cover)
+                 for name in candidate.cut}
+        for name, (fanins, cover) in new_covers.items():
+            node = network.nodes[name]
+            node.fanins = list(fanins)
+            node.cover = cover
+        try:
+            network.topological_order()
+            structural_ok = True
+        except ValueError:
+            structural_ok = False
+        if not structural_ok:
+            # The new support reconverges through the cut: a cycle.
+            for name, (fanins, cover) in saved.items():
+                network.nodes[name].fanins = fanins
+                network.nodes[name].cover = cover
+            counters["rejected_cycle"] += 1
+            continue
+        if not _verify_window(candidate.window, new_covers):
+            for name, (fanins, cover) in saved.items():
+                network.nodes[name].fanins = fanins
+                network.nodes[name].cover = cover
+            counters["rejected_verify"] += 1
+            continue
+        dirty.update(candidate.window.nodes)
+        dirty.update(candidate.cut)
+        accepted += 1
+    counters["accepted"] = accepted
+    return accepted
+
+
+def _verify_final(original: LogicNetwork, rewritten: LogicNetwork,
+                  request: ResynthRequest
+                  ) -> Tuple[Optional[bool], Optional[str], Optional[int]]:
+    """Whole-network equivalence check at the combinational outputs."""
+    if request.verify == "none":
+        return None, None, None
+    leaves = original.combinational_inputs()
+    method = request.verify
+    if method == "auto":
+        method = ("exhaustive"
+                  if len(leaves) <= request.verify_exhaustive_limit
+                  else "signature")
+    if method == "exhaustive":
+        if len(leaves) > 16:
+            method = "signature"  # exhaustive_signature's hard cap
+        else:
+            same = exhaustive_signature(original) == \
+                exhaustive_signature(rewritten)
+            return same, "exhaustive", 1 << len(leaves)
+    rng = random.Random(request.seed)
+    count = request.verify_vectors
+    if len(leaves) < 30:
+        count = min(count, 1 << len(leaves))
+    vectors = [{leaf: bool(rng.getrandbits(1)) for leaf in leaves}
+               for _ in range(count)]
+    same = combinational_signature(original, vectors) == \
+        combinational_signature(rewritten, vectors)
+    return same, "signature", count
+
+
+def resynthesize_network(network: LogicNetwork, request: ResynthRequest,
+                         session: Optional[Session] = None
+                         ) -> Tuple[LogicNetwork, ResynthReport]:
+    """Run the full pipeline on a parsed network.
+
+    Returns ``(rewritten_network, report)``.  The input network is not
+    mutated.  A shared ``session`` carries its memo store and report
+    cache across calls — the service layer passes its own.
+    """
+    started = time.perf_counter()
+    if session is None:
+        session = Session()
+    original = network
+    net = network.copy()
+    pass_records: List[Dict[str, Any]] = []
+    total_mined = 0
+    total_solved = 0
+    total_accepted = 0
+    memo_hits = 0
+    memo_misses = 0
+
+    for index in range(request.passes):
+        pass_started = time.perf_counter()
+        counters: Dict[str, int] = {
+            "candidates": 0, "windows_skipped": 0, "relations_mined": 0,
+            "unique_relations": 0, "solver_failures": 0, "unrealized": 0,
+            "rejected_cost": 0, "skipped_conflict": 0,
+            "rejected_cycle": 0, "rejected_verify": 0, "accepted": 0,
+        }
+        candidates = _mine_candidates(net, request, counters)
+        unique_plas: List[str] = []
+        seen = set()
+        for candidate in candidates:
+            if candidate.pla not in seen:
+                seen.add(candidate.pla)
+                unique_plas.append(candidate.pla)
+        counters["unique_relations"] = len(unique_plas)
+        requests = [request.solver_request(
+            {"kind": "pla", "text": pla},
+            label="resynth-p%d-%d" % (index, position))
+            for position, pla in enumerate(unique_plas)]
+        reports = session.solve_many(requests,
+                                     max_workers=request.workers,
+                                     executor=request.executor)
+        reports_by_pla = dict(zip(unique_plas, reports))
+        for report in reports:
+            if report.ok:
+                memo_hits += int(report.stats.get("memo_hits", 0))
+                memo_misses += int(report.stats.get("memo_misses", 0))
+        accepted = _apply_pass(net, candidates, reports_by_pla, counters)
+        swept = net.sweep_dangling()
+        record = dict(counters)
+        record["pass"] = index
+        record["gates_swept"] = swept
+        record["literals_end"] = net.literal_count()
+        record["runtime_seconds"] = time.perf_counter() - pass_started
+        pass_records.append(record)
+        total_mined += counters["relations_mined"]
+        total_solved += counters["unique_relations"]
+        total_accepted += accepted
+        if accepted == 0:
+            break
+
+    equivalent, method, vectors = _verify_final(original, net, request)
+    total = memo_hits + memo_misses
+    report = ResynthReport(
+        ok=True,
+        label=request.label,
+        request=request.to_dict(),
+        circuit=original.name,
+        num_inputs=len(original.inputs),
+        num_outputs=len(original.outputs),
+        num_latches=len(original.latches),
+        gates_before=original.node_count(),
+        gates_after=net.node_count(),
+        literals_before=original.literal_count(),
+        literals_after=net.literal_count(),
+        literal_savings=original.literal_count() - net.literal_count(),
+        gate_savings=original.node_count() - net.node_count(),
+        passes=pass_records,
+        relations_mined=total_mined,
+        relations_solved=total_solved,
+        rewrites_accepted=total_accepted,
+        memo_hits=memo_hits,
+        memo_misses=memo_misses,
+        memo_hit_rate=(memo_hits / total) if total else None,
+        equivalent=equivalent,
+        verify_method=method,
+        verify_vectors=vectors,
+        runtime_seconds=time.perf_counter() - started,
+        blif=write_blif(net),
+    )
+    return net, report
+
+
+def resynthesize(request: ResynthRequest,
+                 session: Optional[Session] = None
+                 ) -> ResynthReport:
+    """Load the request's circuit, run the pipeline, return the report.
+
+    Failures (bad specs, unreadable files, malformed BLIF) are captured
+    as ``ok=False`` reports, mirroring :meth:`Session.solve_many`.
+    """
+    try:
+        if request.circuit is None:
+            raise ValueError("request has no circuit source")
+        network = load_circuit(request.circuit)
+        _, report = resynthesize_network(network, request,
+                                         session=session)
+        return report
+    except Exception as exc:  # noqa: BLE001 — capture per request
+        return ResynthReport.from_error(exc, request=request.to_dict(),
+                                        label=request.label)

@@ -1,0 +1,162 @@
+"""Windowed cut extraction for network resynthesis.
+
+The full-network flexibility relation of :mod:`repro.decompose.cutflex`
+collapses the whole combinational frame — exact, but exponential in the
+number of primary inputs and useless as a batch workload (the pool
+transport snapshots relations to PLA text, an enumeration of all
+``2^inputs`` vertices).  This module builds the *windowed* variant used
+by SIS-style don't-care optimisation: around each candidate cut, carve
+out a small sub-network whose boundary inputs become free variables and
+whose boundary outputs must be preserved.
+
+Soundness: the window's roots are every window node that is observable
+outside the window (a primary output, a latch input, or a signal read by
+a node outside the window).  Preserving those root functions for *every*
+assignment of the window leaves preserves them in particular for the
+reachable assignments, so any rewrite drawn from the window's
+flexibility relation leaves the global combinational behaviour
+untouched.  The window sees only a subset of the true flexibility
+(no satisfiability don't-cares from the leaves' cones), which costs
+optimisation power, never correctness.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..network.netlist import LogicNetwork
+
+#: Widest window the pipeline will build: the per-rewrite verification
+#: simulates the window exhaustively, and the pool transport enumerates
+#: 2^leaves PLA rows, so both need a hard ceiling.
+MAX_WINDOW_LEAVES = 16
+
+CUT_POLICIES = ("nodes", "reconvergent")
+
+
+@dataclass
+class Window:
+    """A standalone combinational sub-network around one cut."""
+
+    #: The cut being resynthesised (internal nodes of the host network).
+    cut: Tuple[str, ...]
+    #: Window node set: the cut plus its in-window transitive fanout.
+    nodes: Tuple[str, ...]
+    #: Boundary input signals, in deterministic first-seen order; these
+    #: are the window network's primary inputs (= relation inputs).
+    leaves: Tuple[str, ...]
+    #: Window nodes observable outside the window; these are the window
+    #: network's primary outputs, whose functions a rewrite preserves.
+    roots: Tuple[str, ...]
+    #: The carved-out sub-network (inputs = leaves, outputs = roots).
+    network: LogicNetwork
+
+
+def _grow_tfo(network: LogicNetwork, seeds: Sequence[str], depth: int,
+              fanouts: Dict[str, List[str]]) -> List[str]:
+    """Seed nodes plus their transitive fanout up to ``depth`` levels."""
+    member = set(seeds)
+    frontier = list(seeds)
+    for _ in range(depth):
+        grown: List[str] = []
+        for name in frontier:
+            for reader in fanouts.get(name, ()):
+                if reader in network.nodes and reader not in member:
+                    member.add(reader)
+                    grown.append(reader)
+        if not grown:
+            break
+        frontier = grown
+    order = [name for name in network.topological_order()
+             if name in member]
+    return order
+
+
+def extract_window(network: LogicNetwork, cut: Sequence[str],
+                   max_leaves: int = 8, tfo_depth: int = 1,
+                   fanouts: Optional[Dict[str, List[str]]] = None
+                   ) -> Optional[Window]:
+    """Carve the window around ``cut``, or ``None`` if none fits.
+
+    The window is the cut plus its transitive fanout up to ``tfo_depth``
+    levels; when the resulting boundary has more than ``max_leaves``
+    input signals the depth is backed off one level at a time.  At depth
+    0 the window is the cut itself and the leaves are the cut's fanins —
+    if even that exceeds the cap, the cut is not windowable.
+    """
+    if max_leaves > MAX_WINDOW_LEAVES:
+        raise ValueError("max_leaves is capped at %d" % MAX_WINDOW_LEAVES)
+    for name in cut:
+        if name not in network.nodes:
+            return None  # leaves and unknown signals are not windowable
+    if fanouts is None:
+        fanouts = network.fanouts()
+    output_set = set(network.combinational_outputs())
+    for depth in range(max(tfo_depth, 0), -1, -1):
+        member_order = _grow_tfo(network, cut, depth, fanouts)
+        member = set(member_order)
+        leaves: List[str] = []
+        seen = set()
+        for name in member_order:
+            for fanin in network.nodes[name].fanins:
+                if fanin not in member and fanin not in seen:
+                    seen.add(fanin)
+                    leaves.append(fanin)
+        if len(leaves) > max_leaves:
+            continue
+        roots = [name for name in member_order
+                 if name in output_set
+                 or any(reader not in member
+                        for reader in fanouts.get(name, ()))]
+        sub = LogicNetwork("win_%s" % cut[0])
+        for leaf in leaves:
+            sub.add_input(leaf)
+        for name in member_order:
+            node = network.nodes[name]
+            sub.add_node(name, list(node.fanins), node.cover.copy())
+        for root in roots:
+            sub.add_output(root)
+        return Window(cut=tuple(cut), nodes=tuple(member_order),
+                      leaves=tuple(leaves), roots=tuple(roots),
+                      network=sub)
+    return None
+
+
+def enumerate_cuts(network: LogicNetwork, policy: str = "nodes",
+                   max_cuts: Optional[int] = None
+                   ) -> List[Tuple[str, ...]]:
+    """Candidate cuts under the given enumeration policy.
+
+    ``"nodes"``
+        Every internal node as a singleton cut, in topological order —
+        the workhorse policy; one relation per gate.
+    ``"reconvergent"``
+        The paper's §1 shape: for every node with two or more internal
+        fanins, the first two fanins as a joint cut (deduplicated).
+        Joint cuts capture flexibility the per-node MISF cannot express.
+    """
+    if policy not in CUT_POLICIES:
+        raise ValueError("unknown cut policy %r (choose from %s)"
+                         % (policy, ", ".join(CUT_POLICIES)))
+    cuts: List[Tuple[str, ...]] = []
+    if policy == "nodes":
+        for name in network.topological_order():
+            if name in network.nodes:
+                cuts.append((name,))
+    else:
+        seen = set()
+        for name in network.topological_order():
+            if name not in network.nodes:
+                continue
+            internal = [fanin for fanin in network.nodes[name].fanins
+                        if fanin in network.nodes]
+            if len(internal) >= 2:
+                pair = tuple(internal[:2])
+                if pair not in seen and pair[0] != pair[1]:
+                    seen.add(pair)
+                    cuts.append(pair)
+    if max_cuts is not None:
+        cuts = cuts[:max_cuts]
+    return cuts

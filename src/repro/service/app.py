@@ -8,6 +8,9 @@ test driving it directly) exposes:
 ``solve``          one request through the tiered cache;
 ``solve_stream``   the anytime event/improvement stream of one solve;
 ``batch``          many requests through :meth:`Session.solve_many`;
+``resynth``        one network resynthesis run (:mod:`repro.resynth`)
+                   through the same tiers, keyed by the
+                   network+options fingerprint;
 ``healthz``        liveness;
 ``stats``          engine, memo, report-cache, disk-tier and per-tier
                    request counters, plus a ring of recent requests
@@ -47,6 +50,8 @@ from ..api.request import (SolveRequest, merge_manifest_jobs,
 from ..api.report import SolveReport
 from ..api.session import DEFAULT_MEMO_EXPORT_LIMIT, Session
 from ..core.explore import CancelToken
+from ..resynth.report import ResynthReport
+from ..resynth.request import ResynthRequest
 from .diskcache import DiskCache, fingerprint_payload
 
 __all__ = ["ServiceError", "SolveService", "DEFAULT_FLUSH_EVERY"]
@@ -112,7 +117,12 @@ class SolveService:
         self._solves_since_flush = 0
         self.tier_hits = {"ram": 0, "disk": 0, "engine": 0}
         self.request_counts = {"solve": 0, "stream": 0, "batch": 0,
-                               "errors": 0, "stream_cancelled": 0}
+                               "resynth": 0, "errors": 0,
+                               "stream_cancelled": 0}
+        #: RAM tier for resynthesis reports (the session report cache
+        #: only understands SolveRequests), keyed by the same
+        #: fingerprint the disk tier uses.
+        self._resynth_cache: Dict[str, ResynthReport] = {}
         self.seeded_entries = 0
         self.flushes = 0
         self._recent: Deque[Dict[str, Any]] = deque(maxlen=RECENT_REQUESTS)
@@ -198,6 +208,7 @@ class SolveService:
                 "tiers": dict(self.tier_hits),
                 "session": {
                     "report_cache_entries": len(session._cache),
+                    "resynth_cache_entries": len(self._resynth_cache),
                     "cache_hits": session.cache_hits,
                     "relations": session.relation_names(),
                 },
@@ -254,6 +265,97 @@ class SolveService:
             self.disk.put_report(key, report.to_dict())
         self._after_engine_solve()
         return report, "engine"
+
+    # ------------------------------------------------------------------
+    # Resynthesis (repro.resynth through the same tiers)
+    # ------------------------------------------------------------------
+    def resynth_fingerprint(self, request: ResynthRequest) -> str:
+        """Cross-process cache key: circuit content + options.
+
+        ``file`` circuit specs are inlined (like relation files) so an
+        on-disk edit invalidates the entry; bundled ``bench`` circuits
+        are deterministic builds, so the name suffices.
+        """
+        spec = request.circuit
+        if spec is None:
+            raise ServiceError("request has no circuit source")
+        if spec["kind"] == "file":
+            with open(spec["path"], "r", encoding="ascii") as handle:
+                spec = {"kind": "blif", "text": handle.read()}
+        payload = {
+            "resynth": dict(spec),
+            "options": list(request.options_key()),
+        }
+        return fingerprint_payload(payload)
+
+    @staticmethod
+    def parse_resynth_request(data: Any) -> ResynthRequest:
+        """Validate a wire payload into a :class:`ResynthRequest`."""
+        if not isinstance(data, dict):
+            raise ServiceError("request body must be a JSON object")
+        try:
+            return ResynthRequest.from_dict(data)
+        except (ValueError, TypeError) as exc:
+            raise ServiceError("invalid request: %s" % exc) from exc
+
+    def resynth(self, data: Any) -> Tuple[Dict[str, Any], str]:
+        """Serve one resynthesis run through the tiers.
+
+        Returns ``(report_dict, tier)``.  Pipeline failures (unknown
+        circuits, unreadable files) are client-attributable and raise
+        :class:`ServiceError`; failed runs are never cached.
+        """
+        from ..resynth.pipeline import resynthesize
+
+        with self._lock:
+            self.request_counts["resynth"] += 1
+            try:
+                request = self.parse_resynth_request(data)
+                key = self.resynth_fingerprint(request)
+            except ServiceError:
+                self.request_counts["errors"] += 1
+                raise
+            except _CLIENT_ERRORS as exc:
+                self.request_counts["errors"] += 1
+                raise ServiceError("resynth failed: %s" % exc) from exc
+            cached = self._resynth_cache.get(key)
+            if cached is not None:
+                tier = "ram"
+                report = cached.copy(cached=True, label=request.label)
+            else:
+                report = None
+                if self.disk is not None:
+                    stored = self.disk.get_report(key)
+                    if stored is not None:
+                        report = self._resynth_from_wire(stored)
+                if report is not None:
+                    tier = "disk"
+                    self._resynth_cache[key] = report.copy()
+                    report = report.copy(cached=True,
+                                         label=request.label)
+                else:
+                    tier = "engine"
+                    report = resynthesize(request, session=self.session)
+                    if not report.ok:
+                        self.request_counts["errors"] += 1
+                        raise ServiceError("resynth failed: %s"
+                                           % report.error)
+                    self._resynth_cache[key] = report.copy()
+                    if self.disk is not None:
+                        self.disk.put_report(key, report.to_dict())
+                    self._after_engine_solve()
+            self.tier_hits[tier] += 1
+            return report.to_dict(), tier
+
+    @staticmethod
+    def _resynth_from_wire(stored: Dict[str, Any]
+                           ) -> Optional[ResynthReport]:
+        """Rebuild a disk-tier resynth report; skew degrades to a miss."""
+        try:
+            report = ResynthReport.from_dict(stored)
+        except (ValueError, TypeError):
+            return None
+        return report if report.ok else None
 
     def _report_from_wire(self, stored: Dict[str, Any],
                           request: SolveRequest

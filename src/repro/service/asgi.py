@@ -107,6 +107,11 @@ async def _dispatch(service: SolveService, scope: Scope,
             data = await _read_json(receive)
             await _send_json(send, 200,
                              await asyncio.to_thread(service.batch, data))
+        elif method == "POST" and path == "/resynth":
+            data = await _read_json(receive)
+            report, tier = await asyncio.to_thread(service.resynth, data)
+            await _send_json(send, 200, report,
+                             [(b"x-cache-tier", tier.encode("ascii"))])
         elif method == "POST" and path == "/solve/stream":
             data = await _read_json(receive)
             await _stream(service, data, receive, send)

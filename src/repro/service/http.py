@@ -13,6 +13,8 @@ POST     ``/solve/stream``   SolveRequest JSON → ``text/event-stream``
                              of ``event:``/``improvement:`` frames and
                              one final ``report:`` frame.  Client
                              disconnect cancels the solve.
+POST     ``/resynth``        ResynthRequest JSON → ResynthReport JSON
+                             through the same tiers (``X-Cache-Tier``).
 POST     ``/batch``          Manifest JSON (list, or ``{"defaults",
                              "jobs"}`` plus optional ``executor``,
                              ``workers``) → ``{"reports", "tiers",
@@ -123,6 +125,10 @@ class ServiceHandler(BaseHTTPRequestHandler):
             elif path == "/batch":
                 data = self._read_body_json()
                 self._send_json(200, self.service.batch(data))
+            elif path == "/resynth":
+                data = self._read_body_json()
+                report, tier = self.service.resynth(data)
+                self._send_json(200, report, {"X-Cache-Tier": tier})
             else:
                 self._send_error_json(404, "no such route: %s" % path)
         except ServiceError as exc:

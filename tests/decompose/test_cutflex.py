@@ -5,6 +5,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.benchdata import synthetic_circuit
+from repro.api import SolveRequest
+from repro.api.registry import cost_names
 from repro.core import BrelOptions
 from repro.decompose import (CutError, cut_flexibility_relation,
                              resynthesize_cut)
@@ -61,9 +63,15 @@ class TestFlexibilityRelation:
         with pytest.raises(CutError):
             cut_flexibility_relation(reconvergent_and_network(), [])
 
-    def test_leaf_in_cut_rejected(self):
-        with pytest.raises(CutError):
-            cut_flexibility_relation(reconvergent_and_network(), ["a"])
+    def test_leaf_in_cut_gets_identity_relation(self):
+        """A frame leaf admits no re-implementation: flexibility is y == x."""
+        relation, cut_vars = cut_flexibility_relation(
+            reconvergent_and_network(), ["a"])
+        mgr = relation.mgr
+        leaf = relation.inputs[0]  # leaves are a, b, c in order
+        assert mgr.var_name(leaf) == "a"
+        expected = mgr.xnor_(mgr.var(cut_vars["a"]), mgr.var(leaf))
+        assert relation.node == expected
 
     def test_unknown_node_rejected(self):
         with pytest.raises(CutError):
@@ -132,3 +140,149 @@ def test_random_cut_resynthesis_preserves_behaviour(seed, cut_size):
     before = exhaustive_signature(net)
     result = resynthesize_cut(net, cut, BrelOptions(max_explored=10))
     assert exhaustive_signature(result.network) == before
+
+
+class TestDegenerateCuts:
+    """PR 8 hardening: edge cuts yield degenerate relations, not raises."""
+
+    def test_constant_node_cut(self):
+        net = LogicNetwork("const")
+        net.add_input("a")
+        net.add_node("k", [], Cover(0, []))  # constant 0
+        net.add_node("f", ["a", "k"], Cover.from_strings(2, ["1-"]))
+        net.add_output("f")
+        relation, _ = cut_flexibility_relation(net, ["k"])
+        # k is unobservable (f ignores it): full flexibility.
+        assert relation.is_well_defined()
+        result = resynthesize_cut(net, ["k"], BrelOptions(max_explored=5))
+        assert exhaustive_signature(result.network) == \
+            exhaustive_signature(net)
+
+    def test_all_constant_network(self):
+        """A frame with no leaves at all still produces a relation."""
+        net = LogicNetwork("pure")
+        net.add_node("one", [], Cover(0, [Cover.universe(0)[0]]))
+        net.add_output("one")
+        relation, _ = cut_flexibility_relation(net, ["one"])
+        assert len(relation.inputs) == 0
+        assert relation.is_well_defined()
+        result = resynthesize_cut(net, ["one"],
+                                  BrelOptions(max_explored=5))
+        assert exhaustive_signature(result.network) == \
+            exhaustive_signature(net)
+
+    def test_cut_on_primary_output_node(self):
+        """A PO node has zero flexibility: the relation is functional."""
+        net = reconvergent_and_network()
+        relation, _ = cut_flexibility_relation(net, ["f"])
+        assert relation.is_function()
+        result = resynthesize_cut(net, ["f"], BrelOptions(max_explored=5))
+        assert exhaustive_signature(result.network) == \
+            exhaustive_signature(net)
+
+    def test_single_fanout_window(self):
+        """A node with exactly one fanout still mines flexibility."""
+        net = LogicNetwork("chain1")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("g", ["a", "b"], Cover.from_strings(2, ["10"]))
+        net.add_node("f", ["g"], Cover.from_strings(1, ["0"]))
+        net.add_output("f")
+        relation, _ = cut_flexibility_relation(net, ["g"])
+        assert relation.is_well_defined()
+        result = resynthesize_cut(net, ["g"], BrelOptions(max_explored=10))
+        assert exhaustive_signature(result.network) == \
+            exhaustive_signature(net)
+
+    def test_dangling_node_cut(self):
+        """Zero-fanout, non-output member: full flexibility, no crash."""
+        net = LogicNetwork("dangle")
+        net.add_input("a")
+        net.add_node("d", ["a"], Cover.from_strings(1, ["1"]))
+        net.add_node("f", ["a"], Cover.from_strings(1, ["0"]))
+        net.add_output("f")
+        relation, _ = cut_flexibility_relation(net, ["d"])
+        assert relation.pair_count() == 4  # unconstrained
+        result = resynthesize_cut(net, ["d"], BrelOptions(max_explored=5))
+        assert exhaustive_signature(result.network) == \
+            exhaustive_signature(net)
+
+    def test_leaf_member_passes_through_resynthesis(self):
+        """A PO wired straight to a PI: the leaf is left untouched."""
+        net = LogicNetwork("wire")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_output("a")
+        net.add_node("f", ["a", "b"], Cover.from_strings(2, ["11"]))
+        net.add_output("f")
+        result = resynthesize_cut(net, ["a", "f"],
+                                  BrelOptions(max_explored=10))
+        assert "a" in result.network.inputs
+        assert exhaustive_signature(result.network) == \
+            exhaustive_signature(net)
+
+    def test_duplicate_cut_rejected(self):
+        with pytest.raises(CutError):
+            cut_flexibility_relation(reconvergent_and_network(),
+                                     ["y1", "y1"])
+
+
+class TestAcceptanceGate:
+    """PR 8: resynthesize_cut keeps the original unless strictly better."""
+
+    def minimal_network(self):
+        """f = a & b — already minimal, any rewrite at best ties."""
+        net = LogicNetwork("minimal")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("f", ["a", "b"], Cover.from_strings(2, ["11"]))
+        net.add_output("f")
+        return net
+
+    def test_cost_tie_keeps_original(self):
+        net = self.minimal_network()
+        result = resynthesize_cut(net, ["f"], BrelOptions(max_explored=10))
+        assert result.accepted is False
+        assert result.literals_after == result.literals_before
+        node = result.network.nodes["f"]
+        assert node.fanins == ["a", "b"]
+        assert node.cover == net.nodes["f"].cover
+
+    def test_rejected_result_is_a_private_copy(self):
+        net = self.minimal_network()
+        result = resynthesize_cut(net, ["f"], BrelOptions(max_explored=10))
+        result.network.nodes["f"].fanins = ["b", "a"]
+        assert net.nodes["f"].fanins == ["a", "b"]
+
+    def test_accept_always_installs_solver_choice(self):
+        net = self.minimal_network()
+        result = resynthesize_cut(net, ["f"], BrelOptions(max_explored=10),
+                                  accept="always")
+        assert result.accepted is True
+        assert exhaustive_signature(result.network) == \
+            exhaustive_signature(net)
+
+    def test_bad_accept_mode_rejected(self):
+        with pytest.raises(ValueError):
+            resynthesize_cut(self.minimal_network(), ["f"],
+                             accept="sometimes")
+
+    @pytest.mark.parametrize("cost", cost_names())
+    def test_gate_under_every_registered_cost(self, cost):
+        """Each registered cost: equivalence + never-worse literals."""
+        net = reconvergent_and_network()
+        options = SolveRequest(cost=cost, max_explored=20).to_options()
+        result = resynthesize_cut(net, ["y1", "y2"], options)
+        assert exhaustive_signature(result.network) == \
+            exhaustive_signature(net)
+        assert result.literals_after <= result.literals_before
+        if not result.accepted:
+            assert result.literals_after == result.literals_before
+
+    @pytest.mark.parametrize("cost", cost_names())
+    def test_tie_rejected_under_every_registered_cost(self, cost):
+        net = self.minimal_network()
+        options = SolveRequest(cost=cost, max_explored=10).to_options()
+        result = resynthesize_cut(net, ["f"], options)
+        assert result.accepted is False
+        assert result.network.nodes["f"].cover == net.nodes["f"].cover

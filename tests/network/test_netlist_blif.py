@@ -179,3 +179,101 @@ class TestBlif:
         with pytest.raises(BlifError):
             parse_blif(".model m\n.inputs a\n.outputs f\n"
                        ".names a f\n1 2\n.end\n")
+
+
+class TestBlifRoundTripGaps:
+    """Regressions for gaps surfaced by the resynth pipeline (PR 8)."""
+
+    def test_off_set_table(self):
+        """A table of 0-rows denotes the complement, not constant 0."""
+        net = parse_blif(".model m\n.inputs a b\n.outputs f\n"
+                         ".names a b f\n11 0\n.end\n")
+        # f = NAND(a, b)
+        sig = exhaustive_signature(net)
+        assert sig == [(True,), (True,), (True,), (False,)]
+
+    def test_off_set_with_dont_cares(self):
+        net = parse_blif(".model m\n.inputs a b c\n.outputs f\n"
+                         ".names a b c f\n1-- 0\n-1- 0\n.end\n")
+        # f = a' & b'
+        node = net.nodes["f"]
+        for point in range(8):
+            a, b = bool(point & 1), bool(point & 2)
+            assert node.cover.covers_point(point) == (not a and not b)
+
+    def test_mixed_on_off_rows_rejected(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model m\n.inputs a\n.outputs f\n"
+                       ".names a f\n1 1\n0 0\n.end\n")
+
+    def test_off_set_round_trips(self):
+        net = parse_blif(".model m\n.inputs a b\n.outputs f\n"
+                         ".names a b f\n10 0\n01 0\n.end\n")
+        again = parse_blif(write_blif(net))
+        assert exhaustive_signature(net) == exhaustive_signature(again)
+
+    def test_latch_type_and_control_round_trip(self):
+        text = (".model s\n.inputs a clk\n.outputs o\n"
+                ".latch n q re clk 2\n"
+                ".names a q n\n11 1\n.names q o\n1 1\n.end\n")
+        net = parse_blif(text)
+        latch = net.latches[0]
+        assert (latch.trigger, latch.clock, latch.init) == ("re", "clk", 2)
+        again = parse_blif(write_blif(net))
+        assert again.latches[0] == latch
+
+    def test_latch_type_without_init(self):
+        net = parse_blif(".model s\n.inputs a clk\n.outputs q\n"
+                         ".latch a q fe clk\n.end\n")
+        latch = net.latches[0]
+        assert (latch.trigger, latch.clock, latch.init) == ("fe", "clk", 0)
+
+    def test_latch_unknown_init_values(self):
+        for init in (2, 3):
+            net = parse_blif(".model s\n.inputs a\n.outputs q\n"
+                             ".latch a q %d\n.end\n" % init)
+            assert net.latches[0].init == init
+            assert parse_blif(write_blif(net)).latches[0].init == init
+
+    def test_latch_bad_init_rejected(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model s\n.inputs a\n.outputs q\n"
+                       ".latch a q x\n.end\n")
+
+    def test_latch_bad_type_rejected(self):
+        with pytest.raises(BlifError):
+            parse_blif(".model s\n.inputs a clk\n.outputs q\n"
+                       ".latch a q zz clk 1\n.end\n")
+
+    def test_copy_preserves_latch_metadata(self):
+        net = parse_blif(".model s\n.inputs a clk\n.outputs q\n"
+                         ".latch a q ah clk 1\n.end\n")
+        assert net.copy().latches[0] == net.latches[0]
+
+    def test_names_blocks_in_any_order(self):
+        """.names blocks need not be topologically ordered."""
+        net = parse_blif(".model m\n.inputs a b\n.outputs f\n"
+                         ".names g b f\n11 1\n"
+                         ".names a g\n0 1\n.end\n")
+        values = evaluate(net, {"a": False, "b": True})
+        assert values["f"] is True
+
+    def test_write_parse_write_is_fixpoint(self):
+        """Writer output is stable: write(parse(write(n))) == write(n)."""
+        text = (".model m\n.inputs a b c\n.outputs f g\n"
+                ".latch f q 0\n"
+                ".names b a u\n1- 1\n-1 1\n"
+                ".names u c f\n11 1\n"
+                ".names q u g\n-1 1\n1- 1\n.end\n")
+        net = parse_blif(text)
+        once = write_blif(net)
+        assert write_blif(parse_blif(once)) == once
+
+    def test_multi_output_names_order_preserved(self):
+        """Declared .outputs order survives the round trip."""
+        net = parse_blif(".model m\n.inputs a\n.outputs z y x\n"
+                         ".names a z\n1 1\n.names a y\n0 1\n"
+                         ".names a x\n1 1\n.end\n")
+        again = parse_blif(write_blif(net))
+        assert again.outputs == ["z", "y", "x"]
+        assert exhaustive_signature(net) == exhaustive_signature(again)

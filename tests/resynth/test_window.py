@@ -1,0 +1,108 @@
+"""Tests for windowed cut extraction (repro.resynth.window)."""
+
+import pytest
+
+from repro.network import LogicNetwork
+from repro.network.simulate import exhaustive_signature
+from repro.resynth import (CUT_POLICIES, MAX_WINDOW_LEAVES,
+                           enumerate_cuts, extract_window)
+from repro.sop import Cover
+
+
+def chain_network():
+    """a -> g1 -> g2 -> g3 -> out, with side input per stage."""
+    net = LogicNetwork("chain")
+    for name in ("a", "b", "c", "d"):
+        net.add_input(name)
+    net.add_node("g1", ["a", "b"], Cover.from_strings(2, ["11"]))
+    net.add_node("g2", ["g1", "c"], Cover.from_strings(2, ["1-", "-1"]))
+    net.add_node("g3", ["g2", "d"], Cover.from_strings(2, ["11"]))
+    net.add_output("g3")
+    return net
+
+
+class TestExtractWindow:
+    def test_depth_zero_window_is_the_cut(self):
+        net = chain_network()
+        window = extract_window(net, ["g2"], max_leaves=8, tfo_depth=0)
+        assert window.nodes == ("g2",)
+        assert window.leaves == ("g1", "c")
+        assert window.roots == ("g2",)
+
+    def test_depth_one_includes_the_reader(self):
+        net = chain_network()
+        window = extract_window(net, ["g2"], max_leaves=8, tfo_depth=1)
+        assert set(window.nodes) == {"g2", "g3"}
+        assert set(window.leaves) == {"g1", "c", "d"}
+        # g2 is fully consumed inside the window; only g3 escapes.
+        assert window.roots == ("g3",)
+
+    def test_internal_member_read_outside_is_a_root(self):
+        net = chain_network()
+        net.add_output("g2")  # now observable even when windowed over
+        window = extract_window(net, ["g2"], max_leaves=8, tfo_depth=1)
+        assert set(window.roots) == {"g2", "g3"}
+
+    def test_depth_backs_off_when_boundary_overflows(self):
+        net = chain_network()
+        # At depth 1 the boundary is {g1, c, d} — cap it to 2 so the
+        # extractor must fall back to depth 0 ({g1, c}).
+        window = extract_window(net, ["g2"], max_leaves=2, tfo_depth=1)
+        assert window.nodes == ("g2",)
+        assert window.leaves == ("g1", "c")
+
+    def test_unwindowable_cut_returns_none(self):
+        net = chain_network()
+        assert extract_window(net, ["g2"], max_leaves=1) is None
+
+    def test_primary_input_cut_returns_none(self):
+        net = chain_network()
+        assert extract_window(net, ["a"]) is None
+
+    def test_cap_enforced(self):
+        net = chain_network()
+        with pytest.raises(ValueError):
+            extract_window(net, ["g2"],
+                           max_leaves=MAX_WINDOW_LEAVES + 1)
+
+    def test_window_network_matches_host_behaviour(self):
+        net = chain_network()
+        window = extract_window(net, ["g2"], max_leaves=8, tfo_depth=1)
+        # Simulating the carved sub-network over its leaves must agree
+        # with the host network's nodes (same covers, same fanins).
+        sub = window.network
+        assert set(sub.inputs) == set(window.leaves)
+        assert set(sub.outputs) == set(window.roots)
+        assert exhaustive_signature(sub) == \
+            exhaustive_signature(sub.copy())
+        for name in window.nodes:
+            assert sub.nodes[name].fanins == net.nodes[name].fanins
+
+
+class TestEnumerateCuts:
+    def test_nodes_policy_is_every_internal_node(self):
+        net = chain_network()
+        cuts = enumerate_cuts(net, "nodes")
+        assert cuts == [("g1",), ("g2",), ("g3",)]
+
+    def test_reconvergent_policy_pairs_internal_fanins(self):
+        net = LogicNetwork("reconv")
+        for name in ("a", "b", "c"):
+            net.add_input(name)
+        net.add_node("y1", ["a", "b"], Cover.from_strings(2, ["11"]))
+        net.add_node("y2", ["a", "c"], Cover.from_strings(2, ["1-", "-1"]))
+        net.add_node("f", ["y1", "y2"], Cover.from_strings(2, ["11"]))
+        net.add_output("f")
+        assert enumerate_cuts(net, "reconvergent") == [("y1", "y2")]
+
+    def test_max_cuts_truncates(self):
+        net = chain_network()
+        assert len(enumerate_cuts(net, "nodes", max_cuts=2)) == 2
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_cuts(chain_network(), "magic")
+
+    def test_policies_constant_is_exhaustive(self):
+        for policy in CUT_POLICIES:
+            assert enumerate_cuts(chain_network(), policy) is not None

@@ -389,3 +389,42 @@ class TestBackendFlags:
         assert service.max_time_limit == 45.0
         assert service.disk.max_report_bytes == 4096
         assert service.disk.max_report_age_seconds == 600.0
+
+
+class TestResynthCommand:
+    def test_bundled_circuit_by_name(self, capsys):
+        assert main(["resynth", "s27", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "s27" in out and "equivalent" in out
+
+    def test_blif_file_input_and_output(self, blif_file, tmp_path,
+                                        capsys):
+        out_path = tmp_path / "rewritten.blif"
+        assert main(["resynth", blif_file, "--quick",
+                     "--output", str(out_path)]) == 0
+        from repro.network.blif import parse_blif
+        rewritten = parse_blif(out_path.read_text())
+        assert rewritten.node_count() > 0
+
+    def test_json_report(self, capsys):
+        assert main(["resynth", "s27", "--quick", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["equivalent"] is True
+        assert report["literal_savings"] >= 0
+        assert report["request"]["passes"] == 1  # --quick clamps
+
+    def test_unknown_circuit_fails_with_exit_one(self, capsys):
+        assert main(["resynth", "no-such-circuit", "--quick"]) == 1
+        assert "FAILED" in capsys.readouterr().out
+
+    def test_bad_option_is_a_usage_error(self, capsys):
+        assert main(["resynth", "s27", "--passes", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_executor_flag_round_trips(self, capsys):
+        assert main(["resynth", "s27", "--quick",
+                     "--executor", "thread", "--workers", "2",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["request"]["executor"] == "thread"
