@@ -31,7 +31,9 @@ from ..core.solution import Solution
 #: per-event search trace) and ``stopped`` (completion reason).
 #: 3: added ``partition`` (output-block decomposition summary with
 #: per-block stats; ``None`` for monolithic solves).
-REPORT_SCHEMA_VERSION = 3
+#: 4: added ``portfolio`` (strategy-race summary with per-racer
+#: attribution; ``None`` unless ``strategy="portfolio"``).
+REPORT_SCHEMA_VERSION = 4
 
 
 @dataclass
@@ -67,6 +69,11 @@ class SolveReport:
     #: frames, plus per-block cost, stats and completion reason.
     #: ``None`` when the relation solved monolithically.
     partition: Optional[Dict[str, Any]] = None
+    #: Portfolio race summary when ``strategy="portfolio"`` raced the
+    #: solve (:mod:`repro.core.portfolio`): executor, winner, and one
+    #: attribution row per racer (cost, explored, improvements
+    #: contributed, wall time, completion reason).  ``None`` otherwise.
+    portfolio: Optional[Dict[str, Any]] = None
     cached: bool = False
     schema_version: int = REPORT_SCHEMA_VERSION
     #: Live solution when solved in-process; never serialised.
@@ -111,6 +118,7 @@ class SolveReport:
                    if result.events is not None else None),
             stopped=result.stopped,
             partition=copy.deepcopy(result.partition),
+            portfolio=copy.deepcopy(result.portfolio),
             solution=solution,
             _inputs=tuple(relation.inputs),
             _outputs=tuple(relation.outputs))
@@ -188,6 +196,7 @@ class SolveReport:
             trace=([dict(event) for event in self.trace]
                    if self.trace is not None else None),
             partition=copy.deepcopy(self.partition),
+            portfolio=copy.deepcopy(self.portfolio),
             solution=self.solution)
         fresh.update(changes)
         return dataclasses.replace(self, **fresh)
@@ -203,10 +212,13 @@ class SolveReport:
         name = self.label or "<unnamed>"
         if not self.ok:
             return "%s: FAILED (%s)" % (name, self.error)
-        return ("%s: cost=%.0f compatible=%s explored=%d runtime=%.3fs%s%s"
+        return ("%s: cost=%.0f compatible=%s explored=%d runtime=%.3fs"
+                "%s%s%s"
                 % (name, self.cost, self.compatible,
                    int(self.stats.get("relations_explored", 0)),
                    self.stats.get("runtime_seconds", 0.0),
                    " [%d blocks]" % self.partition["num_blocks"]
                    if self.partition else "",
+                   " [race won by %s]" % self.portfolio["winner"]
+                   if self.portfolio else "",
                    " [cached]" if self.cached else ""))

@@ -257,12 +257,26 @@ class SolveRequest:
     #: Width threshold for ``backend="auto"``/``"table"``; ``None``
     #: uses :data:`repro.table.DEFAULT_TABLE_WIDTH`.
     table_width: Optional[int] = None
+    #: Racer line-up for ``strategy="portfolio"`` (mirrors
+    #: :attr:`repro.core.BrelOptions.portfolio_racers`): ``None`` races
+    #: the default line-up; otherwise a comma-separated string or a
+    #: list of names/spec mappings, normalised here to the canonical
+    #: spec tuple so equal line-ups compare (and cache) equal.
+    portfolio_racers: Any = None
+    #: Racer executor (``"serial"``/``"thread"``/``"process"``; ``None``
+    #: = thread).  An execution detail like the session's block
+    #: executor: never part of a cache key.
+    portfolio_executor: Optional[str] = None
     label: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.relation is not None:
             object.__setattr__(self, "relation",
                                normalize_relation_spec(self.relation))
+        if self.portfolio_racers is not None:
+            from ..core.portfolio import normalize_racers
+            object.__setattr__(self, "portfolio_racers",
+                               normalize_racers(self.portfolio_racers))
         if self.mode != "bfs":
             # The request warns here, once; to_options() deliberately
             # does not (it runs on every solve of the same request).
@@ -309,7 +323,9 @@ class SolveRequest:
             memo=self.memo,
             decompose=self.decompose,
             backend=self.backend,
-            table_width=self.table_width)
+            table_width=self.table_width,
+            portfolio_racers=self.portfolio_racers,
+            portfolio_executor=self.portfolio_executor)
         options.strategy = self.strategy
         options.mode = self.mode
         return options
@@ -348,6 +364,8 @@ class SolveRequest:
                    decompose=options.decompose,
                    backend=options.backend,
                    table_width=options.table_width,
+                   portfolio_racers=options.portfolio_racers,
+                   portfolio_executor=options.portfolio_executor,
                    label=label)
 
     # -- serialisation -------------------------------------------------
@@ -356,6 +374,9 @@ class SolveRequest:
         out: Dict[str, Any] = dataclasses.asdict(self)
         if self.relation is not None:
             out["relation"] = relation_spec_to_jsonable(self.relation)
+        if self.portfolio_racers is not None:
+            out["portfolio_racers"] = [dict(spec)
+                                       for spec in self.portfolio_racers]
         return out
 
     @classmethod

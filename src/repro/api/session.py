@@ -488,6 +488,16 @@ class Session:
         # engine stats (node/cache counters) describe a different
         # kernel, so backends get separate slots rather than serving
         # one backend's counters as the other's.
+        # The portfolio racer line-up keys by its *resolved* canonical
+        # JSON — None and an explicitly spelled-out default line-up
+        # share a slot — while portfolio_executor, like the block
+        # executor, is an execution detail (results are cost-identical
+        # across serial/thread/process racing) and is NOT keyed.
+        if request.exploration_strategy() == "portfolio":
+            from ..core.portfolio import racers_cache_key
+            racers = racers_cache_key(request.portfolio_racers)
+        else:
+            racers = None
         return (request.cost, request.minimizer,
                 request.exploration_strategy(),
                 request.max_explored, request.fifo_capacity,
@@ -495,7 +505,8 @@ class Session:
                 request.symmetry_max_depth, request.time_limit_seconds,
                 request.record_trace, self._memo_for(request) is not None,
                 request.decompose is not False,
-                request.backend or "bdd", request.table_width)
+                request.backend or "bdd", request.table_width,
+                racers)
 
     def _cache_key(self, pla: str, request: SolveRequest
                    ) -> Tuple[Any, ...]:
@@ -535,11 +546,17 @@ class Session:
         relations living in *different* managers; handing such a caller
         the foreign solution's node ids would crash or silently lie, so
         the live handle travels only when the managers match (the data
-        fields — sop, pla, cost — are manager-independent).
+        fields — sop, pla, cost — are manager-independent).  When the
+        handle cannot travel, the PLA text is materialised (once, onto
+        the cached entry) so the served copy still carries a
+        realisable function vector for consumers like the resynthesis
+        pipeline that re-instantiate the solution from text.
         """
         if (report.solution is not None and relation is not None
                 and report.solution.mgr is relation.mgr):
             return report.solution
+        if report.solution is not None and report.pla is None:
+            report.solution_pla()
         return None
 
     def clear_cache(self) -> None:
@@ -1067,9 +1084,12 @@ class Session:
           cancelled and come back as failed ``cancelled before start``
           reports while already-running workers finish their job.
         * Identical jobs — same relation (snapshot content for pool
-          executors, object identity for serial), same options — are
-          solved once and shared through the session cache, which also
-          persists across calls.
+          executors; object identity for serial jobs naming a session
+          relation, spec content for self-contained serial specs), same
+          options — are solved once *per batch* and the shared report
+          fanned back out, with per-job memo attribution kept honest
+          (only the job that ran carries the memo deltas).  The session
+          cache additionally persists across calls.
         * ``executor`` selects ``"process"`` (default; true parallelism
           across cores), ``"thread"`` (one PLA snapshot per job — the
           shared managers are not thread-safe — so reports are data-only
@@ -1136,8 +1156,31 @@ class Session:
                     exc, request=request.to_dict(), label=label)
                 continue
             resolved_by_index[index] = resolved
-            key = (self._cache_key(pla, request) if pla is not None
-                   else self._live_key(resolved, request))
+            source_spec = request.relation
+            if pla is not None:
+                key = self._cache_key(pla, request)
+            elif (isinstance(source_spec, Mapping)
+                    and source_spec.get("kind") != "name"):
+                # Serial jobs with self-contained specs key by spec
+                # *content*, mirroring _prepare_solve (file specs become
+                # inline PLA text so on-disk edits invalidate).  Keying
+                # these on the resolved object would dispatch duplicate
+                # jobs: each materialisation mints a fresh manager, so
+                # identical specs never collide by identity.
+                try:
+                    content_spec = dict(source_spec)
+                    if content_spec["kind"] == "file":
+                        with open(content_spec["path"], "r",
+                                  encoding="ascii") as handle:
+                            content_spec = {"kind": "pla",
+                                            "text": handle.read()}
+                    key = self._spec_key(content_spec, request)
+                except Exception as exc:  # noqa: BLE001 — per job
+                    reports[index] = SolveReport.from_error(
+                        exc, request=request.to_dict(), label=label)
+                    continue
+            else:
+                key = self._live_key(resolved, request)
             cached = self._cache.get(key)
             if cached is not None:
                 self.cache_hits += 1

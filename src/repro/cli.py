@@ -50,11 +50,20 @@ __all__ = ["COSTS", "build_parser", "main"]
 
 def _request_from_args(args: argparse.Namespace,
                        relation_spec: Dict[str, Any]) -> SolveRequest:
+    # Typing a racer line-up (or picking an executor for one) IS asking
+    # for a race: imply the meta-strategy rather than demanding
+    # --strategy portfolio be spelled out too.  An explicitly typed
+    # conflicting strategy still fails eager validation.
+    strategy = args.strategy
+    if strategy is None and (
+            getattr(args, "racers", None) is not None
+            or getattr(args, "portfolio_executor", None) is not None):
+        strategy = "portfolio"
     kwargs: Dict[str, Any] = dict(
         relation=relation_spec,
         cost=args.cost,
         minimizer=args.minimizer,
-        strategy=args.strategy,
+        strategy=strategy,
         max_explored=args.max_explored,
         fifo_capacity=args.fifo_capacity,
         quick_on_subrelations=False if args.no_quick else None,
@@ -64,7 +73,11 @@ def _request_from_args(args: argparse.Namespace,
         memo=args.memo,
         decompose=args.decompose,
         backend=args.backend,
-        table_width=args.table_width)
+        table_width=args.table_width,
+        # Portfolio knobs exist only on the solve verb; getattr keeps
+        # the shared builder usable from parsers without them.
+        portfolio_racers=getattr(args, "racers", None),
+        portfolio_executor=getattr(args, "portfolio_executor", None))
     # The deprecated alias travels only when the user actually typed
     # --mode; otherwise the request keeps its own default and the
     # deprecation path is never exercised by default invocations.
@@ -119,6 +132,21 @@ def _cmd_solve(args: argparse.Namespace) -> int:
                      int((block["stats"] or {}).get(
                          "relations_explored", 0)),
                      block["stopped"]))
+    if report.portfolio:
+        print("# portfolio: %s executor, won by %s"
+              % (report.portfolio["executor"],
+                 report.portfolio["winner"]))
+        for racer in report.portfolio["racers"]:
+            print("#   %-12s cost=%s explored=%d contributed=%d "
+                  "%.3fs (%s)%s"
+                  % (racer["name"],
+                     "%.0f" % racer["cost"]
+                     if racer["cost"] is not None else "-",
+                     racer["explored"],
+                     racer["improvements_contributed"],
+                     racer["runtime_seconds"],
+                     racer["error"] or racer["stopped"],
+                     " *winner*" if racer["winner"] else ""))
     if len(report.improvements) > 1:
         print("# improvements: %s" % " -> ".join(
             "%.0f" % imp["cost"] for imp in report.improvements))
@@ -353,6 +381,18 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--fifo-capacity", type=int, default=64,
                        help="frontier bound for bfs (FIFO) and beam "
                             "(width) strategies")
+    solve.add_argument("--racers", default=None,
+                       metavar="NAME[,NAME...]",
+                       help="racer line-up (implies --strategy "
+                            "portfolio; default line-up: "
+                            "bfs,dfs,best-first,beam); each name is an "
+                            "exploration strategy")
+    solve.add_argument("--portfolio-executor",
+                       choices=["serial", "thread", "process"],
+                       default=None,
+                       help="where portfolio racers run (implies "
+                            "--strategy portfolio; default thread; "
+                            "serial is deterministic)")
     solve.add_argument("--no-quick", action="store_true",
                        help="skip QuickSolver on explored subrelations "
                             "(quick_on_subrelations=False)")

@@ -155,6 +155,19 @@ class BrelOptions:
         and hard ceiling for ``backend="table"``; ``None`` uses the
         default of :data:`repro.table.DEFAULT_TABLE_WIDTH` (12), the
         hard maximum is :data:`repro.table.MAX_TABLE_WIDTH` (16).
+    portfolio_racers:
+        Racer line-up for ``strategy="portfolio"``
+        (:mod:`repro.core.portfolio`): ``None`` races one of each
+        shipped frontier (bfs, dfs, best-first, beam), or pass a
+        comma-separated string / list of strategy names / list of
+        mappings ``{"strategy": ..., "name": ..., <option deltas>}``.
+        Rejected eagerly for any other strategy.
+    portfolio_executor:
+        How the racers run: ``"serial"`` (deterministic round-robin
+        interleave), ``"thread"`` (the default, ``None``) or
+        ``"process"``.  Like the session's block executor, this is an
+        execution detail — it never changes the solution — so cache
+        keys ignore it.  Rejected eagerly for any other strategy.
     """
 
     cost_function: CostFunction = bdd_size_cost
@@ -172,6 +185,8 @@ class BrelOptions:
     decompose: Optional[bool] = None
     backend: Optional[str] = None
     table_width: Optional[int] = None
+    portfolio_racers: Any = None
+    portfolio_executor: Optional[str] = None
 
     def exploration_strategy(self) -> str:
         """The effective strategy name (``strategy`` wins over ``mode``)."""
@@ -240,6 +255,18 @@ class BrelOptions:
             raise ValueError("beam width must be >= 1: fifo_capacity=0 "
                              "leaves the beam frontier no room (use "
                              "None for the default width of 64)")
+        if self.exploration_strategy() == "portfolio":
+            # Validate the racer line-up (and each racer's effective
+            # options) here, where batch manifests are loaded.  Lazy
+            # import: repro.core.portfolio imports this module.
+            from .portfolio import validate_portfolio_options
+            validate_portfolio_options(self)
+        elif (self.portfolio_racers is not None
+                or self.portfolio_executor is not None):
+            raise ValueError(
+                "portfolio_racers/portfolio_executor apply only to "
+                "strategy='portfolio' (got strategy=%r)"
+                % self.exploration_strategy())
 
 
 @dataclass
@@ -255,6 +282,10 @@ class BrelResult:
     block output positions and frames plus per-block cost, stats and
     completion reason (``"skipped"`` for blocks an early stop never
     reached, whose initial QuickSolver incumbent stands).
+    ``portfolio`` is ``None`` unless ``strategy="portfolio"`` raced the
+    solve, in which case it records the JSON-ready race summary —
+    executor, winner, and per-racer attribution (cost, explored,
+    improvements contributed, wall time, completion reason).
     """
 
     solution: Solution
@@ -263,6 +294,7 @@ class BrelResult:
     events: Optional[List[SolveEvent]] = None
     stopped: str = "exhausted"
     partition: Optional[Dict[str, Any]] = None
+    portfolio: Optional[Dict[str, Any]] = None
 
 
 class BrelSolver:
@@ -274,7 +306,8 @@ class BrelSolver:
 
     def __init__(self, options: Optional[BrelOptions] = None,
                  observers: Iterable[Observer] = (),
-                 memo: Optional[MemoStore] = None) -> None:
+                 memo: Optional[MemoStore] = None,
+                 bound: Optional[Any] = None) -> None:
         self.options = options or BrelOptions()
         self._observers: List[Observer] = list(observers)
         # Effective memo store: options.memo=False vetoes a supplied
@@ -286,6 +319,12 @@ class BrelSolver:
         elif memo is None and self.options.memo is True:
             memo = MemoStore()
         self.memo = memo
+        # Cross-racer bound channel (repro.core.portfolio): anything
+        # with a ``.cost`` property of externally published incumbent
+        # costs.  The monolithic loop prunes against it in addition to
+        # its own incumbent; ``None`` (every non-portfolio solve)
+        # leaves the loop byte-identical to the channel-free solver.
+        self.bound_channel = bound
 
     # -- observers ------------------------------------------------------
     def add_observer(self, observer: Observer) -> Observer:
@@ -400,6 +439,14 @@ class BrelSolver:
                 result = yield from self._iter_events_sharded(
                     partition, cancel)
                 return result
+        if options.exploration_strategy() == "portfolio":
+            # The portfolio meta-strategy replaces the monolithic loop
+            # with a race of concrete-strategy sub-solvers (lazy import:
+            # repro.core.portfolio imports this module).  Decomposition
+            # wins above — each block then races its own portfolio.
+            from .portfolio import race_portfolio
+            result = yield from race_portfolio(self, relation, cancel)
+            return result
         result = yield from self._iter_events_monolithic(relation,
                                                          cancel)
         return result
@@ -463,7 +510,9 @@ class BrelSolver:
             memo=None,
             decompose=False,
             backend=options.backend,
-            table_width=options.table_width)
+            table_width=options.table_width,
+            portfolio_racers=options.portfolio_racers,
+            portfolio_executor=options.portfolio_executor)
 
     def _iter_events_sharded(self, partition: Partition,
                              cancel: Optional[CancelToken]
@@ -608,6 +657,10 @@ class BrelSolver:
                               if result is not None else None)
             entry["stopped"] = (result.stopped if result is not None
                                 else "skipped")
+            if result is not None and result.portfolio is not None:
+                # Blocks race their own portfolios under
+                # strategy="portfolio"; keep the per-block attribution.
+                entry["portfolio"] = result.portfolio
         yield event("done", cost=best.cost)
         return BrelResult(best, stats, improvements=improvements,
                           events=trace, stopped=stopped,
@@ -675,6 +728,8 @@ class BrelSolver:
         seq = 0
         strategy.seed(SearchNode(relation, 0, float("-inf"), seq))
         stopped = "exhausted"
+        bound_channel = self.bound_channel
+        external_bound = float("inf")
         while not strategy.done():
             if cancel is not None and cancel.cancelled:
                 stopped = "cancelled"
@@ -689,6 +744,21 @@ class BrelSolver:
                 stopped = "budget"
                 yield event("budget")
                 break
+            if bound_channel is not None:
+                # Cross-racer bound (repro.core.portfolio): when another
+                # racer published a better incumbent, drop queued nodes
+                # that can no longer beat it.  Sound globally — such
+                # nodes cannot improve the *shared* best even though
+                # this racer's own incumbent may still be worse.
+                shared_cost = bound_channel.cost
+                if shared_cost < external_bound:
+                    external_bound = shared_cost
+                    pruned = strategy.prune(shared_cost)
+                    if pruned:
+                        stats.frontier_prunes += pruned
+                        yield event("prune", detail="shared-bound")
+                    if strategy.done():
+                        break
             node = strategy.pop()
             current, depth = node.relation, node.depth
             stats.relations_explored += 1
@@ -717,10 +787,12 @@ class BrelSolver:
                     yield from improved_events(best, depth)
 
             candidate, conflicts = self._evaluate(current, stats)
-            if candidate.cost >= best.cost:
+            if candidate.cost >= min(best.cost, external_bound):
                 stats.cost_prunes += 1
-                yield event("prune", detail="cost", cost=candidate.cost,
-                            depth=depth)
+                yield event("prune",
+                            detail="cost" if candidate.cost >= best.cost
+                            else "shared-bound",
+                            cost=candidate.cost, depth=depth)
                 continue
             if conflicts == FALSE:
                 best = candidate

@@ -39,13 +39,20 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: Event kinds a solve can emit, in the order they typically appear.
 #: ``partition`` opens a sharded solve (the relation decomposed into
 #: ``detail``-described output blocks; see :mod:`repro.core.partition`);
-#: ``timeout`` / ``cancelled`` / ``budget`` flag an early stop (matching
-#: ``BrelResult.stopped``); ``done`` always closes the stream.
-EVENT_KINDS = ("partition", "quick-solution", "new-best", "branch",
-               "prune", "timeout", "cancelled", "budget", "done")
+#: ``portfolio`` opens a racing solve (``detail`` names the racers and
+#: the executor; see :mod:`repro.core.portfolio`) and ``racer-done``
+#: closes each racer's leg of the race; ``timeout`` / ``cancelled`` /
+#: ``budget`` flag an early stop (matching ``BrelResult.stopped``);
+#: ``done`` always closes the stream.
+EVENT_KINDS = ("partition", "portfolio", "quick-solution", "new-best",
+               "branch", "prune", "racer-done", "timeout", "cancelled",
+               "budget", "done")
 
 #: ``SolveEvent.detail`` values used by ``prune`` events.
-PRUNE_DETAILS = ("cost", "symmetry", "frontier-overflow", "bound")
+#: ``shared-bound`` marks frontier nodes dropped because *another*
+#: portfolio racer published a tighter incumbent cost.
+PRUNE_DETAILS = ("cost", "symmetry", "frontier-overflow", "bound",
+                 "shared-bound")
 
 
 def suggest(name: str, choices: Sequence[str]) -> str:
@@ -406,14 +413,32 @@ def _make_beam(options: Any) -> ExplorationStrategy:
                         if options.fifo_capacity is not None else 64)
 
 
+def _make_portfolio(options: Any) -> ExplorationStrategy:
+    """The portfolio meta-strategy has no frontier of its own.
+
+    ``strategy="portfolio"`` races the *other* registered strategies
+    (:mod:`repro.core.portfolio`); the solver dispatches it before any
+    frontier is built, so reaching this factory means a caller asked
+    for a portfolio frontier directly — an impossible request.
+    """
+    raise ValueError(
+        "'portfolio' is a meta-strategy that races the registered "
+        "frontiers (see repro.core.portfolio); it has no frontier of "
+        "its own — solve with BrelOptions(strategy='portfolio') "
+        "instead of building the strategy directly")
+
+
 #: Name table of the shipped strategies.  ``repro.api``'s strategy
 #: registry backs onto this same dict, so registrations made through
-#: either side are visible to both.
+#: either side are visible to both.  ``portfolio`` is the racing
+#: meta-strategy: it resolves (so option validation and did-you-mean
+#: suggestions know it) but dispatches before frontier construction.
 STRATEGIES: Dict[str, StrategyFactory] = {
     "bfs": _make_bfs,
     "dfs": _make_dfs,
     "best-first": _make_best_first,
     "beam": _make_beam,
+    "portfolio": _make_portfolio,
 }
 
 

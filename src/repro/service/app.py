@@ -126,6 +126,11 @@ class SolveService:
         self.seeded_entries = 0
         self.flushes = 0
         self._recent: Deque[Dict[str, Any]] = deque(maxlen=RECENT_REQUESTS)
+        #: Portfolio attribution across served requests: races run and
+        #: wins per racer name (cache-served races count — the report
+        #: still names its winner).
+        self.portfolio_races = 0
+        self.portfolio_wins: Dict[str, int] = {}
         if self.disk is not None:
             entries = self.disk.load_memo_entries()
             if entries:
@@ -218,6 +223,10 @@ class SolveService:
                 "engine": session.engine_stats(),
                 "disk": self.disk.stats() if self.disk is not None
                 else None,
+                "portfolio": {
+                    "races": self.portfolio_races,
+                    "wins": dict(self.portfolio_wins),
+                },
                 "recent": list(self._recent),
             }
 
@@ -606,7 +615,7 @@ class SolveService:
     def _record(self, request: SolveRequest, report: SolveReport,
                 tier: str) -> None:
         """Append one row to the per-request attribution ring."""
-        self._recent.append({
+        row = {
             "label": request.label,
             "tier": tier,
             "ok": report.ok,
@@ -615,7 +624,16 @@ class SolveService:
             "memo_hits": int(report.stats.get("memo_hits", 0)),
             "memo_misses": int(report.stats.get("memo_misses", 0)),
             "runtime_seconds": report.stats.get("runtime_seconds", 0.0),
-        })
+        }
+        if report.portfolio is not None:
+            winner = report.portfolio.get("winner")
+            row["portfolio_winner"] = winner
+            row["portfolio_executor"] = report.portfolio.get("executor")
+            self.portfolio_races += 1
+            if winner is not None:
+                self.portfolio_wins[winner] = \
+                    self.portfolio_wins.get(winner, 0) + 1
+        self._recent.append(row)
 
     def iter_recent(self) -> Iterator[Dict[str, Any]]:
         return iter(list(self._recent))

@@ -15,7 +15,7 @@ EXPECTED_KEYS = {
     "ok", "label", "error", "request", "num_inputs", "num_outputs",
     "pairs", "cost", "compatible", "bdd_sizes", "cube_count",
     "literal_count", "sop", "pla", "stats", "improvements", "trace",
-    "stopped", "partition", "cached", "schema_version",
+    "stopped", "partition", "portfolio", "cached", "schema_version",
 }
 
 

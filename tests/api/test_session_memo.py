@@ -139,11 +139,21 @@ class TestCacheKeySchemaGuard:
         # no-routing slot.
         "backend": (None, "auto"),
         "table_width": (None, 8),
+        # Keyed by the *resolved* racer line-up (None and the explicit
+        # default line-up share a slot); legal only under
+        # strategy="portfolio", hence the BASE_OVERRIDES entry.
+        "portfolio_racers": (None, "bfs,dfs"),
+    }
+    #: Extra base-request fields a KEYED_FIELDS pair needs to be legal.
+    BASE_OVERRIDES = {
+        "portfolio_racers": {"strategy": "portfolio"},
     }
     #: Fields that deliberately do not key the cache: the relation keys
     #: separately (identity/snapshot/spec), the label only decorates the
-    #: report copy, and mode folds into the effective strategy.
-    EXEMPT_FIELDS = {"relation", "label", "mode"}
+    #: report copy, mode folds into the effective strategy, and the
+    #: portfolio executor — like the block executor — is an execution
+    #: detail that cannot change the winning cost.
+    EXEMPT_FIELDS = {"relation", "label", "mode", "portfolio_executor"}
 
     def test_every_field_is_classified(self):
         fields = {f.name for f in dataclasses.fields(SolveRequest)}
@@ -157,8 +167,11 @@ class TestCacheKeySchemaGuard:
         session = make_session()
         base = SolveRequest(relation="fig1")
         for field, (value_a, value_b) in self.KEYED_FIELDS.items():
-            key_a = session._options_key(base.replace(**{field: value_a}))
-            key_b = session._options_key(base.replace(**{field: value_b}))
+            request = base.replace(**self.BASE_OVERRIDES.get(field, {}))
+            key_a = session._options_key(
+                request.replace(**{field: value_a}))
+            key_b = session._options_key(
+                request.replace(**{field: value_b}))
             assert key_a != key_b, \
                 "requests differing only in %r share a cache key" % field
 

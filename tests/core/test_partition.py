@@ -376,6 +376,10 @@ class TestBlockOptionsSchemaGuard:
         # route to the table engine individually via their sub-solvers.
         "backend": "inherit",
         "table_width": "inherit",
+        # Portfolio knobs propagate so each block races its own
+        # portfolio under strategy="portfolio".
+        "portfolio_racers": "inherit",
+        "portfolio_executor": "inherit",
     }
 
     def test_every_field_is_classified(self):

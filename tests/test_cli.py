@@ -88,6 +88,46 @@ class TestSolveCommand:
             main(["solve", relation_file, "--strategy", "dijkstra"])
         assert "--strategy" in capsys.readouterr().err
 
+    def test_solve_portfolio_prints_the_race_table(self, relation_file,
+                                                   capsys):
+        assert main(["solve", relation_file, "--strategy", "portfolio",
+                     "--racers", "bfs,dfs",
+                     "--portfolio-executor", "serial"]) == 0
+        out = capsys.readouterr().out
+        assert "# portfolio: serial executor, won by" in out
+        assert "*winner*" in out
+        assert out.count("cost=") >= 2  # one row per racer
+
+    def test_solve_portfolio_json_carries_the_summary(
+            self, relation_file, capsys):
+        assert main(["solve", relation_file, "--strategy", "portfolio",
+                     "--portfolio-executor", "serial", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] and report["compatible"]
+        names = [row["name"] for row in report["portfolio"]["racers"]]
+        assert names == ["bfs", "dfs", "best-first", "beam"]
+        assert report["portfolio"]["winner"] in names
+
+    def test_solve_bad_racer_lineup_reported(self, relation_file,
+                                             capsys):
+        assert main(["solve", relation_file, "--strategy", "portfolio",
+                     "--racers", "bfs,dijkstra"]) == 2
+        assert "unknown strategy" in capsys.readouterr().err
+
+    def test_solve_racers_imply_the_portfolio_strategy(
+            self, relation_file, capsys):
+        assert main(["solve", relation_file, "--racers", "bfs,dfs",
+                     "--portfolio-executor", "serial", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["request"]["strategy"] == "portfolio"
+        assert report["portfolio"]["winner"] is not None
+
+    def test_solve_explicit_strategy_still_conflicts_with_racers(
+            self, relation_file, capsys):
+        assert main(["solve", relation_file, "--strategy", "bfs",
+                     "--racers", "bfs,dfs"]) == 2
+        assert "strategy='portfolio'" in capsys.readouterr().err
+
     def test_solve_fifo_capacity_and_no_quick(self, relation_file,
                                               capsys):
         assert main(["solve", relation_file, "--fifo-capacity", "2",
