@@ -10,17 +10,27 @@ below the split point (and the ones the kernel turns into whole-table
 word operations; shared-recursion passes like ISOP show up in the
 routed-solve sweep instead).
 
-Two sweeps land in ``benchmarks/results/bench_table_kernel.{txt,json}``:
+Four sweeps land in ``benchmarks/results/bench_table_kernel.{txt,json}``:
 
 * **kernel sweep** — the same scripted op mix run on matched random
   functions (identical minterm sets) in a :class:`BddManager` and a
   :class:`TableManager`, for 6/8/10-variable leaves.  Every result is
   fingerprint-checked across engines, so the timing compares two
   implementations of *the same* semantics.
+* **kernel-vs-kernel sweep** — the int kernel vs the numpy word-array
+  kernel on the full packed-table protocol (op mix *plus* the counting
+  views: ``sat_count`` is where the hardware popcount pays) at widths
+  10/14/16/18.  Width 18 is numpy-only — the int kernel's ceiling is
+  16, which is the point of the numpy kernel.  Checksums and
+  fingerprints are compared wherever both kernels run.
 * **routed-solve sweep** — full ``BrelSolver`` runs on narrow seeded
   relations with ``backend=None`` vs ``backend="table"``, verifying
   cost parity (solver overhead shared by both backends dilutes the
   kernel win; the row shows what survives end to end).
+* **routed-recursion gate** — a deep-recursion brgen solve with
+  in-recursion subproblem routing (``route_subproblems``) off vs on:
+  same final cost, the routed run serves narrow ISF minimisations
+  from throwaway rank-framed tables.
 
 Besides the pytest-benchmark entry point, the module runs standalone
 for CI smoke checks::
@@ -28,8 +38,10 @@ for CI smoke checks::
     python benchmarks/bench_table_kernel.py --quick
 
 which runs a reduced sweep and fails loudly unless the table kernel
-is >=2x faster than the BDD engine on the 10-variable leaf workload
-(the acceptance floor; the observed ratio is far higher).
+is >=2x faster than the BDD engine on the 10-variable leaf workload,
+the numpy kernel >=2x faster than the int kernel at width 16 (skipped
+without numpy), and subproblem routing >=1.5x on the deep-recursion
+solve (the acceptance floors; observed ratios are higher).
 """
 
 import json
@@ -42,7 +54,7 @@ import pytest
 from repro.bdd import BddManager
 from repro.benchdata.brgen import random_relation
 from repro.core import BrelOptions, BrelSolver
-from repro.table import TableManager
+from repro.table import MAX_TABLE_WIDTH, TableManager, npkernel
 
 from _util import RESULTS_DIR, format_table, publish
 
@@ -61,6 +73,23 @@ QUICK_ROUNDS = 25
 #: Seeded relations for the routed-solve sweep (inputs, outputs, seed).
 SOLVE_CASES = ((4, 4, 3), (5, 4, 7), (5, 5, 11))
 MAX_EXPLORED = 120
+
+#: Widths of the int-vs-numpy kernel sweep.  Width 18 is past the int
+#: kernel's ceiling (:data:`MAX_TABLE_WIDTH`), so that row is
+#: numpy-only by construction.
+KERNEL_VS_VAR_COUNTS = (10, 14, 16, 18)
+#: The width the numpy-over-int acceptance gate runs on, and its floor.
+KERNEL_VS_GATE_VARS = 16
+KERNEL_VS_FLOOR = 2.0
+KERNEL_VS_ROUNDS = 120
+KERNEL_VS_POOL = 10
+
+#: Deep-recursion brgen case for the routed-recursion gate (inputs,
+#: outputs, seed): wide enough that every narrowed ISF fits the table
+#: width, deep enough that template reuse dominates conversions.
+ROUTED_CASE = (7, 7, 1)
+ROUTED_MAX_EXPLORED = 200
+ROUTED_FLOOR = 1.5
 
 
 def build_pools(num_vars, seed):
@@ -151,13 +180,156 @@ def run_solve_row(num_inputs, num_outputs, seed):
             if timings["table"] > 0 else float("inf")}
 
 
+def build_expression_pool(tm, num_vars, seed):
+    """Random functions built by literal chains (width-independent).
+
+    Minterm enumeration (``build_pools``) is O(2**n) per function,
+    too slow past 16 vars; folding random literals through random ops
+    costs O(ops) and replays identically on every kernel, which is all
+    the parity check needs.
+    """
+    rng = random.Random(seed)
+    pool = []
+    for _ in range(KERNEL_VS_POOL):
+        f = tm.var(rng.randrange(num_vars))
+        for _ in range(3 * num_vars):
+            literal = tm.var(rng.randrange(num_vars))
+            if rng.random() < 0.5:
+                literal = tm.not_(literal)
+            op = rng.choice((tm.and_, tm.or_, tm.xor_))
+            f = op(f, literal)
+        pool.append(f)
+    return pool
+
+
+def counting_workload(tm, variables, pool, rounds, seed):
+    """The leaf op mix plus the counting views.
+
+    Same chained structure as :func:`leaf_workload`, with each round's
+    products also run through ``sat_count`` — the packed-table protocol
+    includes the counting views (``pair_count`` and friends), and they
+    are where the numpy kernel's hardware popcount separates from the
+    int kernel's string-based count at large widths.  Returns the
+    products plus the count checksum so cross-kernel parity covers both
+    the functions and the counts.
+    """
+    rng = random.Random(seed)
+    current = list(pool)
+    products = []
+    checksum = 0
+    for _ in range(rounds):
+        f, g, h = (rng.choice(current) for _ in range(3))
+        var = rng.choice(variables)
+        r1 = tm.and_(f, tm.xor_(g, h))
+        r2 = tm.or_(tm.diff(h, f), tm.cofactor(g, var, True))
+        r3 = tm.ite(r1, r2, tm.exists(f, [var]))
+        tm.implies(r1, tm.or_(r1, r2))
+        checksum += (tm.sat_count(r1, variables)
+                     + tm.sat_count(r2, variables)
+                     + tm.sat_count(r3, variables))
+        current[rng.randrange(len(current))] = r3
+        products.append(r3)
+    return products, checksum
+
+
+def run_kernel_vs_row(num_vars, rounds):
+    """Time the counting workload on the int and numpy kernels.
+
+    Either kernel may be absent from a row: int past its width
+    ceiling, numpy when not installed.  Parity (count checksum +
+    product fingerprints) is asserted whenever both ran.
+    """
+    kernels = []
+    if num_vars <= MAX_TABLE_WIDTH:
+        kernels.append("int")
+    if npkernel.available():
+        kernels.append("numpy")
+    timings = {}
+    views = {}
+    for kernel in kernels:
+        best = None
+        for _ in range(2):
+            tm = TableManager(max_width=num_vars, kernel=kernel)
+            variables = tm.add_vars(num_vars)
+            pool = build_expression_pool(tm, num_vars, seed=num_vars)
+            start = time.perf_counter()
+            products, checksum = counting_workload(
+                tm, variables, pool, rounds, seed=100 + num_vars)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        timings[kernel] = best
+        views[kernel] = (checksum,
+                         [tm.fingerprint(p) for p in products[:20]])
+    if len(kernels) == 2:
+        assert views["int"] == views["numpy"], \
+            "kernels disagree on the %d-var counting workload" % num_vars
+    int_dt = timings.get("int")
+    numpy_dt = timings.get("numpy")
+    return {"vars": num_vars, "rounds": rounds,
+            "int_seconds": int_dt, "numpy_seconds": numpy_dt,
+            "speedup": (int_dt / numpy_dt)
+            if int_dt and numpy_dt else None}
+
+
+def run_routed_recursion_row():
+    """Deep-recursion solve with subproblem routing off vs on.
+
+    ``table_kernel="auto"`` is explicit so the row is immune to
+    ``REPRO_TABLE_KERNEL`` (the CI numpy job pins the env to numpy,
+    which is the wrong kernel for the narrow throwaway tables routing
+    mints — auto picks int below the crossover on every machine).
+    """
+    num_inputs, num_outputs, seed = ROUTED_CASE
+    timings = {}
+    costs = {}
+    counters = None
+    for route in (False, True):
+        best = None
+        for _ in range(2):
+            relation = random_relation(num_inputs, num_outputs,
+                                       seed=seed)
+            options = BrelOptions(max_explored=ROUTED_MAX_EXPLORED,
+                                  decompose=False,
+                                  route_subproblems=route,
+                                  table_kernel="auto")
+            start = time.perf_counter()
+            result = BrelSolver(options).solve(relation)
+            elapsed = time.perf_counter() - start
+            best = elapsed if best is None else min(best, elapsed)
+        timings[route] = best
+        costs[route] = result.solution.cost
+        if route:
+            stats = result.stats
+            counters = {
+                "subproblems_routed": stats.subproblems_routed,
+                "route_conversions": stats.route_conversions,
+                "route_hits": stats.route_hits,
+            }
+    assert costs[False] == costs[True], \
+        "subproblem routing changed the final cost (%d+%d seed=%d)" \
+        % ROUTED_CASE
+    return {"inputs": num_inputs, "outputs": num_outputs, "seed": seed,
+            "max_explored": ROUTED_MAX_EXPLORED,
+            "cost": costs[True],
+            "unrouted_seconds": timings[False],
+            "routed_seconds": timings[True],
+            "speedup": (timings[False] / timings[True])
+            if timings[True] > 0 else float("inf"),
+            **counters}
+
+
 def run_sweeps(rounds):
-    """Both sweeps; returns the artefact dict."""
+    """All four sweeps; returns the artefact dict."""
     return {"kernel_rows": [run_kernel_row(v, rounds)
                             for v in VAR_COUNTS],
+            "kernel_vs_rows": [run_kernel_vs_row(v, KERNEL_VS_ROUNDS)
+                               for v in KERNEL_VS_VAR_COUNTS],
             "solve_rows": [run_solve_row(*case)
                            for case in SOLVE_CASES],
+            "routed_recursion": run_routed_recursion_row(),
             "flagship_vars": FLAGSHIP_VARS,
+            "kernel_vs_gate_vars": KERNEL_VS_GATE_VARS,
+            "numpy_available": npkernel.available(),
             "pool_size": POOL_SIZE,
             "max_explored": MAX_EXPLORED}
 
@@ -169,6 +341,16 @@ def flagship_row(results):
     raise KeyError("flagship width missing from results")
 
 
+def kernel_vs_gate_row(results):
+    """The width-16 int-vs-numpy row, or ``None`` without numpy."""
+    if not results.get("numpy_available"):
+        return None
+    for row in results["kernel_vs_rows"]:
+        if row["vars"] == results["kernel_vs_gate_vars"]:
+            return row
+    raise KeyError("kernel-vs gate width missing from results")
+
+
 def summarize(results):
     kernel = format_table(
         ["vars", "bdd s", "table s", "speedup"],
@@ -177,6 +359,18 @@ def summarize(results):
          for row in results["kernel_rows"]],
         title="Leaf op workload: BDD engine vs bit-parallel table "
               "kernel (matched functions, fingerprint-verified)")
+    kernel_vs = format_table(
+        ["vars", "int s", "numpy s", "numpy speedup"],
+        [[row["vars"],
+          "%.4f" % row["int_seconds"]
+          if row["int_seconds"] is not None else "(past ceiling)",
+          "%.4f" % row["numpy_seconds"]
+          if row["numpy_seconds"] is not None else "(not installed)",
+          "%.2fx" % row["speedup"]
+          if row["speedup"] is not None else "-"]
+         for row in results["kernel_vs_rows"]],
+        title="Kernel vs kernel: int bigints vs numpy word arrays on "
+              "the counting workload (checksum-verified)")
     solves = format_table(
         ["relation", "bdd s", "table s", "speedup", "cost"],
         [["%d+%d/s%d" % (row["inputs"], row["outputs"], row["seed"]),
@@ -185,7 +379,20 @@ def summarize(results):
          for row in results["solve_rows"]],
         title="Full routed solves: backend=None vs backend='table' "
               "(equal final cost)")
-    return kernel + "\n\n" + solves
+    routed = results["routed_recursion"]
+    routed_table = format_table(
+        ["relation", "off s", "on s", "speedup", "routed", "conv",
+         "hits", "cost"],
+        [["%d+%d/s%d" % (routed["inputs"], routed["outputs"],
+                         routed["seed"]),
+          "%.4f" % routed["unrouted_seconds"],
+          "%.4f" % routed["routed_seconds"],
+          "%.2fx" % routed["speedup"],
+          routed["subproblems_routed"], routed["route_conversions"],
+          routed["route_hits"], routed["cost"]]],
+        title="In-recursion subproblem routing: route_subproblems off "
+              "vs on (equal final cost)")
+    return "\n\n".join((kernel, kernel_vs, solves, routed_table))
 
 
 def _write_artefact(results):
@@ -201,6 +408,10 @@ def test_table_kernel_sweeps(benchmark):
     publish("bench_table_kernel.txt", summarize(results))
     _write_artefact(results)
     assert flagship_row(results)["speedup"] >= 2.0
+    assert results["routed_recursion"]["speedup"] >= ROUTED_FLOOR
+    gate = kernel_vs_gate_row(results)
+    if gate is not None:
+        assert gate["speedup"] >= KERNEL_VS_FLOOR
 
 
 # ----------------------------------------------------------------------
@@ -218,16 +429,33 @@ def run_quick() -> int:
     # The kernel advantage is structural (whole-table words vs
     # node-by-node traversal), far above timing noise, so quick mode
     # enforces the full 2x acceptance floor.
+    failures = []
     if flagship["speedup"] < 2.0:
-        print("FAIL: table kernel speedup %.2fx on the %d-var leaf "
-              "workload, below the 2x floor"
-              % (flagship["speedup"], flagship["vars"]),
-              file=sys.stderr)
+        failures.append(
+            "table kernel speedup %.2fx on the %d-var leaf workload, "
+            "below the 2x floor"
+            % (flagship["speedup"], flagship["vars"]))
+    gate = kernel_vs_gate_row(results)
+    if gate is not None and gate["speedup"] < KERNEL_VS_FLOOR:
+        failures.append(
+            "numpy kernel %.2fx over the int kernel at width %d, "
+            "below the %.1fx floor"
+            % (gate["speedup"], gate["vars"], KERNEL_VS_FLOOR))
+    routed = results["routed_recursion"]
+    if routed["speedup"] < ROUTED_FLOOR:
+        failures.append(
+            "subproblem routing %.2fx on the deep-recursion solve, "
+            "below the %.1fx floor" % (routed["speedup"], ROUTED_FLOOR))
+    if failures:
+        for failure in failures:
+            print("FAIL: " + failure, file=sys.stderr)
         return 1
     print("quick mode ok: %d widths + %d solves in %.2fs "
-          "(flagship %d vars: %.1fx)"
+          "(flagship %d vars: %.1fx, numpy@16: %s, routing: %.2fx)"
           % (len(VAR_COUNTS), len(SOLVE_CASES), elapsed,
-             flagship["vars"], flagship["speedup"]))
+             flagship["vars"], flagship["speedup"],
+             "%.1fx" % gate["speedup"] if gate is not None else "n/a",
+             routed["speedup"]))
     return 0
 
 

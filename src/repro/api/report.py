@@ -33,7 +33,9 @@ from ..core.solution import Solution
 #: per-block stats; ``None`` for monolithic solves).
 #: 4: added ``portfolio`` (strategy-race summary with per-racer
 #: attribution; ``None`` unless ``strategy="portfolio"``).
-REPORT_SCHEMA_VERSION = 4
+#: 5: ``stats`` gained the subproblem-routing counters
+#: (``subproblems_routed``, ``route_conversions``, ``route_hits``).
+REPORT_SCHEMA_VERSION = 5
 
 
 @dataclass

@@ -257,6 +257,17 @@ class SolveRequest:
     #: Width threshold for ``backend="auto"``/``"table"``; ``None``
     #: uses :data:`repro.table.DEFAULT_TABLE_WIDTH`.
     table_width: Optional[int] = None
+    #: In-recursion routing tri-state (mirrors
+    #: :attr:`repro.core.BrelOptions.route_subproblems`): ``True``
+    #: serves narrow ISF minimisations inside the recursive loop from
+    #: the table kernel (byte-identical results), ``False`` never does,
+    #: ``None`` (auto) follows ``backend="auto"``.
+    route_subproblems: Optional[bool] = None
+    #: Raw-table kernel (mirrors
+    #: :attr:`repro.core.BrelOptions.table_kernel`): ``"int"``,
+    #: ``"numpy"``, ``"auto"``, or ``None`` to honour
+    #: ``REPRO_TABLE_KERNEL`` then default to auto.
+    table_kernel: Optional[str] = None
     #: Racer line-up for ``strategy="portfolio"`` (mirrors
     #: :attr:`repro.core.BrelOptions.portfolio_racers`): ``None`` races
     #: the default line-up; otherwise a comma-separated string or a
@@ -324,6 +335,8 @@ class SolveRequest:
             decompose=self.decompose,
             backend=self.backend,
             table_width=self.table_width,
+            route_subproblems=self.route_subproblems,
+            table_kernel=self.table_kernel,
             portfolio_racers=self.portfolio_racers,
             portfolio_executor=self.portfolio_executor)
         options.strategy = self.strategy
@@ -364,6 +377,8 @@ class SolveRequest:
                    decompose=options.decompose,
                    backend=options.backend,
                    table_width=options.table_width,
+                   route_subproblems=options.route_subproblems,
+                   table_kernel=options.table_kernel,
                    portfolio_racers=options.portfolio_racers,
                    portfolio_executor=options.portfolio_executor,
                    label=label)

@@ -487,7 +487,11 @@ class Session:
         # routed solves are logically identical but their reports'
         # engine stats (node/cache counters) describe a different
         # kernel, so backends get separate slots rather than serving
-        # one backend's counters as the other's.
+        # one backend's counters as the other's.  route_subproblems and
+        # table_kernel are keyed raw (not resolved) for the same
+        # reason: answers are byte-identical either way, but the
+        # routing counters in the cached report's stats describe the
+        # requested configuration.
         # The portfolio racer line-up keys by its *resolved* canonical
         # JSON — None and an explicitly spelled-out default line-up
         # share a slot — while portfolio_executor, like the block
@@ -506,6 +510,7 @@ class Session:
                 request.record_trace, self._memo_for(request) is not None,
                 request.decompose is not False,
                 request.backend or "bdd", request.table_width,
+                request.route_subproblems, request.table_kernel,
                 racers)
 
     def _cache_key(self, pla: str, request: SolveRequest

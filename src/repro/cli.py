@@ -74,6 +74,11 @@ def _request_from_args(args: argparse.Namespace,
         decompose=args.decompose,
         backend=args.backend,
         table_width=args.table_width,
+        # Routing knobs, like the portfolio ones below, exist only on
+        # the solve verb; getattr keeps the shared builder usable from
+        # parsers without them.
+        route_subproblems=getattr(args, "route_subproblems", None),
+        table_kernel=getattr(args, "table_kernel", None),
         # Portfolio knobs exist only on the solve verb; getattr keeps
         # the shared builder usable from parsers without them.
         portfolio_racers=getattr(args, "racers", None),
@@ -121,6 +126,12 @@ def _cmd_solve(args: argparse.Namespace) -> int:
           % (request.exploration_strategy(), report.cost,
              report.stats["relations_explored"],
              report.stats["splits"], report.stats["runtime_seconds"]))
+    if report.stats.get("subproblems_routed"):
+        print("# routing: %d subproblems served by the table kernel "
+              "(%d conversions, %d template hits)"
+              % (report.stats["subproblems_routed"],
+                 report.stats["route_conversions"],
+                 report.stats["route_hits"]))
     if report.partition:
         print("# partition: %d independent blocks" %
               report.partition["num_blocks"])
@@ -436,7 +447,28 @@ def build_parser() -> argparse.ArgumentParser:
                             "relations); results are identical")
     solve.add_argument("--table-width", type=int, default=None,
                        help="variable-frame width threshold for the "
-                            "table backend (default 12, max 16)")
+                            "table backend (default 12; max 16, or 20 "
+                            "with --table-kernel numpy/auto)")
+    solve.add_argument("--table-kernel", choices=["int", "numpy", "auto"],
+                       default=None,
+                       help="raw-table kernel: int (stdlib bignums), "
+                            "numpy (uint64 word arrays; needs the "
+                            "accel extra), or auto (numpy above the "
+                            "crossover width when available); default "
+                            "honours REPRO_TABLE_KERNEL, then auto")
+    route_group = solve.add_mutually_exclusive_group()
+    route_group.add_argument("--route-subproblems",
+                             dest="route_subproblems",
+                             action="store_true", default=None,
+                             help="serve narrow sub-ISF minimisations "
+                                  "from the table kernel inside the "
+                                  "recursion (results are byte-"
+                                  "identical; default: on when "
+                                  "--backend auto)")
+    route_group.add_argument("--no-route-subproblems",
+                             dest="route_subproblems",
+                             action="store_false",
+                             help="never route subproblems in-recursion")
     solve.add_argument("--json", action="store_true",
                        help="emit the structured SolveReport as JSON")
     solve.set_defaults(func=_cmd_solve)

@@ -48,7 +48,8 @@ from typing import (Any, Dict, Generator, Iterable, List, Optional,
                     Tuple)
 
 from ..bdd.manager import FALSE
-from ..table import DEFAULT_TABLE_WIDTH, MAX_TABLE_WIDTH
+from ..table import (DEFAULT_TABLE_WIDTH, KERNEL_CHOICES,
+                     MAX_NUMPY_TABLE_WIDTH, MAX_TABLE_WIDTH)
 from .cost import CostFunction, bdd_size_cost
 from .explore import (CancelToken, Improvement, Observer, SearchNode,
                       SolveEvent, get_strategy_factory, make_strategy)
@@ -60,7 +61,7 @@ from .partition import (Partition, merge_block_stats, partition_relation,
                         worst_stopped)
 from .quick import quick_solve
 from .relation import BooleanRelation
-from .route import BACKEND_CHOICES, route_relation
+from .route import BACKEND_CHOICES, SubproblemRouter, route_decision
 from .solution import Solution, SolverStats
 from .split import select_split_from_conflicts
 from .symmetry import SymmetryCache
@@ -153,8 +154,29 @@ class BrelOptions:
     table_width:
         Width threshold (total frame variables) for ``backend="auto"``
         and hard ceiling for ``backend="table"``; ``None`` uses the
-        default of :data:`repro.table.DEFAULT_TABLE_WIDTH` (12), the
-        hard maximum is :data:`repro.table.MAX_TABLE_WIDTH` (16).
+        default of :data:`repro.table.DEFAULT_TABLE_WIDTH` (12).  The
+        hard maximum is :data:`repro.table.MAX_TABLE_WIDTH` (16),
+        lifted to :data:`repro.table.MAX_NUMPY_TABLE_WIDTH` (20) when
+        ``table_kernel`` explicitly allows numpy (``"numpy"``/
+        ``"auto"``).
+    route_subproblems:
+        In-recursion routing tri-state (:class:`~repro.core.route.
+        SubproblemRouter`).  ``True`` serves ISF minimisations whose
+        support has narrowed to ``table_width`` variables or fewer
+        from a table-kernel conversion (memoised by subproblem
+        signature, bounded by a per-solve conversion budget) inside
+        the recursive evaluation/quick-solve pipeline — byte-identical
+        results, table-kernel speed on the narrow tail of the
+        recursion.  ``False`` never routes subproblems.  ``None`` (the
+        default, *auto*) enables it exactly when ``backend="auto"`` —
+        the configuration that already asked for opportunistic table
+        acceleration.
+    table_kernel:
+        Raw-table kernel for every :class:`~repro.table.TableManager`
+        this solve creates (entry routing and subproblem routing):
+        ``"int"``, ``"numpy"``, ``"auto"``, or ``None`` to honour
+        ``REPRO_TABLE_KERNEL`` and default to auto.  numpy is optional;
+        only an explicit ``"numpy"`` fails without it.
     portfolio_racers:
         Racer line-up for ``strategy="portfolio"``
         (:mod:`repro.core.portfolio`): ``None`` races one of each
@@ -185,6 +207,8 @@ class BrelOptions:
     decompose: Optional[bool] = None
     backend: Optional[str] = None
     table_width: Optional[int] = None
+    route_subproblems: Optional[bool] = None
+    table_kernel: Optional[str] = None
     portfolio_racers: Any = None
     portfolio_executor: Optional[str] = None
 
@@ -237,13 +261,31 @@ class BrelOptions:
             raise ValueError(
                 "backend must be one of %r (None = BDD engine only)"
                 % (BACKEND_CHOICES,))
+        if not (self.route_subproblems is None
+                or isinstance(self.route_subproblems, bool)):
+            # Same identity discipline as memo/decompose: the solver
+            # tests `options.route_subproblems is not None`.
+            raise ValueError("route_subproblems must be True, False or "
+                             "None (None = auto: route subproblems "
+                             "when backend='auto')")
+        if self.table_kernel not in KERNEL_CHOICES:
+            raise ValueError(
+                "table_kernel must be one of %r (None = honour "
+                "REPRO_TABLE_KERNEL, then auto)" % (KERNEL_CHOICES,))
+        # The width ceiling follows the *declared* kernel, never the
+        # environment: table_width=17 must fail identically on every
+        # machine unless the options explicitly allow the numpy kernel.
+        width_cap = (MAX_NUMPY_TABLE_WIDTH
+                     if self.table_kernel in ("numpy", "auto")
+                     else MAX_TABLE_WIDTH)
         if self.table_width is not None and not (
                 isinstance(self.table_width, int)
-                and 1 <= self.table_width <= MAX_TABLE_WIDTH):
+                and 1 <= self.table_width <= width_cap):
             raise ValueError(
                 "table_width must be an int in 1..%d or None "
-                "(None = the default width of %d)"
-                % (MAX_TABLE_WIDTH, DEFAULT_TABLE_WIDTH))
+                "(None = the default width of %d; widths beyond %d "
+                "need table_kernel='numpy' or 'auto')"
+                % (width_cap, DEFAULT_TABLE_WIDTH, MAX_TABLE_WIDTH))
         # Option combinations a shipped strategy cannot honour must
         # fail here, where batch manifests are loaded, not mid-solve.
         # Checked directly rather than by constructing the strategy:
@@ -426,8 +468,13 @@ class BrelSolver:
             # re-enters this method through its own sub-solver and
             # routes individually.  A caller-supplied partition pins
             # this exact relation object, so routing is skipped.
-            routed = route_relation(relation, options.backend,
-                                    options.table_width)
+            routed, route_detail = route_decision(
+                relation, options.backend, options.table_width,
+                options.table_kernel)
+            if route_detail is not None:
+                # Make the (previously silent) decision visible — in
+                # particular "auto" falling back to the BDD engine.
+                yield SolveEvent("route", detail=route_detail)
             if routed is not None:
                 result = yield from self._iter_events_routed(routed,
                                                              cancel)
@@ -511,6 +558,8 @@ class BrelSolver:
             decompose=False,
             backend=options.backend,
             table_width=options.table_width,
+            route_subproblems=options.route_subproblems,
+            table_kernel=options.table_kernel,
             portfolio_racers=options.portfolio_racers,
             portfolio_executor=options.portfolio_executor)
 
@@ -684,10 +733,22 @@ class BrelSolver:
             [] if options.record_trace else None
         improvements: List[Improvement] = []
 
+        # In-recursion routing (repro.core.route.SubproblemRouter):
+        # narrow ISF minimisations inside this loop are served from the
+        # table kernel.  Auto (None) switches it on exactly when
+        # backend="auto" asked for opportunistic table acceleration.
+        route_on = (options.route_subproblems
+                    if options.route_subproblems is not None
+                    else options.backend == "auto")
+        router = (SubproblemRouter(stats, options.table_width,
+                                   options.table_kernel)
+                  if route_on else None)
+        route = router.minimize if router is not None else None
+
         # Initial solution: QuickSolver guarantees one compatible function
         # exists before any pruning can truncate the search (§7.2).
         best = quick_solve(relation, options.minimizer,
-                           options.cost_function, memo=memo)
+                           options.cost_function, memo=memo, route=route)
         stats.quick_solutions += 1
 
         def event(kind: str, **kw: object) -> SolveEvent:
@@ -719,6 +780,13 @@ class BrelSolver:
                                  if options.quick_on_subrelations
                                  is not None
                                  else strategy.quick_by_default)
+
+        if router is not None:
+            yield event("route", detail=(
+                "subproblem routing on: width=%d kernel=%s budget=%s"
+                % (router.width, router.kernel or "auto",
+                   router.conversion_budget)))
+        route_exhaustion_reported = False
 
         yield event("quick-solution", cost=best.cost, depth=0)
         improvements.append(Improvement(best, best.cost,
@@ -778,7 +846,8 @@ class BrelSolver:
             # QuickSolver into a hill climber.
             if quick_on_subrelations and depth > 0:
                 quick = quick_solve(current, options.minimizer,
-                                    options.cost_function, memo=memo)
+                                    options.cost_function, memo=memo,
+                                    route=route)
                 stats.quick_solutions += 1
                 yield event("quick-solution", cost=quick.cost, depth=depth)
                 if quick.cost < best.cost:
@@ -786,7 +855,14 @@ class BrelSolver:
                     stats.compatible_found += 1
                     yield from improved_events(best, depth)
 
-            candidate, conflicts = self._evaluate(current, stats)
+            candidate, conflicts = self._evaluate(current, stats, route)
+            if (router is not None and router.exhausted
+                    and not route_exhaustion_reported):
+                route_exhaustion_reported = True
+                yield event("route", depth=depth, detail=(
+                    "conversion budget exhausted after %d conversions; "
+                    "remaining subproblems stay on the BDD engine"
+                    % stats.route_conversions))
             if candidate.cost >= min(best.cost, external_bound):
                 stats.cost_prunes += 1
                 yield event("prune",
@@ -835,8 +911,8 @@ class BrelSolver:
                           events=trace, stopped=stopped)
 
     # ------------------------------------------------------------------
-    def _evaluate(self, relation: BooleanRelation, stats: SolverStats
-                  ) -> Tuple[Solution, int]:
+    def _evaluate(self, relation: BooleanRelation, stats: SolverStats,
+                  route=None) -> Tuple[Solution, int]:
         """Minimise the covering MISF; return the candidate and conflicts.
 
         The whole evaluation — projection of every output, per-output
@@ -870,13 +946,14 @@ class BrelSolver:
                         conflicts
         if memo is not None and name is not None:
             minimized = [minimize_with_cover(component, options.minimizer,
-                                             memo, name)
+                                             memo, name, route=route)
                          for component in relation.misf()]
             functions = tuple(node for node, _ in minimized)
         else:
             minimized = None
             functions = tuple(solve_misf(relation.misf(),
-                                         options.minimizer))
+                                         options.minimizer,
+                                         route=route))
         stats.misf_minimizations += 1
         cost = options.cost_function(relation.mgr, functions)
         conflicts = relation.conflict_inputs(functions)

@@ -37,16 +37,21 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .solution import Solution
 
 #: Event kinds a solve can emit, in the order they typically appear.
-#: ``partition`` opens a sharded solve (the relation decomposed into
-#: ``detail``-described output blocks; see :mod:`repro.core.partition`);
-#: ``portfolio`` opens a racing solve (``detail`` names the racers and
-#: the executor; see :mod:`repro.core.portfolio`) and ``racer-done``
-#: closes each racer's leg of the race; ``timeout`` / ``cancelled`` /
-#: ``budget`` flag an early stop (matching ``BrelResult.stopped``);
-#: ``done`` always closes the stream.
-EVENT_KINDS = ("partition", "portfolio", "quick-solution", "new-best",
-               "branch", "prune", "racer-done", "timeout", "cancelled",
-               "budget", "done")
+#: ``route`` reports a backend-routing decision (``detail`` names the
+#: engine chosen, the width that drove it, and the fallback reason when
+#: "auto" stayed on the BDD engine — also emitted when in-recursion
+#: subproblem routing activates or spends its conversion budget; see
+#: :mod:`repro.core.route`); ``partition`` opens a sharded solve (the
+#: relation decomposed into ``detail``-described output blocks; see
+#: :mod:`repro.core.partition`); ``portfolio`` opens a racing solve
+#: (``detail`` names the racers and the executor; see
+#: :mod:`repro.core.portfolio`) and ``racer-done`` closes each racer's
+#: leg of the race; ``timeout`` / ``cancelled`` / ``budget`` flag an
+#: early stop (matching ``BrelResult.stopped``); ``done`` always closes
+#: the stream.
+EVENT_KINDS = ("route", "partition", "portfolio", "quick-solution",
+               "new-best", "branch", "prune", "racer-done", "timeout",
+               "cancelled", "budget", "done")
 
 #: ``SolveEvent.detail`` values used by ``prune`` events.
 #: ``shared-bound`` marks frontier nodes dropped because *another*

@@ -12,7 +12,14 @@ width.  This module holds the policy and the boundary conversions:
   cofactor enumeration;
 * :class:`RoutedRelation` — the conversion context, able to translate
   solved functions back to the parent manager via minterm enumeration
-  + :meth:`~repro.bdd.BddManager.from_minterms`.
+  + :meth:`~repro.bdd.BddManager.from_minterms`;
+* :class:`SubproblemRouter` — the *in-recursion* routing path: inside
+  one BDD-backed solve, ISF minimisations whose support has narrowed
+  to the table width are computed on a throwaway table manager whose
+  variables are the ISF's support ranks, producing exactly the rank
+  template the memo layer would store; the template is instantiated
+  back over the parent support, so results are byte-identical to an
+  unrouted solve while the inner minimisation runs on the fast kernel.
 
 Because the compaction preserves relative variable order and both
 backends expose the same reduced-BDD structural view, a routed solve
@@ -29,11 +36,14 @@ from typing import Callable, Dict, Optional, Tuple
 
 from ..bdd.manager import FALSE, TRUE
 from ..table import DEFAULT_TABLE_WIDTH, MAX_TABLE_WIDTH, TableManager
+from .memo import (template_from_var_cover, var_cover_from_template,
+                   instantiate_var_cover)
 from .relation import BooleanRelation
 from .solution import Solution
 
-__all__ = ["BACKEND_CHOICES", "RoutedRelation", "relation_to_table",
-           "route_relation", "routing_width"]
+__all__ = ["BACKEND_CHOICES", "DEFAULT_ROUTE_CONVERSION_BUDGET",
+           "RoutedRelation", "SubproblemRouter", "relation_to_table",
+           "route_decision", "route_relation", "routing_width"]
 
 #: Valid ``BrelOptions.backend`` values.  ``None`` and ``"bdd"`` keep
 #: every subproblem on the BDD engine (the byte-identical default),
@@ -113,13 +123,15 @@ def _frame_of(relation: BooleanRelation) -> Tuple[int, ...]:
 
 
 def relation_to_table(relation: BooleanRelation,
-                      table_width: Optional[int] = None) -> RoutedRelation:
+                      table_width: Optional[int] = None,
+                      kernel: Optional[str] = None) -> RoutedRelation:
     """Rebuild ``relation`` on a fresh :class:`TableManager`.
 
     The table frame is the relation's variable frame compacted to
     ``0..k-1`` preserving relative order (so reduced-BDD structure —
     and therefore split choices, ISOP covers, sizes and fingerprint
-    ranks — is unchanged).  Raises ``ValueError`` when the frame
+    ranks — is unchanged).  ``kernel`` selects the raw-table kernel
+    (``TableManager``'s knob).  Raises ``ValueError`` when the frame
     exceeds the width threshold or the characteristic function depends
     on variables outside it.
     """
@@ -136,7 +148,7 @@ def relation_to_table(relation: BooleanRelation,
         raise ValueError("relation depends on variables outside its "
                          "declared inputs/outputs; cannot route")
     tm = TableManager([parent.var_name(var) for var in frame],
-                      max_width=max(len(frame), 1))
+                      max_width=max(len(frame), 1), kernel=kernel)
     node = _node_to_table(parent, tm, relation.node, rank)
     routed = BooleanRelation(
         tm,
@@ -147,14 +159,18 @@ def relation_to_table(relation: BooleanRelation,
 
 
 def _node_to_table(parent, tm: TableManager, node: int,
-                   rank: Dict[int, int]) -> int:
+                   rank: Dict[int, int],
+                   memo: Optional[Dict[int, int]] = None) -> int:
     """Convert a BDD node to a table handle by cofactor enumeration.
 
     Post-order over the (bounded-depth) DAG: each internal node becomes
     ``ite(var, high, low)`` on the table manager, sharing converted
-    subgraphs through the memo.
+    subgraphs through the memo.  Pass a shared ``memo`` (seeded with
+    the terminals) to share subgraphs across several conversions onto
+    the same table manager.
     """
-    memo: Dict[int, int] = {FALSE: FALSE, TRUE: TRUE}
+    if memo is None:
+        memo = {FALSE: FALSE, TRUE: TRUE}
     stack = [node]
     while stack:
         current = stack[-1]
@@ -176,7 +192,8 @@ def _node_to_table(parent, tm: TableManager, node: int,
 
 
 def route_relation(relation: BooleanRelation, backend: Optional[str],
-                   table_width: Optional[int]
+                   table_width: Optional[int],
+                   kernel: Optional[str] = None
                    ) -> Optional[RoutedRelation]:
     """Apply the routing policy; ``None`` means stay on this manager.
 
@@ -186,17 +203,165 @@ def route_relation(relation: BooleanRelation, backend: Optional[str],
     on the BDD engine.  ``"table"`` demands the table engine and raises
     ``ValueError`` when the relation cannot be represented there.
     """
+    return route_decision(relation, backend, table_width, kernel)[0]
+
+
+def route_decision(relation: BooleanRelation, backend: Optional[str],
+                   table_width: Optional[int],
+                   kernel: Optional[str] = None
+                   ) -> Tuple[Optional[RoutedRelation], Optional[str]]:
+    """:func:`route_relation` plus a human-readable explanation.
+
+    Returns ``(routed, detail)``.  ``detail`` is ``None`` exactly when
+    no routing was requested (``backend`` None/"bdd") — otherwise it
+    names the engine chosen, the width that drove the decision, and
+    the fallback reason when "auto" stayed on the BDD engine.  The
+    solver surfaces it as a ``route`` event so the silent "auto"
+    fallback is visible in the anytime stream.
+    """
     if backend is None or backend == "bdd":
-        return None
+        return None, None
+    width = routing_width(table_width)
     if isinstance(relation.mgr, TableManager):
-        return None
+        return None, ("backend=table kernel=%s (already table-backed)"
+                      % relation.mgr.kernel)
     if backend == "table":
-        return relation_to_table(relation, table_width)
+        routed = relation_to_table(relation, table_width, kernel)
+        mgr = routed.relation.mgr
+        return routed, ("backend=table width=%d/%d kernel=%s"
+                        % (mgr.num_vars, width, mgr.kernel))
     # "auto": route only what fits.
     frame = _frame_of(relation)
-    if len(frame) > routing_width(table_width):
-        return None
+    if len(frame) > width:
+        return None, ("backend=bdd (frame %d wider than table_width %d)"
+                      % (len(frame), width))
     try:
-        return relation_to_table(relation, table_width)
-    except ValueError:
-        return None
+        routed = relation_to_table(relation, table_width, kernel)
+    except ValueError as exc:
+        return None, "backend=bdd (fallback: %s)" % exc
+    mgr = routed.relation.mgr
+    return routed, ("backend=table width=%d/%d kernel=%s"
+                    % (mgr.num_vars, width, mgr.kernel))
+
+
+#: Default per-solve cap on fresh ISF-to-table conversions.  Each
+#: conversion walks the subproblem's interval BDDs once; the cap
+#: bounds that overhead on adversarial runs where no signature ever
+#: repeats, while normal runs (heavy signature reuse) rarely reach it.
+DEFAULT_ROUTE_CONVERSION_BUDGET = 512
+
+
+class SubproblemRouter:
+    """In-recursion routing of narrow ISF minimisations onto the table kernel.
+
+    One router serves one solve.  When the solver's evaluation /
+    quick-solve pipeline is about to run a *structural* minimiser on an
+    ISF whose support has narrowed to ``table_width`` variables or
+    fewer, :meth:`minimize` rebuilds the ISF once on a throwaway
+    :class:`TableManager` whose variables are the support ranks
+    ``0..k-1`` (order preserving), runs the minimiser there, and keeps
+    the resulting *rank template* — exactly the object the memo layer
+    stores for that signature.  Instantiating the template back over
+    the parent support reproduces the unrouted result byte-for-byte
+    (the memo transparency invariant), so routing changes wall-clock,
+    never answers.
+
+    Templates are memoised by the PR 4 signature key, so a subproblem
+    is never converted twice; fresh conversions are bounded by
+    ``conversion_budget`` (``None`` = unlimited).  Counters land in the
+    shared :class:`~repro.core.solution.SolverStats`:
+    ``subproblems_routed`` (minimisations served), ``route_conversions``
+    (fresh table builds), ``route_hits`` (template reuse).
+    """
+
+    def __init__(self, stats, table_width: Optional[int] = None,
+                 kernel: Optional[str] = None,
+                 conversion_budget: Optional[int] =
+                 DEFAULT_ROUTE_CONVERSION_BUDGET):
+        self.stats = stats
+        self.width = routing_width(table_width)
+        self.kernel = kernel
+        self.conversion_budget = conversion_budget
+        #: True once the conversion budget is spent (solver emits one
+        #: ``route`` event when it sees this flip).
+        self.exhausted = False
+        #: True when table construction itself failed (e.g. a width
+        #: past the int-kernel ceiling without numpy); the router then
+        #: stands down for the rest of the solve.
+        self.disabled = False
+        # (sig.key, minimizer_name) -> rank template.
+        self._templates: Dict[Tuple, Tuple] = {}
+        # (sig.key, minimizer_name, support) -> (node, var cover).
+        # Same template over the same support instantiates to the same
+        # node (ROBDD canonicity), and the parent manager never
+        # collects mid-solve, so serving repeats from here skips the
+        # cover rebuild without changing any answer.
+        self._instantiated: Dict[Tuple, Tuple[int, Tuple]] = {}
+
+    def minimize(self, isf, minimizer, minimizer_name: str):
+        """Serve one minimisation from the table kernel, or ``None``.
+
+        ``None`` means "not routed — run the minimiser normally": the
+        ISF is already table-backed, its support is empty or wider
+        than the table width, the budget is exhausted, or conversion
+        failed.  Otherwise returns ``(node, var_cover)`` exactly as
+        :func:`~repro.core.minimize._run_with_cover` would.
+        """
+        mgr = isf.mgr
+        if self.disabled or isinstance(mgr, TableManager):
+            return None
+        sig = isf.signature()
+        support = sig.support
+        if not support or len(support) > self.width:
+            return None
+        key = (sig.key, minimizer_name)
+        template = self._templates.get(key)
+        if template is None:
+            if self.exhausted:
+                return None
+            if (self.conversion_budget is not None and
+                    self.stats.route_conversions >= self.conversion_budget):
+                self.exhausted = True
+                return None
+            try:
+                template = self._mint(isf, support, minimizer,
+                                      minimizer_name)
+            except ValueError:
+                self.disabled = True
+                return None
+            self._templates[key] = template
+            self.stats.route_conversions += 1
+        else:
+            self.stats.route_hits += 1
+        self.stats.subproblems_routed += 1
+        inst_key = (sig.key, minimizer_name, support)
+        served = self._instantiated.get(inst_key)
+        if served is None:
+            cover = var_cover_from_template(template, support)
+            served = (instantiate_var_cover(mgr, cover), cover)
+            self._instantiated[inst_key] = served
+        return served
+
+    def _mint(self, isf, support: Tuple[int, ...], minimizer,
+              minimizer_name: str) -> Tuple:
+        """Convert the ISF to a rank-framed table and minimise there.
+
+        The table's variable ``i`` *is* support rank ``i``, so the
+        cover the structural minimiser extracts is already at rank
+        level and ``template_from_var_cover`` maps it with the
+        identity — producing what a memo-on unrouted run would have
+        stored for this signature.
+        """
+        from .isf import Isf
+        from .minimize import _run_with_cover
+        parent = isf.mgr
+        rank = {var: index for index, var in enumerate(support)}
+        tm = TableManager([parent.var_name(var) for var in support],
+                          max_width=len(support), kernel=self.kernel)
+        memo: Dict[int, int] = {FALSE: FALSE, TRUE: TRUE}
+        on_t = _node_to_table(parent, tm, isf.on, rank, memo)
+        dc_t = _node_to_table(parent, tm, isf.dc, rank, memo)
+        table_isf = Isf(tm, on_t, dc_t, tuple(range(len(support))))
+        _, cover = _run_with_cover(table_isf, minimizer, minimizer_name)
+        identity = {index: index for index in range(len(support))}
+        return template_from_var_cover(cover, identity)

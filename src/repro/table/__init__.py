@@ -2,13 +2,22 @@
 
 :class:`TableManager` implements the :class:`repro.bdd.FunctionBackend`
 protocol with packed truth tables instead of BDD nodes: a function over
-``n <= 16`` variables is one Python integer of ``2**n`` bits, and every
+``n`` variables is its full ``2**n``-bit truth table, and every
 connective/quantifier/cofactor is a handful of word-wise bitwise
-operations on it.  The router (:mod:`repro.core.route`) sends
-sufficiently narrow subproblems here; everything else stays on the
-ROBDD engine.
+operations on it.  Two kernels hold the raw bits — one Python bigint
+per table (``n <= 16``), or a ``numpy.uint64`` word array
+(``n <= 20``, optional dependency, selected via the ``kernel`` knob or
+``REPRO_TABLE_KERNEL``).  The router (:mod:`repro.core.route`) sends
+sufficiently narrow relations — and, with subproblem routing on,
+sufficiently narrow ISFs inside one solve — here; everything else
+stays on the ROBDD engine.
 """
 
-from .manager import (DEFAULT_TABLE_WIDTH, MAX_TABLE_WIDTH, TableManager)
+from .manager import (DEFAULT_TABLE_WIDTH, KERNEL_CHOICES,
+                      MAX_NUMPY_TABLE_WIDTH, MAX_TABLE_WIDTH,
+                      TableManager)
+from .npkernel import NUMPY_CROSSOVER_WIDTH
 
-__all__ = ["DEFAULT_TABLE_WIDTH", "MAX_TABLE_WIDTH", "TableManager"]
+__all__ = ["DEFAULT_TABLE_WIDTH", "KERNEL_CHOICES",
+           "MAX_NUMPY_TABLE_WIDTH", "MAX_TABLE_WIDTH",
+           "NUMPY_CROSSOVER_WIDTH", "TableManager"]

@@ -1,12 +1,28 @@
 """Packed truth-table function engine (the narrow-subproblem kernel).
 
-A function over ``n`` variables is its full truth table packed into a
-single Python integer of ``2**n`` bits: bit ``i`` is the function value
-under the assignment where variable ``v`` takes ``(i >> v) & 1``.
-Every Boolean connective is then one bitwise operation over the whole
-table at once — 4096 function values per AND for ``n = 12`` — and
-cofactors/quantifiers are shift-and-mask folds.  No node store, no
-hash-consing of subgraphs, no garbage collector.
+A function over ``n`` variables is its full truth table packed into
+``2**n`` bits: bit ``i`` is the function value under the assignment
+where variable ``v`` takes ``(i >> v) & 1``.  Every Boolean connective
+is then one bitwise operation over the whole table at once — 4096
+function values per AND for ``n = 12`` — and cofactors/quantifiers are
+shift-and-mask folds.  No node store, no hash-consing of subgraphs, no
+garbage collector.
+
+Two interchangeable *kernels* hold the raw tables:
+
+* the **int** kernel packs each table into one arbitrary-precision
+  Python integer (capped at :data:`MAX_TABLE_WIDTH` variables — bigint
+  shifts pay per-limb costs that grow with the table);
+* the **numpy** kernel (:mod:`repro.table.npkernel`, optional) packs it
+  into a little-endian ``uint64`` word array, where the same ops
+  vectorise and the ceiling lifts to
+  :data:`~repro.table.npkernel.MAX_NUMPY_TABLE_WIDTH` variables.
+
+The ``kernel`` knob selects one (``"int"``/``"numpy"``/``"auto"``;
+``None`` honours the ``REPRO_TABLE_KERNEL`` environment variable, then
+defaults to auto).  Handle-level semantics are kernel-independent:
+handles, structural views, fingerprints, ISOP covers and minterm
+orders are byte-identical across kernels.
 
 :class:`TableManager` implements the full
 :class:`repro.bdd.FunctionBackend` protocol, with the contracts core
@@ -24,9 +40,6 @@ code relies on:
   fingerprints bit-for-bit (same splitmix64 mixer, same terminal
   seeds) and ``size`` counts reduced-BDD nodes, so memo signatures and
   the paper's BDD-size cost agree across backends.
-
-The width is capped (:data:`MAX_TABLE_WIDTH`): tables grow as ``2**n``
-bits, which is exactly why this engine only serves narrow subproblems.
 """
 
 from __future__ import annotations
@@ -36,16 +49,21 @@ from typing import (Dict, Iterable, Iterator, List, Optional, Sequence,
 
 from ..bdd.manager import (FALSE, TRUE, TERMINAL_LEVEL, _FP_FALSE,
                            _FP_TRUE, _fp_mix)
+from .npkernel import (KERNEL_CHOICES, MAX_NUMPY_TABLE_WIDTH,
+                       NumpyKernel, resolve_kernel)
 
-__all__ = ["DEFAULT_TABLE_WIDTH", "MAX_TABLE_WIDTH", "TableManager"]
+__all__ = ["DEFAULT_TABLE_WIDTH", "KERNEL_CHOICES",
+           "MAX_NUMPY_TABLE_WIDTH", "MAX_TABLE_WIDTH", "TableManager"]
 
 #: Router default: subproblems up to this many total variables go to
 #: the table backend (see :mod:`repro.core.route`).
 DEFAULT_TABLE_WIDTH = 12
 
-#: Hard ceiling on the variable frame — a 2**16-bit table is 8 KiB per
-#: function, the largest size at which whole-table bit operations still
-#: beat node-level BDD work comfortably.
+#: Hard ceiling on the variable frame under the int kernel — a
+#: 2**16-bit table is 8 KiB per function, the largest size at which
+#: whole-table bigint operations still beat node-level BDD work
+#: comfortably.  The numpy kernel lifts this to
+#: :data:`~repro.table.npkernel.MAX_NUMPY_TABLE_WIDTH`.
 MAX_TABLE_WIDTH = 16
 
 #: Flush threshold of the per-operation result cache.
@@ -55,6 +73,124 @@ _OP_CACHE_LIMIT = 1 << 16
 _OP_AND, _OP_OR, _OP_XOR, _OP_ANDNOT = 0, 1, 2, 3
 _APPLY_NAMES = {"and": _OP_AND, "or": _OP_OR, "xor": _OP_XOR,
                 "andnot": _OP_ANDNOT}
+
+# Phases of the raw-table ISOP expansion (mirrors repro.bdd.isop).
+_EXPAND, _MERGE, _COMBINE = 0, 1, 2
+
+
+class _IntKernel:
+    """Raw-table primitives over arbitrary-precision Python ints.
+
+    The reference kernel: zero dependencies, exact historical
+    semantics.  ``NumpyKernel`` implements the same interface over
+    ``uint64`` word arrays; :class:`TableManager` is written purely in
+    terms of this interface plus interning keys (:meth:`key`).
+    """
+
+    name = "int"
+
+    def __init__(self) -> None:
+        self.size = 1
+        self.full = 1
+        # _zero_masks[v] marks the table positions where variable v is 0.
+        self._zero_masks: List[int] = []
+
+    # -- lifecycle ----------------------------------------------------
+
+    def grow(self) -> None:
+        size = self.size
+        self._zero_masks = [a | (a << size) for a in self._zero_masks]
+        # Zero-mask of the new variable: the (now) lower half of the
+        # doubled table is exactly where it is 0.
+        self._zero_masks.append((1 << size) - 1)
+        self.size = size << 1
+        self.full = (1 << self.size) - 1
+
+    def widen(self, table: int) -> int:
+        return table | (table << (self.size >> 1))
+
+    # -- raw bitwise ops ----------------------------------------------
+
+    def band(self, a: int, b: int) -> int:
+        return a & b
+
+    def bor(self, a: int, b: int) -> int:
+        return a | b
+
+    def bxor(self, a: int, b: int) -> int:
+        return a ^ b
+
+    def bandnot(self, a: int, b: int) -> int:
+        return a & (self.full ^ b)
+
+    def bnot(self, a: int) -> int:
+        return self.full ^ a
+
+    def ite_raw(self, a: int, b: int, c: int) -> int:
+        return (a & b) | ((self.full ^ a) & c)
+
+    # -- predicates ---------------------------------------------------
+
+    def is_zero(self, a: int) -> bool:
+        return a == 0
+
+    def is_full(self, a: int) -> bool:
+        return a == self.full
+
+    def equal(self, a: int, b: int) -> bool:
+        return a == b
+
+    def is_subset(self, a: int, b: int) -> bool:
+        return a & (self.full ^ b) == 0
+
+    def key(self, table: int) -> int:
+        return table
+
+    # -- per-variable structure ---------------------------------------
+
+    def literal(self, var: int, positive: bool) -> int:
+        zero = self._zero_masks[var]
+        return (self.full ^ zero) if positive else zero
+
+    def cofactor(self, table: int, var: int, value: bool) -> int:
+        shift = 1 << var
+        zero = self._zero_masks[var]
+        if value:
+            half = (table >> shift) & zero
+        else:
+            half = table & zero
+        return half | (half << shift)
+
+    def exists1(self, table: int, var: int) -> int:
+        shift = 1 << var
+        zero = self._zero_masks[var]
+        half = (table & zero) | ((table >> shift) & zero)
+        return half | (half << shift)
+
+    def forall1(self, table: int, var: int) -> int:
+        shift = 1 << var
+        zero = self._zero_masks[var]
+        half = (table & zero) & ((table >> shift) & zero)
+        return half | (half << shift)
+
+    def depends(self, table: int, var: int) -> bool:
+        shift = 1 << var
+        zero = self._zero_masks[var]
+        return (table & zero) != ((table >> shift) & zero)
+
+    # -- scalar views -------------------------------------------------
+
+    def popcount(self, table: int) -> int:
+        return bin(table).count("1")
+
+    def get_bit(self, table: int, position: int) -> int:
+        return (table >> position) & 1
+
+    def from_int(self, value: int) -> int:
+        return value
+
+    def to_int(self, table: int) -> int:
+        return table
 
 
 class TableManager:
@@ -66,8 +202,17 @@ class TableManager:
         Optional initial variable names, as in ``BddManager``.
     max_width:
         Maximum number of variables this manager will accept (default
-        :data:`DEFAULT_TABLE_WIDTH`, hard-capped at
-        :data:`MAX_TABLE_WIDTH`); :meth:`add_var` raises beyond it.
+        :data:`DEFAULT_TABLE_WIDTH`); :meth:`add_var` raises beyond
+        it.  The hard cap is :data:`MAX_TABLE_WIDTH` unless ``kernel``
+        explicitly allows numpy (``"numpy"``/``"auto"``), which lifts
+        it to :data:`~repro.table.npkernel.MAX_NUMPY_TABLE_WIDTH` —
+        the cap never depends on the environment, so a given
+        construction fails identically on every machine.
+    kernel:
+        Raw-table kernel: ``"int"``, ``"numpy"``, ``"auto"`` (numpy
+        when importable and ``max_width`` is past the crossover), or
+        ``None`` to honour ``REPRO_TABLE_KERNEL`` and default to auto.
+        Only an explicit ``"numpy"`` raises when numpy is missing.
 
     Examples
     --------
@@ -79,25 +224,31 @@ class TableManager:
     """
 
     def __init__(self, var_names: Optional[Iterable[str]] = None,
-                 max_width: int = DEFAULT_TABLE_WIDTH):
-        if not 1 <= max_width <= MAX_TABLE_WIDTH:
+                 max_width: int = DEFAULT_TABLE_WIDTH,
+                 kernel: Optional[str] = None):
+        if kernel not in KERNEL_CHOICES:
+            raise ValueError("kernel must be one of %r, got %r"
+                             % (KERNEL_CHOICES, kernel))
+        cap = (MAX_NUMPY_TABLE_WIDTH if kernel in ("numpy", "auto")
+               else MAX_TABLE_WIDTH)
+        if not 1 <= max_width <= cap:
             raise ValueError("max_width must be in 1..%d, got %r"
-                             % (MAX_TABLE_WIDTH, max_width))
+                             % (cap, max_width))
         self.max_width = max_width
+        #: Resolved kernel name, ``"int"`` or ``"numpy"``.
+        self.kernel = resolve_kernel(kernel, max_width)
+        self._k = (NumpyKernel() if self.kernel == "numpy"
+                   else _IntKernel())
         self._names: List[str] = []
-        # Table size is 2**num_vars bits; with zero variables the two
-        # constants are the 1-bit tables 0 and 1.
-        self._size = 1
-        self._full = 1
-        # _zero_masks[v] marks the table positions where variable v is 0.
-        self._zero_masks: List[int] = []
-        # Interning: handle -> table, table -> handle.  FALSE and TRUE
-        # are interned first so their handles are 0 and 1.
-        self._tables: List[int] = [0, 1]
-        self._index: Dict[int, int] = {0: 0, 1: 1}
+        # Interning: handle -> raw table, kernel key -> handle.  FALSE
+        # and TRUE are interned first so their handles are 0 and 1.
+        k = self._k
+        self._tables = [k.from_int(0), k.from_int(1)]
+        self._index = {k.key(self._tables[0]): 0,
+                       k.key(self._tables[1]): 1}
         self._peak = 2
         # Handle-keyed memos (cheap small-int keys instead of re-hashing
-        # multi-kilobit table integers).
+        # multi-kilobit tables).
         self._op_cache: Dict[Tuple, int] = {}
         self._fp_memo: Dict[int, int] = {FALSE: _FP_FALSE, TRUE: _FP_TRUE}
         self._support_memo: Dict[int, Tuple[int, ...]] = {}
@@ -118,7 +269,9 @@ class TableManager:
             raise ValueError(
                 "TableManager is limited to %d variables; widen max_width "
                 "(<= %d) or use the BDD backend"
-                % (self.max_width, MAX_TABLE_WIDTH))
+                % (self.max_width,
+                   MAX_NUMPY_TABLE_WIDTH if self.kernel == "numpy"
+                   else MAX_TABLE_WIDTH))
         if name is None:
             name = "v%d" % index
         self._names.append(name)
@@ -126,15 +279,10 @@ class TableManager:
         # existing functions, so their tables duplicate into the new
         # upper half.  Widening commutes with all bitwise kernels, so
         # handle-keyed caches (ops, fingerprints, supports) stay valid.
-        size = self._size
-        self._tables = [t | (t << size) for t in self._tables]
-        self._index = {t: h for h, t in enumerate(self._tables)}
-        self._zero_masks = [a | (a << size) for a in self._zero_masks]
-        # Zero-mask of the new variable: the (now) lower half of the
-        # doubled table is exactly where it is 0.
-        self._zero_masks.append((1 << size) - 1)
-        self._size = size << 1
-        self._full = (1 << self._size) - 1
+        k = self._k
+        k.grow()
+        self._tables = [k.widen(t) for t in self._tables]
+        self._index = {k.key(t): h for h, t in enumerate(self._tables)}
         return index
 
     def add_vars(self, count: int, prefix: str = "v") -> List[int]:
@@ -154,11 +302,11 @@ class TableManager:
 
     def var(self, index: int) -> int:
         """Handle of the positive literal of variable ``index``."""
-        return self._intern(self._full ^ self._zero_masks[index])
+        return self._intern(self._k.literal(index, True))
 
     def nvar(self, index: int) -> int:
         """Handle of the negative literal of variable ``index``."""
-        return self._intern(self._zero_masks[index])
+        return self._intern(self._k.literal(index, False))
 
     def var_name(self, index: int) -> str:
         """Declared name of variable ``index``."""
@@ -167,19 +315,20 @@ class TableManager:
     # ------------------------------------------------------------------
     # Interning
     # ------------------------------------------------------------------
-    def _intern(self, table: int) -> int:
-        handle = self._index.get(table)
+    def _intern(self, table) -> int:
+        key = self._k.key(table)
+        handle = self._index.get(key)
         if handle is None:
             handle = len(self._tables)
             self._tables.append(table)
-            self._index[table] = handle
+            self._index[key] = handle
             if handle >= self._peak:
                 self._peak = handle + 1
         return handle
 
     def table(self, f: int) -> int:
-        """The raw packed truth table behind handle ``f``."""
-        return self._tables[f]
+        """The packed truth table behind handle ``f``, as an int."""
+        return self._k.to_int(self._tables[f])
 
     def _cache_get(self, key: Tuple) -> Optional[int]:
         hit = self._op_cache.get(key)
@@ -227,15 +376,16 @@ class TableManager:
         hit = self._cache_get(key)
         if hit is not None:
             return hit
+        k = self._k
         a, b = self._tables[f], self._tables[g]
         if tag == _OP_AND:
-            table = a & b
+            table = k.band(a, b)
         elif tag == _OP_OR:
-            table = a | b
+            table = k.bor(a, b)
         elif tag == _OP_XOR:
-            table = a ^ b
+            table = k.bxor(a, b)
         else:
-            table = a & (self._full ^ b)
+            table = k.bandnot(a, b)
         result = self._intern(table)
         self._cache_put(key, result)
         return result
@@ -262,7 +412,7 @@ class TableManager:
 
     def not_(self, f: int) -> int:
         """Negation."""
-        return self._intern(self._full ^ self._tables[f])
+        return self._intern(self._k.bnot(self._tables[f]))
 
     def ite(self, f: int, g: int, h: int) -> int:
         """If-then-else ``(f AND g) OR (NOT f AND h)``."""
@@ -270,28 +420,19 @@ class TableManager:
         hit = self._cache_get(key)
         if hit is not None:
             return hit
-        a = self._tables[f]
-        table = (a & self._tables[g]) | ((self._full ^ a) & self._tables[h])
+        table = self._k.ite_raw(self._tables[f], self._tables[g],
+                                self._tables[h])
         result = self._intern(table)
         self._cache_put(key, result)
         return result
 
     def implies(self, f: int, g: int) -> bool:
         """True when ``f <= g`` pointwise."""
-        return self._tables[f] & (self._full ^ self._tables[g]) == 0
+        return self._k.is_subset(self._tables[f], self._tables[g])
 
     # ------------------------------------------------------------------
     # Cofactors and quantifiers
     # ------------------------------------------------------------------
-    def _cofactor_table(self, table: int, var: int, value: bool) -> int:
-        shift = 1 << var
-        zero = self._zero_masks[var]
-        if value:
-            half = (table >> shift) & zero
-        else:
-            half = table & zero
-        return half | (half << shift)
-
     def cofactor(self, f: int, var: int, value: bool) -> int:
         """Shannon cofactor of ``f`` with ``var`` fixed to ``value``."""
         key = ("cof", f, var, value)
@@ -299,15 +440,16 @@ class TableManager:
         if hit is not None:
             return hit
         result = self._intern(
-            self._cofactor_table(self._tables[f], var, value))
+            self._k.cofactor(self._tables[f], var, value))
         self._cache_put(key, result)
         return result
 
     def restrict_cube(self, f: int, assignment: Dict[int, bool]) -> int:
         """Cofactor ``f`` by every literal of a cube."""
+        k = self._k
         table = self._tables[f]
         for var in sorted(assignment):
-            table = self._cofactor_table(table, var, assignment[var])
+            table = k.cofactor(table, var, assignment[var])
         return self._intern(table)
 
     def exists(self, f: int, variables: Iterable[int]) -> int:
@@ -317,10 +459,10 @@ class TableManager:
         hit = self._cache_get(key)
         if hit is not None:
             return hit
+        k = self._k
         table = self._tables[f]
         for var in var_key:
-            table = (self._cofactor_table(table, var, False)
-                     | self._cofactor_table(table, var, True))
+            table = k.exists1(table, var)
         result = self._intern(table)
         self._cache_put(key, result)
         return result
@@ -332,10 +474,10 @@ class TableManager:
         hit = self._cache_get(key)
         if hit is not None:
             return hit
+        k = self._k
         table = self._tables[f]
         for var in var_key:
-            table = (self._cofactor_table(table, var, False)
-                     & self._cofactor_table(table, var, True))
+            table = k.forall1(table, var)
         result = self._intern(table)
         self._cache_put(key, result)
         return result
@@ -353,14 +495,10 @@ class TableManager:
         hit = self._support_memo.get(f)
         if hit is not None:
             return hit
+        k = self._k
         table = self._tables[f]
-        variables = []
-        for var in range(len(self._names)):
-            shift = 1 << var
-            zero = self._zero_masks[var]
-            if (table & zero) != ((table >> shift) & zero):
-                variables.append(var)
-        result = tuple(variables)
+        result = tuple(var for var in range(len(self._names))
+                       if k.depends(table, var))
         self._support_memo[f] = result
         return result
 
@@ -376,22 +514,21 @@ class TableManager:
 
     def shared_size(self, functions: Sequence[int]) -> int:
         """Reduced-BDD node count of a set of functions with sharing."""
-        full = self._full
+        k = self._k
         seen = set()
         stack = [self._tables[f] for f in functions]
         while stack:
             table = stack.pop()
-            if table == 0 or table == full or table in seen:
+            if k.is_zero(table) or k.is_full(table):
                 continue
-            seen.add(table)
+            key = k.key(table)
+            if key in seen:
+                continue
+            seen.add(key)
             for var in range(len(self._names)):
-                shift = 1 << var
-                zero = self._zero_masks[var]
-                lo = table & zero
-                hi = (table >> shift) & zero
-                if lo != hi:
-                    stack.append(lo | (lo << shift))
-                    stack.append(hi | (hi << shift))
+                if k.depends(table, var):
+                    stack.append(k.cofactor(table, var, False))
+                    stack.append(k.cofactor(table, var, True))
                     break
         return len(seen)
 
@@ -401,7 +538,7 @@ class TableManager:
         ``variables`` must be a superset of ``support(f)``.
         """
         total = len(set(variables))
-        count = bin(self._tables[f]).count("1")
+        count = self._k.popcount(self._tables[f])
         n = len(self._names)
         if total >= n:
             return count << (total - n)
@@ -413,17 +550,17 @@ class TableManager:
         for var in self.support(f):
             if assignment[var]:
                 position |= 1 << var
-        return (self._tables[f] >> position) & 1 == 1
+        return self._k.get_bit(self._tables[f], position) == 1
 
     # ------------------------------------------------------------------
     # Cube construction helpers
     # ------------------------------------------------------------------
     def cube(self, assignment: Dict[int, bool]) -> int:
         """Conjunction of the literals described by ``assignment``."""
-        table = self._full
+        k = self._k
+        table = k.full
         for var, value in assignment.items():
-            zero = self._zero_masks[var]
-            table &= (self._full ^ zero) if value else zero
+            table = k.band(table, k.literal(var, value))
         return self._intern(table)
 
     def minterm(self, variables: Sequence[int], value: int) -> int:
@@ -537,14 +674,101 @@ class TableManager:
              upper: int) -> Tuple[List[Dict[int, bool]], int]:
         """Irredundant SOP cover of a function in ``[lower, upper]``.
 
-        Runs the shared Minato-Morreale expansion of
-        :mod:`repro.bdd.isop` over this backend — the recursion only
-        touches protocol operations, so the cover it extracts is
-        cube-for-cube identical to the BDD backend's while each
-        internal cofactor/diff is a whole-table bit operation.
+        Mirrors the Minato-Morreale expansion of :mod:`repro.bdd.isop`
+        step for step, but runs it on **raw tables**: every branch
+        decision in that recursion is semantic (is the lower bound
+        empty, is the upper bound full, which is the top support
+        variable, what are the cofactor/difference tables), so
+        replaying it with kernel primitives — skipping handle
+        interning and the op cache for the thousands of intermediate
+        results the expansion discards — yields the identical cube
+        list in the identical order, at a fraction of the cost.  Only
+        the final cover function is interned.  This raw fast path is
+        what makes in-recursion subproblem routing
+        (:class:`repro.core.route.SubproblemRouter`) a wall-clock win.
         """
-        from ..bdd.isop import isop as _isop
-        return _isop(self, lower, upper)
+        if not self.implies(lower, upper):
+            raise ValueError("isop requires lower <= upper")
+        k = self._k
+        num_vars = len(self._names)
+
+        def top_var(table) -> int:
+            for var in range(num_vars):
+                if k.depends(table, var):
+                    return var
+            return num_vars  # constant
+
+        # Same three-phase explicit stack as repro.bdd.isop, with raw
+        # tables as operands and interning keys as cache keys.
+        cache: Dict[Tuple, Tuple] = {}
+        results: List[Tuple] = []
+        tasks: list = [self._tables[upper], self._tables[lower], _EXPAND]
+        push = tasks.append
+        pop = tasks.pop
+        empty_table = self._tables[FALSE]
+        full_table = self._tables[TRUE]
+        while tasks:
+            phase = pop()
+            if phase == _EXPAND:
+                low = pop()
+                upp = pop()
+                if k.is_zero(low):
+                    results.append(((), empty_table))
+                    continue
+                if k.is_full(upp):
+                    results.append((((),), full_table))
+                    continue
+                key = (k.key(low), k.key(upp))
+                hit = cache.get(key)
+                if hit is not None:
+                    results.append(hit)
+                    continue
+                var = min(top_var(low), top_var(upp))
+                low0 = k.cofactor(low, var, False)
+                low1 = k.cofactor(low, var, True)
+                upp0 = k.cofactor(upp, var, False)
+                upp1 = k.cofactor(upp, var, True)
+                need0 = k.bandnot(low0, upp1)
+                need1 = k.bandnot(low1, upp0)
+                tasks.extend((upp1, upp0, low1, low0, var, key, _MERGE,
+                              upp1, need1, _EXPAND,
+                              upp0, need0, _EXPAND))
+            elif phase == _MERGE:
+                key = pop()
+                var = pop()
+                low0 = pop()
+                low1 = pop()
+                upp0 = pop()
+                upp1 = pop()
+                cubes1, f1 = results.pop()
+                cubes0, f0 = results.pop()
+                rest = k.bor(k.bandnot(low0, f0), k.bandnot(low1, f1))
+                upp_dc = k.band(upp0, upp1)
+                push(var)
+                push(key)
+                push(_COMBINE)
+                push(upp_dc)
+                push(rest)
+                push(_EXPAND)
+                results.append((cubes0, f0, cubes1, f1))
+            else:  # _COMBINE
+                key = pop()
+                var = pop()
+                cubes_dc, f_dc = results.pop()
+                cubes0, f0, cubes1, f1 = results.pop()
+                node = k.bor(
+                    k.ite_raw(k.literal(var, True), f1, f0), f_dc)
+                cubes = tuple(
+                    [((var, False),) + cube for cube in cubes0]
+                    + [((var, True),) + cube for cube in cubes1]
+                    + list(cubes_dc)
+                )
+                result = (cubes, node)
+                cache[key] = result
+                results.append(result)
+
+        raw_cubes, node = results[0]
+        return [dict(cube) for cube in raw_cubes], self._intern(node)
 
     # ------------------------------------------------------------------
     # Lifecycle

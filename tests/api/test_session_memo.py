@@ -139,6 +139,10 @@ class TestCacheKeySchemaGuard:
         # no-routing slot.
         "backend": (None, "auto"),
         "table_width": (None, 8),
+        # Routing changes wall-clock only, but the report's routing
+        # counters describe the requested configuration; keyed raw.
+        "route_subproblems": (None, True),
+        "table_kernel": (None, "int"),
         # Keyed by the *resolved* racer line-up (None and the explicit
         # default line-up share a slot); legal only under
         # strategy="portfolio", hence the BASE_OVERRIDES entry.
